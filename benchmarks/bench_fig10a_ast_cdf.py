@@ -1,0 +1,38 @@
+"""Figure 10(a): cumulative distribution of AST sizes.
+
+Regenerates the AST-size CDF over the evaluation corpus.  Expected shape:
+heavily left-skewed (the paper reports 48.6% of ASTs under 20 nodes and
+97.4% under 200; our generator is tuned for the same small-function
+regime).
+"""
+
+import numpy as np
+
+from repro.evalsuite.timing import ast_size_cdf
+
+from benchmarks.conftest import write_result
+
+
+def test_fig10a_ast_size_cdf(benchmark, openssl):
+    sizes = [
+        fn.ast_size()
+        for arch_functions in openssl.functions.values()
+        for fn in arch_functions
+    ]
+    sorted_sizes, fractions = ast_size_cdf(sizes)
+    lines = [f"n = {len(sizes)} ASTs"]
+    for cutoff in (20, 40, 80, 200, 300):
+        fraction = float(np.mean(sorted_sizes <= cutoff))
+        lines.append(f"ASTs with size <= {cutoff:>3}: {fraction:6.1%}")
+    lines.append("")
+    lines.append("CDF samples (size -> cumulative fraction):")
+    for q in (0.25, 0.5, 0.75, 0.9, 0.99):
+        index = min(int(q * len(sorted_sizes)), len(sorted_sizes) - 1)
+        lines.append(f"  p{int(q * 100):>2}: size {int(sorted_sizes[index])}")
+    write_result("fig10a_ast_cdf", "\n".join(lines))
+
+    # Shape: the distribution is dominated by small ASTs.
+    assert float(np.mean(sorted_sizes <= 200)) > 0.7
+    assert fractions[-1] == 1.0
+
+    benchmark(ast_size_cdf, sizes)

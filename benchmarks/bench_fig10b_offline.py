@@ -1,0 +1,67 @@
+"""Figure 10(b): offline-phase time per function, by approach.
+
+Regenerates the offline timing comparison: Asteria's decompilation (A-D),
+preprocessing (A-P) and Tree-LSTM encoding (A-E) versus Diaphora's hashing
+(D-H) and Gemini's ACFG extraction (G-EX) and encoding (G-EN).  Expected
+shape: Asteria's offline phase (dominated by decompilation + per-node
+Tree-LSTM encoding) is slower than both baselines', and encoding time grows
+with AST size.
+"""
+
+import numpy as np
+
+from repro.evalsuite.timing import measure_offline
+
+from benchmarks.conftest import scaled, write_result
+
+
+def test_fig10b_offline_phase(benchmark, openssl, trained_asteria,
+                              trained_gemini):
+    rows = measure_offline(
+        openssl, trained_asteria, trained_gemini,
+        max_functions=scaled(40), seed=3,
+    )
+    assert rows
+
+    def mean(attribute):
+        return float(np.mean([getattr(r, attribute) for r in rows]))
+
+    means = {
+        "A-D (decompile)": mean("decompile_s"),
+        "A-P (preprocess)": mean("preprocess_s"),
+        "A-E (encode)": mean("encode_s"),
+        "D-H (diaphora hash)": mean("diaphora_hash_s"),
+        "G-EX (acfg extract)": mean("gemini_extract_s"),
+        "G-EN (acfg encode)": mean("gemini_encode_s"),
+    }
+    lines = [f"{'Phase':<22} {'mean seconds':>13}"]
+    for name, value in means.items():
+        lines.append(f"{name:<22} {value:>13.6f}")
+    lines.append("")
+    lines.append("encode time by AST size bucket:")
+    buckets = [(0, 50), (50, 100), (100, 200), (200, 10 ** 9)]
+    for low, high in buckets:
+        sample = [r.encode_s for r in rows if low <= r.ast_size < high]
+        if sample:
+            lines.append(
+                f"  size [{low:>3}, {high if high < 10**9 else 'inf'}): "
+                f"{float(np.mean(sample)):.6f} s over {len(sample)} fns"
+            )
+    write_result("fig10b_offline", "\n".join(lines))
+
+    # Shape: Asteria's offline stage is the most expensive of the three.
+    asteria_offline = (means["A-D (decompile)"] + means["A-P (preprocess)"]
+                       + means["A-E (encode)"])
+    assert asteria_offline > means["D-H (diaphora hash)"]
+    assert asteria_offline > means["G-EX (acfg extract)"] + means["G-EN (acfg encode)"]
+    # Encoding grows with AST size.
+    small = [r.encode_s for r in rows if r.ast_size < 80]
+    large = [r.encode_s for r in rows if r.ast_size >= 80]
+    if small and large:
+        assert float(np.mean(large)) > float(np.mean(small))
+
+    binary = openssl.binaries["x86"][0]
+    record = binary.functions[0]
+    from repro.decompiler.hexrays import decompile_function
+
+    benchmark(decompile_function, binary, record)

@@ -1,0 +1,84 @@
+"""Figure 6: ROC curves in the mixed cross-architecture evaluation.
+
+Regenerates the headline comparison: Asteria vs Asteria-WOC (no
+calibration) vs Gemini vs Diaphora on pairs drawn from any architecture
+combination.  Expected shape (paper: 0.985 / 0.969 / 0.917 / 0.539):
+
+    AUC(Asteria) >= AUC(Asteria-WOC) > AUC(Gemini) >> AUC(Diaphora)
+
+The measured operation is Asteria's online similarity (encoding-vector
+comparison), the step the paper reports as ~8e-9 s.
+"""
+
+import numpy as np
+
+from repro.baselines.diaphora import DiaphoraMatcher
+from repro.evalsuite.metrics import roc_auc, roc_curve, tpr_at_fpr
+
+from benchmarks.conftest import write_result
+
+
+def test_fig6_roc_mixed(benchmark, trained_asteria, trained_gemini,
+                        openssl, eval_pairs, asteria_scores):
+    labels = asteria_scores["labels"]
+    scores = {
+        "Asteria": asteria_scores["calibrated"],
+        "Asteria-WOC": asteria_scores["woc"],
+    }
+
+    gemini_cache = {}
+
+    def gemini_encode(fn):
+        key = (fn.arch, fn.binary_name, fn.name)
+        if key not in gemini_cache:
+            gemini_cache[key] = trained_gemini.encode(openssl.acfg_for(fn))
+        return gemini_cache[key]
+
+    scores["Gemini"] = [
+        trained_gemini.similarity_from_vectors(
+            gemini_encode(p.first), gemini_encode(p.second)
+        )
+        for p in eval_pairs
+    ]
+    diaphora = DiaphoraMatcher()
+    features = {}
+
+    def dia_features(fn):
+        key = (fn.arch, fn.binary_name, fn.name)
+        if key not in features:
+            features[key] = diaphora.features(fn.ast)
+        return features[key]
+
+    scores["Diaphora"] = [
+        diaphora.similarity_from_features(
+            dia_features(p.first), dia_features(p.second)
+        )
+        for p in eval_pairs
+    ]
+
+    lines = [f"{'Approach':<14} {'AUC':>7} {'TPR@5%FPR':>10}"]
+    aucs = {}
+    for name, series in scores.items():
+        aucs[name] = roc_auc(labels, series)
+        lines.append(
+            f"{name:<14} {aucs[name]:>7.3f} "
+            f"{tpr_at_fpr(labels, series, 0.05):>10.3f}"
+        )
+    lines.append("")
+    lines.append("ROC points (fpr, tpr) at deciles, per approach:")
+    for name, series in scores.items():
+        fpr, tpr, _ = roc_curve(labels, series)
+        deciles = np.interp(np.linspace(0, 1, 11), fpr, tpr)
+        lines.append(f"  {name:<12} " + " ".join(f"{v:.2f}" for v in deciles))
+    write_result("fig6_roc_mixed", "\n".join(lines))
+
+    # The paper's ordering must hold.
+    assert aucs["Asteria"] >= aucs["Asteria-WOC"] - 0.01
+    assert aucs["Asteria-WOC"] > aucs["Gemini"]
+    assert aucs["Gemini"] > aucs["Diaphora"]
+    assert aucs["Diaphora"] < 0.75  # near-chance, as in the paper
+
+    encodings = asteria_scores["encodings"]
+    vectors = list(encodings.values())
+    v1, v2 = vectors[0].vector, vectors[1].vector
+    benchmark(trained_asteria.ast_similarity, v1, v2)

@@ -1,0 +1,76 @@
+"""Figure 7: AUC per pair-wise architecture combination.
+
+Regenerates the six-combination bar chart (arm-ppc, arm-x64, ppc-x64,
+x86-arm, x86-ppc, x86-x64) for all four approaches.  Expected shape: the
+ordering of Figure 6 holds within every combination.
+"""
+
+from repro.baselines.diaphora import DiaphoraMatcher
+from repro.core import build_cross_arch_pairs
+from repro.core.pairs import ARCH_COMBINATIONS
+from repro.evalsuite.metrics import roc_auc
+
+from benchmarks.conftest import scaled, write_result
+
+
+def test_fig7_auc_pairwise(benchmark, trained_asteria, trained_gemini,
+                           openssl, asteria_scores):
+    encode = asteria_scores["encode"]
+    diaphora = DiaphoraMatcher()
+    gemini_cache = {}
+
+    def gemini_encode(fn):
+        key = (fn.arch, fn.binary_name, fn.name)
+        if key not in gemini_cache:
+            gemini_cache[key] = trained_gemini.encode(openssl.acfg_for(fn))
+        return gemini_cache[key]
+
+    lines = [
+        f"{'Combo':<10} {'Asteria':>8} {'WOC':>8} {'Gemini':>8} {'Diaphora':>9}"
+    ]
+    results = {}
+    for combo in ARCH_COMBINATIONS:
+        pairs = build_cross_arch_pairs(
+            openssl.functions, scaled(15), combos=(combo,), seed=13
+        )
+        labels = [1 if p.label > 0 else 0 for p in pairs]
+        asteria = [
+            trained_asteria.similarity(encode(p.first), encode(p.second))
+            for p in pairs
+        ]
+        woc = [
+            trained_asteria.similarity(
+                encode(p.first), encode(p.second), calibrate=False
+            )
+            for p in pairs
+        ]
+        gemini = [
+            trained_gemini.similarity_from_vectors(
+                gemini_encode(p.first), gemini_encode(p.second)
+            )
+            for p in pairs
+        ]
+        dia = [diaphora.similarity(p.first.ast, p.second.ast) for p in pairs]
+        row = {
+            "asteria": roc_auc(labels, asteria),
+            "woc": roc_auc(labels, woc),
+            "gemini": roc_auc(labels, gemini),
+            "diaphora": roc_auc(labels, dia),
+        }
+        results[combo] = row
+        lines.append(
+            f"{combo[0]}-{combo[1]:<6} {row['asteria']:>8.3f} "
+            f"{row['woc']:>8.3f} {row['gemini']:>8.3f} {row['diaphora']:>9.3f}"
+        )
+    write_result("fig7_auc_pairwise", "\n".join(lines))
+
+    # Shape: Asteria beats Gemini and Diaphora in every combination.
+    for combo, row in results.items():
+        assert row["asteria"] > row["gemini"], combo
+        assert row["asteria"] > row["diaphora"], combo
+
+    first = next(iter(results))
+    benchmark(
+        build_cross_arch_pairs, openssl.functions, 5,
+        combos=(first,), seed=14,
+    )

@@ -1,0 +1,49 @@
+"""Table II: number of binaries and functions per dataset and architecture.
+
+Regenerates the dataset-statistics table.  The measured operation is the
+per-package compile step that produces one row's binaries.
+"""
+
+from repro.compiler.pipeline import compile_package
+from repro.evalsuite.vulnsearch import build_firmware_dataset
+from repro.lang.generator import ProgramGenerator
+
+from benchmarks.conftest import scaled, write_result
+
+
+def test_table2_dataset_statistics(benchmark, buildroot, openssl):
+    firmware = build_firmware_dataset(n_images=scaled(12), seed=5)
+    lines = [
+        f"{'Name':<10} {'Platform':<9} {'# binaries':>10} {'# functions':>12}"
+    ]
+    for name, dataset in (("Buildroot", buildroot), ("OpenSSL", openssl)):
+        for stat in dataset.stats():
+            lines.append(
+                f"{name:<10} {stat.arch:<9} {stat.n_binaries:>10} "
+                f"{stat.n_functions:>12}"
+            )
+    fw_counts = {}
+    for image in firmware.images:
+        if image.unknown_format:
+            continue
+        for binary in image.binaries:
+            n_bins, n_fns = fw_counts.get(binary.arch, (0, 0))
+            fw_counts[binary.arch] = (n_bins + 1, n_fns + len(binary.functions))
+    for arch in sorted(fw_counts):
+        n_bins, n_fns = fw_counts[arch]
+        lines.append(f"{'Firmware':<10} {arch:<9} {n_bins:>10} {n_fns:>12}")
+    total_bins = sum(s.n_binaries for d in (buildroot, openssl) for s in d.stats())
+    total_bins += sum(v[0] for v in fw_counts.values())
+    total_fns = buildroot.total_functions() + openssl.total_functions()
+    total_fns += sum(v[1] for v in fw_counts.values())
+    lines.append(f"{'Total':<10} {'':<9} {total_bins:>10} {total_fns:>12}")
+    write_result("table2_datasets", "\n".join(lines))
+
+    # Shape checks mirroring the paper: every corpus covers all four
+    # architectures, and firmware skews to ARM/PPC.
+    assert {s.arch for s in buildroot.stats()} == {"x86", "x64", "arm", "ppc"}
+    arm_ppc = sum(v[0] for a, v in fw_counts.items() if a in ("arm", "ppc"))
+    assert arm_ppc >= sum(v[0] for v in fw_counts.values()) / 2
+
+    package = ProgramGenerator(seed=99).generate_package("bench")
+    benchmark(compile_package, package, "arm")

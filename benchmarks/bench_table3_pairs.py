@@ -1,0 +1,35 @@
+"""Table III: number of function pairs per architecture combination.
+
+Regenerates the pair-count table for the six combinations used in training
+(x86-ARM, x86-PPC, x86-x64, ARM-PPC, ARM-x64, PPC-x64).  The measured
+operation is cross-architecture pair construction itself.
+"""
+
+from collections import Counter
+
+from repro.core import build_cross_arch_pairs
+from repro.core.pairs import ARCH_COMBINATIONS
+
+from benchmarks.conftest import scaled, write_result
+
+
+def test_table3_pair_counts(benchmark, buildroot):
+    pairs = build_cross_arch_pairs(
+        buildroot.functions, n_pairs_per_combo=scaled(40), seed=1
+    )
+    counts = Counter(tuple(sorted(p.arch_combo)) for p in pairs)
+    lines = [f"{'Arch-Comb':<12} {'# of pairs':>10}"]
+    for combo in ARCH_COMBINATIONS:
+        key = tuple(sorted(combo))
+        lines.append(f"{combo[0]}-{combo[1]:<8} {counts[key]:>10}")
+    lines.append(f"{'total':<12} {len(pairs):>10}")
+    write_result("table3_pairs", "\n".join(lines))
+
+    # Shape: all six combinations are populated and roughly balanced
+    # (the paper's counts differ only because of the <5-node filter).
+    assert len(counts) == 6
+    assert max(counts.values()) <= 2 * min(counts.values())
+
+    benchmark(
+        build_cross_arch_pairs, buildroot.functions, scaled(10), seed=2
+    )

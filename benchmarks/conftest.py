@@ -1,0 +1,123 @@
+"""Shared benchmark fixtures: corpora and trained models, built once.
+
+Every experiment regenerator in this directory consumes these fixtures.
+``REPRO_SCALE`` (float, default 1) scales corpus sizes up; the defaults are
+laptop-sized (the paper's corpora are millions of functions -- see
+DESIGN.md for the scaling discussion).
+
+Each bench writes the regenerated table/figure to
+``benchmarks/results/<name>.txt`` in addition to printing it, so results
+survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.gemini.model import Gemini, GeminiConfig, GeminiPair
+from repro.core import (
+    Asteria,
+    AsteriaConfig,
+    TrainConfig,
+    Trainer,
+    build_cross_arch_pairs,
+    to_tree_pairs,
+)
+from repro.core.pairs import split_pairs
+from repro.evalsuite.datasets import build_buildroot_dataset, build_openssl_dataset
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def scaled(base: int, minimum: int = 1) -> int:
+    return max(minimum, int(round(base * SCALE)))
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a regenerated table/figure and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    print(f"\n=== {name} ===\n{text}")
+
+
+@pytest.fixture(scope="session")
+def buildroot():
+    """Training corpus (the paper's Buildroot dataset analogue)."""
+    return build_buildroot_dataset(n_packages=scaled(6), seed=7)
+
+
+@pytest.fixture(scope="session")
+def openssl():
+    """Evaluation corpus (the paper's OpenSSL dataset analogue)."""
+    return build_openssl_dataset(n_functions=scaled(30), seed=9)
+
+
+@pytest.fixture(scope="session")
+def train_dev_pairs(buildroot):
+    pairs = to_tree_pairs(
+        build_cross_arch_pairs(buildroot.functions, scaled(20), seed=1)
+    )
+    return split_pairs(pairs, 0.85, seed=2)
+
+
+@pytest.fixture(scope="session")
+def trained_asteria(train_dev_pairs):
+    """The main Asteria model (paper defaults: dim 16, zero leaves,
+    classification head), trained on the buildroot pairs."""
+    train, dev = train_dev_pairs
+    model = Asteria(AsteriaConfig())
+    trainer = Trainer(model.siamese, TrainConfig(epochs=3, lr=0.05))
+    trainer.train(train, dev)
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_gemini(buildroot):
+    labeled = build_cross_arch_pairs(buildroot.functions, scaled(20), seed=4)
+    pairs = [
+        GeminiPair(
+            buildroot.acfg_for(p.first), buildroot.acfg_for(p.second), p.label
+        )
+        for p in labeled
+    ]
+    cut = int(len(pairs) * 0.85)
+    model = Gemini(GeminiConfig())
+    model.train(pairs[:cut], pairs[cut:], epochs=4, lr=0.005)
+    return model
+
+
+@pytest.fixture(scope="session")
+def eval_pairs(openssl):
+    """Labelled cross-architecture pairs from the evaluation corpus."""
+    return build_cross_arch_pairs(openssl.functions, scaled(20), seed=3)
+
+
+@pytest.fixture(scope="session")
+def asteria_scores(trained_asteria, eval_pairs):
+    """Cached encodings + calibrated/uncalibrated scores for eval pairs."""
+    encodings = {}
+
+    def encode(fn):
+        key = (fn.arch, fn.binary_name, fn.name)
+        if key not in encodings:
+            encodings[key] = trained_asteria.encode_function(fn)
+        return encodings[key]
+
+    labels = [1 if p.label > 0 else 0 for p in eval_pairs]
+    calibrated = [
+        trained_asteria.similarity(encode(p.first), encode(p.second))
+        for p in eval_pairs
+    ]
+    woc = [
+        trained_asteria.similarity(
+            encode(p.first), encode(p.second), calibrate=False
+        )
+        for p in eval_pairs
+    ]
+    return {"labels": labels, "calibrated": calibrated, "woc": woc,
+            "encodings": encodings, "encode": encode}

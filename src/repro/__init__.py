@@ -1,0 +1,44 @@
+"""repro: a full reproduction of Asteria (DSN 2021).
+
+Asteria detects semantically equivalent binary functions across CPU
+architectures by encoding decompiled ASTs with a Binary Tree-LSTM inside a
+Siamese network, then calibrating with callee counts.
+
+This package contains the complete system *and* every substrate it needs:
+
+- :mod:`repro.lang` -- a mini C-like language + random program generator;
+- :mod:`repro.compiler` -- a 4-target compiler (x86/x64/ARM/PPC);
+- :mod:`repro.binformat` -- binaries, firmware images, binwalk;
+- :mod:`repro.disasm` / :mod:`repro.decompiler` -- disassembly and
+  Hex-Rays-style decompilation back to ASTs;
+- :mod:`repro.nn` -- numpy autograd, Tree-LSTM, structure2vec;
+- :mod:`repro.core` -- the Asteria model, training, calibration;
+- :mod:`repro.baselines` -- Gemini and Diaphora;
+- :mod:`repro.evalsuite` -- metrics, datasets, vulnerability search, timing.
+
+Quickstart::
+
+    from repro import Asteria, AsteriaConfig
+    from repro.evalsuite.datasets import build_buildroot_dataset
+    from repro.core import build_cross_arch_pairs, to_tree_pairs, Trainer
+
+    dataset = build_buildroot_dataset(n_packages=6, seed=7)
+    pairs = to_tree_pairs(build_cross_arch_pairs(dataset.functions, 30))
+    model = Asteria(AsteriaConfig())
+    Trainer(model.siamese).train(pairs[: int(len(pairs) * 0.8)],
+                                 pairs[int(len(pairs) * 0.8):])
+"""
+
+from repro.core.model import Asteria, AsteriaConfig, FunctionEncoding
+from repro.core.training import TrainConfig, Trainer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Asteria",
+    "AsteriaConfig",
+    "FunctionEncoding",
+    "TrainConfig",
+    "Trainer",
+    "__version__",
+]

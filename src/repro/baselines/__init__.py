@@ -1,0 +1,12 @@
+"""Baseline approaches the paper compares against: Diaphora and Gemini."""
+
+from repro.baselines.diaphora import DiaphoraMatcher, ast_fuzzy_hash
+from repro.baselines.gemini import Gemini, GeminiConfig, extract_acfg
+
+__all__ = [
+    "DiaphoraMatcher",
+    "ast_fuzzy_hash",
+    "Gemini",
+    "GeminiConfig",
+    "extract_acfg",
+]

@@ -1,0 +1,11 @@
+"""The Gemini baseline (Xu et al., CCS 2017).
+
+Encodes attributed control-flow graphs (ACFGs) with a structure2vec graph
+embedding network and compares embeddings by cosine similarity inside a
+Siamese setup trained on ±1 labels.
+"""
+
+from repro.baselines.gemini.acfg import ACFG, extract_acfg
+from repro.baselines.gemini.model import Gemini, GeminiConfig
+
+__all__ = ["ACFG", "extract_acfg", "Gemini", "GeminiConfig"]

@@ -1,0 +1,135 @@
+"""The Gemini model: structure2vec embeddings + cosine Siamese.
+
+Offline phase: ACFG -> embedding vector.  Online phase: cosine similarity
+between cached embeddings (rescaled to [0, 1] for ROC comparability with
+Asteria scores).  Training minimises MSE between the cosine similarity and
+the ±1 ground-truth label, as in Xu et al.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.gemini.acfg import ACFG, N_FEATURES
+from repro.nn.graphnet import Structure2Vec, cosine_similarity
+from repro.nn.loss import mse_loss
+from repro.nn.optim import Adam
+from repro.nn.serialize import load_state, save_state
+from repro.nn.tensor import no_grad
+from repro.utils.logging import get_logger
+from repro.utils.rng import RNG
+
+_LOG = get_logger("baselines.gemini")
+
+
+@dataclass
+class GeminiConfig:
+    embedding_dim: int = 64
+    iterations: int = 5
+    mlp_layers: int = 2
+    seed: int = 0
+
+
+@dataclass
+class GeminiPair:
+    """A labelled ACFG pair for training/evaluation."""
+
+    first: ACFG
+    second: ACFG
+    label: int  # +1 / -1
+
+
+@dataclass
+class GeminiHistory:
+    losses: List[float] = field(default_factory=list)
+    aucs: List[float] = field(default_factory=list)
+    best_auc: float = 0.0
+
+
+class Gemini:
+    """End-to-end Gemini baseline."""
+
+    def __init__(self, config: Optional[GeminiConfig] = None):
+        self.config = config or GeminiConfig()
+        self.network = Structure2Vec(
+            feature_dim=N_FEATURES,
+            embedding_dim=self.config.embedding_dim,
+            iterations=self.config.iterations,
+            mlp_layers=self.config.mlp_layers,
+            seed=self.config.seed,
+        )
+
+    # -- offline ------------------------------------------------------------
+
+    def encode(self, acfg: ACFG) -> np.ndarray:
+        with no_grad():
+            return self.network(acfg.features, acfg.adjacency).data.copy()
+
+    # -- online -------------------------------------------------------------
+
+    def similarity_from_vectors(self, v1: np.ndarray, v2: np.ndarray) -> float:
+        denom = np.linalg.norm(v1) * np.linalg.norm(v2)
+        if denom == 0:
+            return 0.5
+        return float((v1 @ v2 / denom + 1.0) * 0.5)
+
+    def similarity(self, a1: ACFG, a2: ACFG) -> float:
+        return self.similarity_from_vectors(self.encode(a1), self.encode(a2))
+
+    # -- training ----------------------------------------------------------------
+
+    def train(
+        self,
+        train_pairs: Sequence[GeminiPair],
+        eval_pairs: Sequence[GeminiPair] = (),
+        epochs: int = 10,
+        lr: float = 0.001,
+        shuffle_seed: int = 0,
+    ) -> GeminiHistory:
+        from repro.evalsuite.metrics import roc_auc
+
+        optimizer = Adam(self.network.parameters(), lr=lr)
+        history = GeminiHistory()
+        best_state = None
+        rng = RNG(shuffle_seed)
+        order = list(train_pairs)
+        for epoch in range(epochs):
+            rng.child("epoch", epoch).shuffle(order)
+            losses = []
+            for pair in order:
+                optimizer.zero_grad()
+                e1 = self.network(pair.first.features, pair.first.adjacency)
+                e2 = self.network(pair.second.features, pair.second.adjacency)
+                sim = cosine_similarity(e1, e2)
+                loss = mse_loss(sim, float(pair.label))
+                loss.backward()
+                optimizer.step()
+                losses.append(float(loss.data))
+            history.losses.append(float(np.mean(losses)) if losses else 0.0)
+            if eval_pairs:
+                scores = [self.similarity(p.first, p.second) for p in eval_pairs]
+                labels = [1 if p.label > 0 else 0 for p in eval_pairs]
+                auc = roc_auc(labels, scores)
+                history.aucs.append(auc)
+                if auc > history.best_auc:
+                    history.best_auc = auc
+                    best_state = self.network.state_dict()
+            _LOG.info("gemini epoch %d: loss=%.4f", epoch, history.losses[-1])
+        if best_state is not None:
+            self.network.load_state_dict(best_state)
+        return history
+
+    # -- checkpointing ----------------------------------------------------------------
+
+    def save(self, path) -> None:
+        save_state(path, self.network.state_dict(), meta=asdict(self.config))
+
+    @classmethod
+    def load(cls, path) -> "Gemini":
+        state, meta = load_state(path)
+        model = cls(GeminiConfig(**meta))
+        model.network.load_state_dict(state)
+        return model

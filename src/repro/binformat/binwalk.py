@@ -1,0 +1,74 @@
+"""A binwalk-style firmware scanner/unpacker.
+
+Scans a raw blob for known magic signatures and extracts the binaries found.
+Images in unknown formats yield :class:`UnpackError`, mirroring the paper's
+observation that "not all firmware can be unpacked since binwalk cannot
+identify certain firmware format".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.binformat.binary import BinaryFile
+from repro.binformat.firmware import (
+    FIRMWARE_MAGIC,
+    FirmwareImage,
+    parse_firmware_at,
+)
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("binformat.binwalk")
+
+
+class UnpackError(Exception):
+    """Raised when no recognisable firmware signature is present."""
+
+
+@dataclass
+class Signature:
+    """A magic match inside a scanned blob."""
+
+    offset: int
+    description: str
+
+
+def scan_firmware(blob: bytes) -> List[Signature]:
+    """Scan a blob for known signatures (firmware headers)."""
+    signatures: List[Signature] = []
+    start = 0
+    while True:
+        offset = blob.find(FIRMWARE_MAGIC, start)
+        if offset < 0:
+            break
+        signatures.append(Signature(offset=offset, description="RBIN firmware header"))
+        start = offset + 1
+    return signatures
+
+
+def unpack_firmware(image: FirmwareImage) -> List[BinaryFile]:
+    """Extract the binaries from a firmware image's raw blob.
+
+    Works from ``image.blob`` only (not the in-memory binary list), so the
+    whole pack/scan/parse path is exercised.
+    """
+    return unpack_blob(image.blob)
+
+
+def unpack_blob(blob: bytes) -> List[BinaryFile]:
+    """Extract binaries from a raw firmware blob."""
+    signatures = scan_firmware(blob)
+    if not signatures:
+        raise UnpackError("no recognisable firmware signature")
+    binaries: List[BinaryFile] = []
+    for signature in signatures:
+        try:
+            parsed = parse_firmware_at(blob, signature.offset)
+        except Exception as exc:  # corrupt region; keep scanning others
+            _LOG.debug("failed to parse firmware at %d: %s", signature.offset, exc)
+            continue
+        binaries.extend(parsed.binaries)
+    if not binaries:
+        raise UnpackError("signatures found but no binaries could be parsed")
+    return binaries

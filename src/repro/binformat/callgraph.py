@@ -1,0 +1,58 @@
+"""Call graphs over binaries.
+
+The calibration step of Asteria needs, per function, the set of callee
+functions together with each callee's instruction count (so callees small
+enough to have been inlined can be filtered out).  The call graph is built
+from decoded call instructions, not from compiler metadata, so it works on
+stripped binaries too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import networkx as nx
+
+from repro.binformat.binary import BinaryFile
+from repro.compiler.isa import get_isa
+
+
+def build_call_graph(binary: BinaryFile) -> nx.DiGraph:
+    """Build the static call graph of a binary.
+
+    Nodes are function display names; node attribute ``n_instructions`` is
+    the function's instruction count; edge multiplicity is stored in the
+    ``count`` attribute.
+    """
+    from repro.disasm.disassembler import disassemble_function
+
+    isa = get_isa(binary.arch)
+    graph = nx.DiGraph()
+    for record in binary.functions:
+        graph.add_node(
+            record.display_name(), n_instructions=record.n_instructions
+        )
+    for record in binary.functions:
+        asm = disassemble_function(binary, record)
+        for callee in asm.callee_names():
+            if graph.has_edge(record.display_name(), callee):
+                graph.edges[record.display_name(), callee]["count"] += 1
+            else:
+                graph.add_edge(record.display_name(), callee, count=1)
+    return graph
+
+
+def callees_with_sizes(
+    binary: BinaryFile, function_name: str, call_graph: nx.DiGraph = None
+) -> List[Tuple[str, int]]:
+    """Callee names and instruction counts for one function (with repeats).
+
+    A callee called k times appears k times, matching the paper's definition
+    of the callee set drawn from call instructions.
+    """
+    graph = call_graph if call_graph is not None else build_call_graph(binary)
+    out: List[Tuple[str, int]] = []
+    for _, callee, data in graph.out_edges(function_name, data=True):
+        size = graph.nodes[callee].get("n_instructions", 0)
+        out.extend([(callee, size)] * data.get("count", 1))
+    return out

@@ -1,0 +1,209 @@
+"""Instruction encoding: symbolic assembly <-> bytes.
+
+Each ISA gets a stable opcode table (from :meth:`ISA.opcode_table`) and a
+canonical register index table.  Instructions encode as::
+
+    [opcode:1][cond:1][n_operands:1] operand*
+
+with operands tagged by type:
+
+    ====  =========  =======================================
+    tag   kind       payload
+    ====  =========  =======================================
+    1     Reg        register index (1 byte)
+    2     Imm        signed value (8 bytes, little endian)
+    3     Mem        base register (1) + signed offset (4)
+    4     Lab        target instruction index (4 bytes)
+    5     Sym        symbol-table index (4 bytes)
+    6     SRef       string-section offset (4 bytes)
+    ====  =========  =======================================
+
+The encoding round-trips exactly (see :mod:`repro.disasm.decoder`), which is
+what lets the disassembler and decompiler operate on *bytes* rather than on
+in-memory compiler structures -- the same boundary real tooling has.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Tuple
+
+from repro.compiler.codegen import (
+    AImm,
+    AsmFunction,
+    Instruction,
+    Lab,
+    Mem,
+    Reg,
+    SRef,
+    Sym,
+)
+from repro.compiler.isa import ISA
+
+_COND_CODES = ("", "eq", "ne", "gt", "lt", "ge", "le")
+
+
+class EncodingError(Exception):
+    """Raised on malformed instructions or undecodable bytes."""
+
+
+def register_table(isa: ISA) -> Tuple[str, ...]:
+    """Canonical ordered register list for one ISA (index = encoding)."""
+    seen: List[str] = []
+    for name in (
+        list(isa.scratch_registers)
+        + list(isa.var_registers)
+        + list(isa.arg_registers)
+        + [isa.frame_pointer, isa.stack_pointer, isa.return_register]
+        + ([isa.link_register] if isa.link_register else [])
+    ):
+        if name and name not in seen:
+            seen.append(name)
+    return tuple(seen)
+
+
+def _register_index(isa: ISA) -> Dict[str, int]:
+    return {name: i for i, name in enumerate(register_table(isa))}
+
+
+def encode_function(
+    fn: AsmFunction,
+    isa: ISA,
+    symbol_index: Callable[[str], int],
+    string_offset: Callable[[str], int],
+) -> bytes:
+    """Encode an assembly function to bytes.
+
+    ``symbol_index`` maps a callee name to its symbol-table slot;
+    ``string_offset`` maps a string literal to its string-section offset.
+    """
+    opcodes = isa.opcode_table()
+    reg_index = _register_index(isa)
+    label_to_instr = fn.labels
+    chunks: List[bytes] = []
+    for instr in fn.instructions:
+        try:
+            opcode = opcodes[instr.mnemonic]
+        except KeyError:
+            raise EncodingError(
+                f"mnemonic {instr.mnemonic!r} not in {isa.name} opcode table"
+            ) from None
+        try:
+            cond = _COND_CODES.index(instr.cond)
+        except ValueError:
+            raise EncodingError(f"unknown condition code {instr.cond!r}") from None
+        parts = [struct.pack("<BBB", opcode, cond, len(instr.operands))]
+        for operand in instr.operands:
+            parts.append(
+                _encode_operand(
+                    operand, reg_index, label_to_instr, symbol_index, string_offset
+                )
+            )
+        chunks.append(b"".join(parts))
+    return b"".join(chunks)
+
+
+def _encode_operand(
+    operand,
+    reg_index: Dict[str, int],
+    labels: Dict[str, int],
+    symbol_index: Callable[[str], int],
+    string_offset: Callable[[str], int],
+) -> bytes:
+    if isinstance(operand, Reg):
+        try:
+            return struct.pack("<BB", 1, reg_index[operand.name])
+        except KeyError:
+            raise EncodingError(f"unknown register {operand.name!r}") from None
+    if isinstance(operand, AImm):
+        return struct.pack("<Bq", 2, operand.value)
+    if isinstance(operand, Mem):
+        try:
+            return struct.pack("<BBi", 3, reg_index[operand.base], operand.offset)
+        except KeyError:
+            raise EncodingError(f"unknown base register {operand.base!r}") from None
+    if isinstance(operand, Lab):
+        try:
+            return struct.pack("<BI", 4, labels[operand.name])
+        except KeyError:
+            raise EncodingError(f"undefined label {operand.name!r}") from None
+    if isinstance(operand, Sym):
+        return struct.pack("<BI", 5, symbol_index(operand.name))
+    if isinstance(operand, SRef):
+        return struct.pack("<BI", 6, string_offset(operand.text))
+    raise EncodingError(f"unencodable operand {operand!r}")
+
+
+def decode_instructions(
+    code: bytes,
+    isa: ISA,
+    symbol_name: Callable[[int], str],
+    string_at: Callable[[int], str],
+) -> Tuple[List[Instruction], Dict[int, int]]:
+    """Decode bytes back to instructions.
+
+    Returns ``(instructions, branch_targets)`` where ``branch_targets`` maps
+    the decoded instruction's position to its target instruction index (for
+    label reconstruction by the disassembler).
+    """
+    mnemonics = isa.mnemonic_table()
+    registers = register_table(isa)
+    instructions: List[Instruction] = []
+    branch_targets: Dict[int, int] = {}
+    offset = 0
+    while offset < len(code):
+        if offset + 3 > len(code):
+            raise EncodingError("truncated instruction header")
+        opcode, cond_code, n_operands = struct.unpack_from("<BBB", code, offset)
+        offset += 3
+        try:
+            mnemonic = mnemonics[opcode]
+        except KeyError:
+            raise EncodingError(f"unknown opcode {opcode} for {isa.name}") from None
+        if cond_code >= len(_COND_CODES):
+            raise EncodingError(f"unknown condition code {cond_code}")
+        operands = []
+        for _ in range(n_operands):
+            operand, offset = _decode_operand(
+                code, offset, registers, symbol_name, string_at
+            )
+            operands.append(operand)
+        instr = Instruction(mnemonic, tuple(operands), _COND_CODES[cond_code])
+        for operand in operands:
+            if isinstance(operand, Lab):
+                branch_targets[len(instructions)] = int(operand.name)
+        instructions.append(instr)
+    return instructions, branch_targets
+
+
+def _decode_operand(code, offset, registers, symbol_name, string_at):
+    if offset >= len(code):
+        raise EncodingError("truncated operand")
+    tag = code[offset]
+    offset += 1
+    if tag == 1:
+        index = code[offset]
+        if index >= len(registers):
+            raise EncodingError(f"register index {index} out of range")
+        return Reg(registers[index]), offset + 1
+    if tag == 2:
+        (value,) = struct.unpack_from("<q", code, offset)
+        return AImm(value), offset + 8
+    if tag == 3:
+        base_index = code[offset]
+        (off,) = struct.unpack_from("<i", code, offset + 1)
+        if base_index >= len(registers):
+            raise EncodingError(f"register index {base_index} out of range")
+        return Mem(registers[base_index], off), offset + 5
+    if tag == 4:
+        (target,) = struct.unpack_from("<I", code, offset)
+        # Temporarily store raw target index in the label name; the
+        # disassembler rewrites these to loc_N labels.
+        return Lab(str(target)), offset + 4
+    if tag == 5:
+        (index,) = struct.unpack_from("<I", code, offset)
+        return Sym(symbol_name(index)), offset + 4
+    if tag == 6:
+        (str_offset,) = struct.unpack_from("<I", code, offset)
+        return SRef(string_at(str_offset)), offset + 4
+    raise EncodingError(f"unknown operand tag {tag}")

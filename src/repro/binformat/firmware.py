@@ -1,0 +1,126 @@
+"""Firmware images.
+
+A firmware image is a vendor-specific blob: a header (vendor / device model /
+version), junk padding (bootloader remnants, compressed filesystems we do not
+model), and a sequence of embedded RBIN binaries.  Images may also use an
+*unknown format* -- no recognisable magic at all -- which the unpacker must
+reject, reproducing the paper's note that binwalk cannot identify certain
+firmware formats.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.binformat.binary import BinaryFile
+from repro.utils.rng import RNG
+
+FIRMWARE_MAGIC = b"FWIMG1"
+
+
+@dataclass
+class FirmwareImage:
+    """A firmware image and its provenance metadata."""
+
+    vendor: str
+    model: str
+    version: str
+    binaries: List[BinaryFile] = field(default_factory=list)
+    unknown_format: bool = False
+    blob: bytes = b""
+
+    @property
+    def identifier(self) -> str:
+        return f"{self.vendor}/{self.model}/{self.version}"
+
+
+def pack_firmware(
+    vendor: str,
+    model: str,
+    version: str,
+    binaries: List[BinaryFile],
+    seed: int = 0,
+    unknown_format: bool = False,
+    junk_prefix_max: int = 64,
+) -> FirmwareImage:
+    """Pack binaries into a firmware blob.
+
+    When ``unknown_format`` is set, the blob carries no recognisable magic
+    (the header is scrambled), so :func:`repro.binformat.binwalk.scan_firmware`
+    will find nothing in it.
+    """
+    rng = RNG(seed)
+    junk_len = rng.randint(0, junk_prefix_max)
+    junk = bytes(rng.randint(1, 255) for _ in range(junk_len))
+    header = [
+        FIRMWARE_MAGIC if not unknown_format else _scrambled_magic(rng),
+        _pack_str(vendor),
+        _pack_str(model),
+        _pack_str(version),
+        struct.pack("<I", len(binaries)),
+    ]
+    body = []
+    for binary in binaries:
+        data = binary.to_bytes()
+        body.append(struct.pack("<I", len(data)))
+        body.append(data)
+    blob = junk + b"".join(header) + b"".join(body)
+    return FirmwareImage(
+        vendor=vendor,
+        model=model,
+        version=version,
+        binaries=list(binaries),
+        unknown_format=unknown_format,
+        blob=blob,
+    )
+
+
+def _scrambled_magic(rng: RNG) -> bytes:
+    """Six bytes guaranteed not to be the firmware magic."""
+    while True:
+        candidate = bytes(rng.randint(1, 255) for _ in range(len(FIRMWARE_MAGIC)))
+        if candidate != FIRMWARE_MAGIC:
+            return candidate
+
+
+def parse_firmware_at(blob: bytes, offset: int) -> "ParsedFirmware":
+    """Parse a firmware header + binaries starting at a magic offset."""
+    if blob[offset:offset + len(FIRMWARE_MAGIC)] != FIRMWARE_MAGIC:
+        raise ValueError(f"no firmware magic at offset {offset}")
+    cursor = offset + len(FIRMWARE_MAGIC)
+    vendor, cursor = _unpack_str(blob, cursor)
+    model, cursor = _unpack_str(blob, cursor)
+    version, cursor = _unpack_str(blob, cursor)
+    (n_binaries,) = struct.unpack_from("<I", blob, cursor)
+    cursor += 4
+    binaries: List[BinaryFile] = []
+    for _ in range(n_binaries):
+        (length,) = struct.unpack_from("<I", blob, cursor)
+        cursor += 4
+        binaries.append(BinaryFile.from_bytes(blob[cursor:cursor + length]))
+        cursor += length
+    return ParsedFirmware(
+        vendor=vendor, model=model, version=version, binaries=binaries, end=cursor
+    )
+
+
+@dataclass
+class ParsedFirmware:
+    vendor: str
+    model: str
+    version: str
+    binaries: List[BinaryFile]
+    end: int
+
+
+def _pack_str(text: str) -> bytes:
+    data = text.encode("utf-8")
+    return struct.pack("<H", len(data)) + data
+
+
+def _unpack_str(blob: bytes, offset: int):
+    (length,) = struct.unpack_from("<H", blob, offset)
+    offset += 2
+    return blob[offset:offset + length].decode("utf-8"), offset + length

@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+Subcommands mirror the workflows a user of the paper's tooling would run:
+
+* ``repro-cli generate``     -- generate a source package and print it;
+* ``repro-cli compile``      -- cross-compile a generated package to RBIN;
+* ``repro-cli disasm``       -- disassemble a binary file;
+* ``repro-cli decompile``    -- decompile a binary file to pseudocode;
+* ``repro-cli train``        -- train an Asteria model and save a checkpoint;
+* ``repro-cli compare``      -- score two functions of two binaries;
+* ``repro-cli search``       -- run the firmware vulnerability search.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.binformat.binary import BinaryFile
+from repro.core.model import Asteria, AsteriaConfig
+from repro.core.pairs import build_cross_arch_pairs, split_pairs, to_tree_pairs
+from repro.core.training import TrainConfig, Trainer
+from repro.decompiler import decompile_binary, decompile_function
+from repro.disasm import disassemble_binary
+from repro.lang.generator import ProgramGenerator
+from repro.lang.printer import to_source
+
+
+def _cmd_generate(args) -> int:
+    package = ProgramGenerator(seed=args.seed).generate_package(args.name)
+    for fn in package.functions:
+        print(to_source(fn))
+        print()
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from repro.compiler.pipeline import compile_package
+
+    package = ProgramGenerator(seed=args.seed).generate_package(args.name)
+    for arch in args.arch:
+        binary = compile_package(package, arch)
+        if args.strip:
+            binary = binary.strip()
+        path = Path(args.output) / f"{args.name}.{arch}.rbin"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(binary.to_bytes())
+        print(f"wrote {path} ({len(binary.functions)} functions, "
+              f"{path.stat().st_size} bytes)")
+    return 0
+
+
+def _load_binary(path: str) -> BinaryFile:
+    return BinaryFile.from_bytes(Path(path).read_bytes())
+
+
+def _cmd_disasm(args) -> int:
+    binary = _load_binary(args.binary)
+    for asm in disassemble_binary(binary):
+        if args.function and asm.name != args.function:
+            continue
+        print(asm.render())
+        print()
+    return 0
+
+
+def _cmd_decompile(args) -> int:
+    from repro.lang.printer import _stmt_lines
+
+    binary = _load_binary(args.binary)
+    for fn in decompile_binary(binary, skip_errors=True):
+        if args.function and fn.name != args.function:
+            continue
+        print(f"// {fn.name} ({fn.arch}, {fn.n_instructions} instructions, "
+              f"{fn.ast_size()} AST nodes)")
+        print("\n".join(_stmt_lines(fn.ast, 0)))
+        print()
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.evalsuite.datasets import build_buildroot_dataset
+
+    dataset = build_buildroot_dataset(n_packages=args.packages, seed=args.seed)
+    pairs = to_tree_pairs(
+        build_cross_arch_pairs(dataset.functions, args.pairs, seed=args.seed)
+    )
+    train, dev = split_pairs(pairs, 0.8, seed=args.seed)
+    print(f"{len(train)} training pairs, {len(dev)} dev pairs")
+    model = Asteria(AsteriaConfig(embedding_dim=args.dim))
+    trainer = Trainer(model.siamese, TrainConfig(epochs=args.epochs))
+    history = trainer.train(train, dev)
+    print(f"best dev AUC: {history.best_auc:.4f} "
+          f"(epoch {history.best_epoch})")
+    model.save(args.output)
+    print(f"saved model to {args.output}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    model = Asteria.load(args.model)
+    binary1 = _load_binary(args.binary1)
+    binary2 = _load_binary(args.binary2)
+    fn1 = decompile_function(binary1, binary1.function_named(args.function1))
+    fn2 = decompile_function(binary2, binary2.function_named(args.function2))
+    e1, e2 = model.encode_function(fn1), model.encode_function(fn2)
+    print(f"M (AST similarity):        {model.similarity(e1, e2, calibrate=False):.4f}")
+    print(f"F (calibrated similarity): {model.similarity(e1, e2):.4f}")
+    return 0
+
+
+def _cmd_search(args) -> int:
+    from repro.evalsuite.vulnsearch import (
+        VulnerabilitySearch,
+        build_firmware_dataset,
+    )
+
+    model = Asteria.load(args.model)
+    dataset = build_firmware_dataset(n_images=args.images, seed=args.seed)
+    search = VulnerabilitySearch(model, threshold=args.threshold)
+    report, _candidates = search.search(dataset)
+    print(f"unpacked {report.n_unpacked}/{report.n_images} images, "
+          f"indexed {report.n_functions} functions")
+    for row in report.rows:
+        print(f"{row.entry.cve_id:<15} {row.entry.software:<9} "
+              f"confirmed={row.n_confirmed} "
+              f"models={','.join(row.models) or '-'}")
+    print(f"total confirmed: {report.total_confirmed()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="Asteria reproduction command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a source package")
+    p.add_argument("--name", default="pkg0")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("compile", help="cross-compile a generated package")
+    p.add_argument("--name", default="pkg0")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--arch", nargs="+", default=["x86", "x64", "arm", "ppc"],
+                   choices=["x86", "x64", "arm", "ppc"])
+    p.add_argument("--strip", action="store_true",
+                   help="remove the symbol table")
+    p.add_argument("--output", default=".")
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("disasm", help="disassemble an RBIN binary")
+    p.add_argument("binary")
+    p.add_argument("--function", help="only this function")
+    p.set_defaults(func=_cmd_disasm)
+
+    p = sub.add_parser("decompile", help="decompile an RBIN binary")
+    p.add_argument("binary")
+    p.add_argument("--function", help="only this function")
+    p.set_defaults(func=_cmd_decompile)
+
+    p = sub.add_parser("train", help="train an Asteria model")
+    p.add_argument("--packages", type=int, default=4)
+    p.add_argument("--pairs", type=int, default=15)
+    p.add_argument("--epochs", type=int, default=2)
+    p.add_argument("--dim", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default="asteria.npz")
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("compare", help="compare two binary functions")
+    p.add_argument("--model", required=True)
+    p.add_argument("binary1")
+    p.add_argument("function1")
+    p.add_argument("binary2")
+    p.add_argument("function2")
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("search", help="firmware vulnerability search")
+    p.add_argument("--model", required=True)
+    p.add_argument("--images", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--threshold", type=float, default=0.8)
+    p.set_defaults(func=_cmd_search)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Multi-target compiler for the mini language.
+
+Lowers :mod:`repro.lang` ASTs to a three-address IR and performs per-ISA
+instruction selection for four targets (x86, x64, ARM, PPC) -- the four
+architectures the paper's Hex-Rays setup supports.  The point of this
+substrate is to manufacture *semantically equivalent, syntactically
+divergent* binaries: the same source function compiles to visibly different
+assembly (two-operand vs three-operand forms, stack vs register argument
+passing, ARM predication collapsing branches), which is exactly the
+cross-platform variation Asteria must see through.
+"""
+
+from repro.compiler.ir import IRFunction, Lowerer
+from repro.compiler.isa import ISA, get_isa, SUPPORTED_ARCHES
+from repro.compiler.codegen import AsmFunction, Instruction, select_instructions
+from repro.compiler.optimizer import inline_small_functions, fold_constants
+from repro.compiler.cfg import ControlFlowGraph, build_cfg
+
+__all__ = [
+    "IRFunction",
+    "Lowerer",
+    "ISA",
+    "get_isa",
+    "SUPPORTED_ARCHES",
+    "AsmFunction",
+    "Instruction",
+    "select_instructions",
+    "inline_small_functions",
+    "fold_constants",
+    "ControlFlowGraph",
+    "build_cfg",
+    # lazily resolved (they pull in repro.binformat, which imports back
+    # into repro.compiler.codegen -- eager import would be circular):
+    "CompilationOptions",
+    "compile_package",
+    "compile_function",
+    "cross_compile",
+]
+
+_LAZY = {"CompilationOptions", "compile_package", "compile_function",
+         "cross_compile"}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from repro.compiler import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

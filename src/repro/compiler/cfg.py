@@ -1,0 +1,155 @@
+"""Control-flow graph construction over assembly functions.
+
+Used by the decompiler's structurer and by the Gemini baseline's ACFG
+extractor.  Blocks are maximal straight-line instruction runs; edges follow
+branches and fall-through.  The graph is a :class:`networkx.DiGraph` whose
+nodes are block ids, so dominator/post-dominator machinery from networkx is
+available downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.compiler.codegen import AsmFunction, Instruction, Lab
+from repro.compiler.isa import get_isa
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions."""
+
+    block_id: int
+    start: int  # index of first instruction
+    end: int  # index one past the last instruction
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        return self.instructions[-1] if self.instructions else None
+
+
+@dataclass
+class ControlFlowGraph:
+    """Basic blocks plus a networkx DiGraph of edges.
+
+    Edge attribute ``kind`` is one of ``"taken"`` (branch target),
+    ``"fallthrough"``, or ``"jump"`` (unconditional).
+    """
+
+    function: AsmFunction
+    blocks: Dict[int, BasicBlock]
+    graph: nx.DiGraph
+    entry: int
+
+    def successors(self, block_id: int) -> List[int]:
+        return sorted(self.graph.successors(block_id))
+
+    def predecessors(self, block_id: int) -> List[int]:
+        return sorted(self.graph.predecessors(block_id))
+
+    def block_at(self, instr_index: int) -> BasicBlock:
+        for block in self.blocks.values():
+            if block.start <= instr_index < block.end:
+                return block
+        raise KeyError(f"no block contains instruction {instr_index}")
+
+    def edge_kind(self, src: int, dst: int) -> str:
+        return self.graph.edges[src, dst]["kind"]
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    def exit_blocks(self) -> List[int]:
+        return [b for b in self.blocks if self.graph.out_degree(b) == 0]
+
+
+def _is_return(instr: Instruction, arch: str) -> bool:
+    if arch in ("x86", "x64"):
+        return instr.mnemonic == "ret"
+    if arch == "arm":
+        return instr.mnemonic == "bx"
+    return instr.mnemonic == "blr"
+
+
+def build_cfg(fn: AsmFunction) -> ControlFlowGraph:
+    """Construct the CFG of an assembly function."""
+    isa = get_isa(fn.arch)
+    n = len(fn.instructions)
+    label_targets = {index for index in fn.labels.values() if index < n}
+
+    # -- leaders -------------------------------------------------------------
+    leaders = {0} | label_targets
+    for i, instr in enumerate(fn.instructions):
+        if (
+            instr.mnemonic == isa.jump
+            or isa.is_conditional_branch(instr.mnemonic)
+            or _is_return(instr, fn.arch)
+        ):
+            if i + 1 < n:
+                leaders.add(i + 1)
+    ordered = sorted(leaders)
+
+    # -- blocks ---------------------------------------------------------------
+    blocks: Dict[int, BasicBlock] = {}
+    start_to_id: Dict[int, int] = {}
+    for block_id, start in enumerate(ordered):
+        end = ordered[block_id + 1] if block_id + 1 < len(ordered) else n
+        blocks[block_id] = BasicBlock(
+            block_id=block_id,
+            start=start,
+            end=end,
+            instructions=list(fn.instructions[start:end]),
+        )
+        start_to_id[start] = block_id
+
+    def target_block(label: str) -> int:
+        index = fn.labels[label]
+        if index >= n:
+            # Label at function end: synthesise an empty exit block.
+            return _ensure_exit_block()
+        return start_to_id[index]
+
+    exit_block_id: List[Optional[int]] = [None]
+
+    def _ensure_exit_block() -> int:
+        if exit_block_id[0] is None:
+            block_id = len(blocks)
+            blocks[block_id] = BasicBlock(block_id=block_id, start=n, end=n)
+            exit_block_id[0] = block_id
+        return exit_block_id[0]
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(blocks)
+    for block in list(blocks.values()):
+        if not block.instructions:
+            continue
+        last = block.instructions[-1]
+        last_index = block.end - 1
+        if _is_return(last, fn.arch):
+            continue
+        if last.mnemonic == isa.jump and isinstance(last.operands[0], Lab):
+            graph.add_edge(block.block_id, target_block(last.operands[0].name),
+                           kind="jump")
+            continue
+        if isa.is_conditional_branch(last.mnemonic):
+            graph.add_edge(block.block_id, target_block(last.operands[0].name),
+                           kind="taken")
+            if last_index + 1 < n:
+                graph.add_edge(block.block_id, start_to_id[last_index + 1],
+                               kind="fallthrough")
+            continue
+        # straight-line fallthrough
+        if block.end < n:
+            graph.add_edge(block.block_id, start_to_id[block.end],
+                           kind="fallthrough")
+    if exit_block_id[0] is not None:
+        graph.add_node(exit_block_id[0])
+    return ControlFlowGraph(function=fn, blocks=blocks, graph=graph, entry=0)

@@ -1,0 +1,810 @@
+"""Per-architecture instruction selection.
+
+Translates :class:`~repro.compiler.ir.IRFunction` into symbolic assembly for
+one of the four target ISAs.  The backends intentionally produce the code
+styles of real unoptimised compilers:
+
+* **x86/x64** -- every variable lives in a frame slot; ALU ops are
+  two-operand accumulator sequences (``mov eax, [ebp-8]; add eax, ecx;
+  mov [ebp-8], eax``); x86 passes arguments on the stack, x64 in registers.
+* **ARM** -- variables are homed in ``r4``-``r11``; three-operand ALU ops;
+  small if/else diamonds are *predicated* (``cmp; movle ...; movgt ...``),
+  which merges basic blocks exactly as in the paper's Figure 2.
+* **PPC** -- variables homed in ``r14``-``r30``; distinct mnemonic set
+  (``li``/``mr``/``lwz``/``stw``/``subf``); immediate forms ``addi``/``cmpwi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.compiler import ir as IR
+from repro.compiler.isa import ISA, get_isa
+from repro.compiler.regalloc import ScratchAllocator
+from repro.lang.nodes import NEGATED_COMPARISON, Ops
+
+# -- assembly-level operands ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Reg:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class AImm:
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A base+offset memory operand (frame slot)."""
+
+    base: str
+    offset: int
+
+    def __str__(self) -> str:
+        sign = "+" if self.offset >= 0 else "-"
+        return f"[{self.base}{sign}{abs(self.offset)}]"
+
+
+@dataclass(frozen=True)
+class Lab:
+    """A branch target (intra-function label)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Sym:
+    """A call target (function symbol)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SRef:
+    """A string-literal reference (pooled into the binary)."""
+
+    text: str
+
+    def __str__(self) -> str:
+        return f'"{self.text}"'
+
+
+AsmOperand = Union[Reg, AImm, Mem, Lab, Sym, SRef]
+
+_CC_NAMES = {
+    Ops.EQ: "eq",
+    Ops.NE: "ne",
+    Ops.GT: "gt",
+    Ops.LT: "lt",
+    Ops.GE: "ge",
+    Ops.LE: "le",
+}
+_CC_TO_OP = {v: k for k, v in _CC_NAMES.items()}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembly instruction.
+
+    ``cond`` is the ARM-style predication suffix ("" = always execute);
+    conditional *branches* carry their condition in the mnemonic instead.
+    """
+
+    mnemonic: str
+    operands: Tuple[AsmOperand, ...] = ()
+    cond: str = ""
+
+    def render(self) -> str:
+        ops = ", ".join(str(o) for o in self.operands)
+        name = f"{self.mnemonic}{self.cond}"
+        return f"{name} {ops}".rstrip()
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class FrameInfo:
+    """What a decompiler would infer about the stack frame."""
+
+    n_params: int
+    n_locals: int
+
+
+@dataclass
+class AsmFunction:
+    """Selected instructions for one function on one architecture."""
+
+    name: str
+    arch: str
+    frame: FrameInfo
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def callee_names(self) -> Tuple[str, ...]:
+        isa = get_isa(self.arch)
+        return tuple(
+            instr.operands[0].name
+            for instr in self.instructions
+            if instr.mnemonic == isa.call and isinstance(instr.operands[0], Sym)
+        )
+
+    def string_literals(self) -> Tuple[str, ...]:
+        out = []
+        for instr in self.instructions:
+            for operand in instr.operands:
+                if isinstance(operand, SRef):
+                    out.append(operand.text)
+        return tuple(out)
+
+    def render(self) -> str:
+        index_to_labels: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            index_to_labels.setdefault(index, []).append(label)
+        lines = [f"{self.name}: ; arch={self.arch}"]
+        for i, instr in enumerate(self.instructions):
+            for label in index_to_labels.get(i, ()):
+                lines.append(f"{label}:")
+            lines.append(f"    {instr.render()}")
+        for label in index_to_labels.get(len(self.instructions), ()):
+            lines.append(f"{label}:")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class CodegenError(Exception):
+    """Raised when the IR uses shapes a backend cannot express."""
+
+
+# -- shared machinery ----------------------------------------------------------
+
+
+class _Backend:
+    """Common driver: walks IR instructions and dispatches to hooks."""
+
+    def __init__(self, isa: ISA):
+        self.isa = isa
+        self.out: List[Instruction] = []
+        self.labels: Dict[str, int] = {}
+
+    def emit(self, mnemonic: str, *operands: AsmOperand, cond: str = "") -> None:
+        self.out.append(Instruction(mnemonic, tuple(operands), cond))
+
+    def place_label(self, name: str) -> None:
+        self.labels[name] = len(self.out)
+
+    def generate(self, ir: IR.IRFunction) -> AsmFunction:
+        raise NotImplementedError
+
+
+# -- x86 / x64 -----------------------------------------------------------------
+
+
+class X86Backend(_Backend):
+    """Two-operand, stack-slot backend shared by x86 and x64."""
+
+    def __init__(self, isa: ISA):
+        super().__init__(isa)
+        self.word = isa.word_size
+        self.acc = isa.scratch_registers[0]  # eax / rax
+        self.aux = isa.scratch_registers[1]  # ecx / rcx
+        self._ir: Optional[IR.IRFunction] = None
+        self._temp_slots: Dict[int, int] = {}
+
+    # frame layout ------------------------------------------------------------
+
+    def _param_loc(self, index: int) -> Mem:
+        if self.isa.name == "x86":
+            # caller-pushed: above the saved ebp + return address
+            return Mem(self.isa.frame_pointer, 2 * self.word + index * self.word)
+        # x64: spilled from argument registers into the local area
+        return Mem(self.isa.frame_pointer, -(index + 1) * self.word)
+
+    def _local_loc(self, index: int) -> Mem:
+        base = 0 if self.isa.name == "x86" else len(self._ir.params)
+        return Mem(self.isa.frame_pointer, -(base + index + 1) * self.word)
+
+    def _temp_loc(self, temp: IR.Temp) -> Mem:
+        base = len(self._ir.local_vars)
+        if self.isa.name != "x86":
+            base += len(self._ir.params)
+        slot = self._temp_slots.setdefault(temp.index, len(self._temp_slots))
+        return Mem(self.isa.frame_pointer, -(base + slot + 1) * self.word)
+
+    def _var_loc(self, name: str) -> Mem:
+        if name in self._ir.params:
+            return self._param_loc(self._ir.params.index(name))
+        if name in self._ir.local_vars:
+            return self._local_loc(self._ir.local_vars.index(name))
+        raise CodegenError(f"unknown variable {name!r}")
+
+    def _loc(self, operand: IR.Operand) -> AsmOperand:
+        if isinstance(operand, IR.Var):
+            return self._var_loc(operand.name)
+        if isinstance(operand, IR.Temp):
+            return self._temp_loc(operand)
+        if isinstance(operand, IR.Imm):
+            return AImm(operand.value)
+        if isinstance(operand, IR.StrLit):
+            return SRef(operand.text)
+        raise CodegenError(f"unsupported operand {operand!r}")
+
+    def _dst_loc(self, dst: IR.Dest) -> Mem:
+        loc = self._loc(dst)
+        assert isinstance(loc, Mem)
+        return loc
+
+    # generation -----------------------------------------------------------------
+
+    def generate(self, ir: IR.IRFunction) -> AsmFunction:
+        self._ir = ir
+        self._temp_slots = {}
+        fp, sp = self.isa.frame_pointer, self.isa.stack_pointer
+        self.emit("push", Reg(fp))
+        self.emit("mov", Reg(fp), Reg(sp))
+        # Reserve a generous frame; exact size is irrelevant to our container.
+        frame_words = len(ir.local_vars) + len(ir.params) + 8
+        self.emit("sub", Reg(sp), AImm(frame_words * self.word))
+        if self.isa.name == "x64":
+            for i, _param in enumerate(ir.params):
+                if i >= len(self.isa.arg_registers):
+                    raise CodegenError("x64 backend supports register args only")
+                self.emit("mov", self._param_loc(i), Reg(self.isa.arg_registers[i]))
+        for index, instr in enumerate(ir.instructions):
+            self._instr(instr, index)
+        return AsmFunction(
+            name=ir.name,
+            arch=self.isa.name,
+            frame=FrameInfo(len(ir.params), len(ir.local_vars)),
+            instructions=self.out,
+            labels=self.labels,
+        )
+
+    def _load_acc(self, operand: IR.Operand) -> None:
+        self.emit("mov", Reg(self.acc), self._loc(operand))
+
+    def _instr(self, instr: IR.IRInstr, index: int) -> None:
+        if isinstance(instr, IR.Label):
+            self.place_label(instr.name)
+        elif isinstance(instr, IR.Move):
+            loc = self._loc(instr.src)
+            if isinstance(loc, (AImm, SRef)):
+                self.emit("mov", self._dst_loc(instr.dst), loc)
+            else:
+                self._load_acc(instr.src)
+                self.emit("mov", self._dst_loc(instr.dst), Reg(self.acc))
+        elif isinstance(instr, IR.BinOp):
+            self._load_acc(instr.lhs)
+            rhs_loc = self._loc(instr.rhs)
+            mnemonic = self.isa.alu[instr.op]
+            if isinstance(rhs_loc, AImm):
+                self.emit(mnemonic, Reg(self.acc), rhs_loc)
+            else:
+                self.emit("mov", Reg(self.aux), rhs_loc)
+                self.emit(mnemonic, Reg(self.acc), Reg(self.aux))
+            self.emit("mov", self._dst_loc(instr.dst), Reg(self.acc))
+        elif isinstance(instr, IR.UnOp):
+            self._load_acc(instr.src)
+            self.emit(self.isa.alu[instr.op], Reg(self.acc))
+            self.emit("mov", self._dst_loc(instr.dst), Reg(self.acc))
+        elif isinstance(instr, IR.CondJump):
+            self._load_acc(instr.lhs)
+            rhs_loc = self._loc(instr.rhs)
+            op = instr.op
+            if isinstance(rhs_loc, AImm):
+                if self.isa.name == "x86":
+                    # Classic x86 idiom: normalise strict comparisons against
+                    # immediates (x < k  ==>  x <= k-1).  This is why the
+                    # paper's Figure 1 shows an `le` node for source `v < 1`.
+                    if op == Ops.LT:
+                        op, rhs_loc = Ops.LE, AImm(rhs_loc.value - 1)
+                    elif op == Ops.GE:
+                        op, rhs_loc = Ops.GT, AImm(rhs_loc.value - 1)
+                self.emit("cmp", Reg(self.acc), rhs_loc)
+            else:
+                self.emit("mov", Reg(self.aux), rhs_loc)
+                self.emit("cmp", Reg(self.acc), Reg(self.aux))
+            self.emit(self.isa.branches[op], Lab(instr.target))
+        elif isinstance(instr, IR.Jump):
+            self.emit("jmp", Lab(instr.target))
+        elif isinstance(instr, IR.Call):
+            self._call(instr)
+        elif isinstance(instr, IR.Ret):
+            if instr.value is not None:
+                loc = self._loc(instr.value)
+                if isinstance(loc, (AImm, SRef)):
+                    self.emit("mov", Reg(self.acc), loc)
+                else:
+                    self._load_acc(instr.value)
+            self.emit("leave")
+            self.emit("ret")
+        else:  # pragma: no cover - exhaustive over IR types
+            raise CodegenError(f"unhandled IR instruction {instr!r}")
+
+    def _call(self, instr: IR.Call) -> None:
+        if self.isa.name == "x86":
+            for arg in reversed(instr.args):
+                loc = self._loc(arg)
+                if isinstance(loc, Mem):
+                    self._load_acc(arg)
+                    self.emit("push", Reg(self.acc))
+                else:
+                    self.emit("push", loc)
+            self.emit("call", Sym(instr.func))
+            if instr.args:
+                self.emit(
+                    "add", Reg(self.isa.stack_pointer),
+                    AImm(len(instr.args) * self.word),
+                )
+        else:
+            if len(instr.args) > len(self.isa.arg_registers):
+                raise CodegenError("too many call arguments for x64 backend")
+            for i, arg in enumerate(instr.args):
+                self.emit("mov", Reg(self.isa.arg_registers[i]), self._loc(arg))
+            self.emit("call", Sym(instr.func))
+        if instr.dst is not None:
+            self.emit("mov", self._dst_loc(instr.dst), Reg(self.acc))
+
+
+# -- RISC common -----------------------------------------------------------------
+
+
+class _RiscBackend(_Backend):
+    """Shared logic for register-homed, three-operand backends."""
+
+    transient: Tuple[str, ...] = ()
+    temp_pool: Tuple[str, ...] = ()
+
+    def __init__(self, isa: ISA):
+        super().__init__(isa)
+        self._ir: Optional[IR.IRFunction] = None
+        self._var_homes: Dict[str, Union[Reg, Mem]] = {}
+        self._alloc: Optional[ScratchAllocator] = None
+
+    # layout --------------------------------------------------------------------
+
+    def _assign_var_homes(self, ir: IR.IRFunction) -> None:
+        self._var_homes = {}
+        overflow = 0
+        for i, name in enumerate(ir.variables()):
+            if i < len(self.isa.var_registers):
+                self._var_homes[name] = Reg(self.isa.var_registers[i])
+            else:
+                overflow += 1
+                self._var_homes[name] = Mem(
+                    self.isa.frame_pointer, -overflow * self.isa.word_size
+                )
+
+    def _home(self, name: str) -> Union[Reg, Mem]:
+        try:
+            return self._var_homes[name]
+        except KeyError:
+            raise CodegenError(f"unknown variable {name!r}") from None
+
+    # operand handling ----------------------------------------------------------
+
+    def _read_reg(self, operand: IR.Operand, transient_index: int = 0) -> Reg:
+        """Bring an operand into a register (transient load if needed)."""
+        if isinstance(operand, IR.Var):
+            home = self._home(operand.name)
+            if isinstance(home, Reg):
+                return home
+            reg = Reg(self.transient[transient_index])
+            self.emit(self.isa.load, reg, home)
+            return reg
+        if isinstance(operand, IR.Temp):
+            return Reg(self._alloc.location(operand))
+        if isinstance(operand, IR.Imm):
+            reg = Reg(self.transient[transient_index])
+            self._load_immediate(reg, operand.value)
+            return reg
+        if isinstance(operand, IR.StrLit):
+            reg = Reg(self.transient[transient_index])
+            self.emit(self.isa.load_imm, reg, SRef(operand.text))
+            return reg
+        raise CodegenError(f"unsupported operand {operand!r}")
+
+    def _load_immediate(self, reg: Reg, value: int) -> None:
+        self.emit(self.isa.load_imm, reg, AImm(value))
+
+    def _dest_reg(self, dst: IR.Dest) -> Tuple[Reg, Optional[Mem]]:
+        """Register to compute into, plus a store-back slot if var is spilled."""
+        if isinstance(dst, IR.Temp):
+            return Reg(self._alloc.define(dst)), None
+        home = self._home(dst.name)
+        if isinstance(home, Reg):
+            return home, None
+        return Reg(self.transient[0]), home
+
+    def _release(self, instr: IR.IRInstr, index: int) -> None:
+        from repro.compiler.regalloc import instruction_reads
+
+        for operand in instruction_reads(instr):
+            if isinstance(operand, IR.Temp):
+                self._alloc.release_after_use(operand, index)
+
+    # generation ------------------------------------------------------------------
+
+    def generate(self, ir: IR.IRFunction) -> AsmFunction:
+        self._ir = ir
+        self._assign_var_homes(ir)
+        self._alloc = ScratchAllocator(self.temp_pool, ir)
+        self._prologue(ir)
+        self._body(ir)
+        return AsmFunction(
+            name=ir.name,
+            arch=self.isa.name,
+            frame=FrameInfo(len(ir.params), len(ir.local_vars)),
+            instructions=self.out,
+            labels=self.labels,
+        )
+
+    def _body(self, ir: IR.IRFunction) -> None:
+        for index, instr in enumerate(ir.instructions):
+            self._instr(instr, index)
+            self._release(instr, index)
+
+    def _prologue(self, ir: IR.IRFunction) -> None:
+        raise NotImplementedError
+
+    def _epilogue(self) -> None:
+        raise NotImplementedError
+
+    def _instr(self, instr: IR.IRInstr, index: int) -> None:
+        if isinstance(instr, IR.Label):
+            self.place_label(instr.name)
+        elif isinstance(instr, IR.Move):
+            self._move(instr)
+        elif isinstance(instr, IR.BinOp):
+            self._binop(instr)
+        elif isinstance(instr, IR.UnOp):
+            self._unop(instr)
+        elif isinstance(instr, IR.CondJump):
+            self._compare(instr.lhs, instr.rhs)
+            self.emit(self.isa.branches[instr.op], Lab(instr.target))
+        elif isinstance(instr, IR.Jump):
+            self.emit(self.isa.jump, Lab(instr.target))
+        elif isinstance(instr, IR.Call):
+            self._call(instr)
+        elif isinstance(instr, IR.Ret):
+            self._ret(instr)
+        else:  # pragma: no cover
+            raise CodegenError(f"unhandled IR instruction {instr!r}")
+
+    def _store_back(self, reg: Reg, slot: Optional[Mem]) -> None:
+        if slot is not None:
+            self.emit(self.isa.store, reg, slot)
+
+    def _move(self, instr: IR.Move) -> None:
+        dst, slot = self._dest_reg(instr.dst)
+        if isinstance(instr.src, IR.Imm):
+            self._load_immediate(dst, instr.src.value)
+        elif isinstance(instr.src, IR.StrLit):
+            self.emit(self.isa.load_imm, dst, SRef(instr.src.text))
+        else:
+            src = self._read_reg(instr.src, 1)
+            if src != dst:
+                self.emit(self.isa.move, dst, src)
+        self._store_back(dst, slot)
+
+    def _binop(self, instr: IR.BinOp) -> None:
+        raise NotImplementedError
+
+    def _unop(self, instr: IR.UnOp) -> None:
+        raise NotImplementedError
+
+    def _compare(self, lhs: IR.Operand, rhs: IR.Operand) -> None:
+        raise NotImplementedError
+
+    def _call(self, instr: IR.Call) -> None:
+        # Load arguments into the argument registers, then branch-and-link.
+        if len(instr.args) > len(self.isa.arg_registers):
+            raise CodegenError(
+                f"too many call arguments for {self.isa.name} backend"
+            )
+        for i, arg in enumerate(instr.args):
+            target = Reg(self.isa.arg_registers[i])
+            if isinstance(arg, IR.Imm):
+                self._load_immediate(target, arg.value)
+            elif isinstance(arg, IR.StrLit):
+                self.emit(self.isa.load_imm, target, SRef(arg.text))
+            else:
+                source = self._read_reg(arg, 1)
+                if source != target:
+                    self.emit(self.isa.move, target, source)
+        self._alloc.assert_no_live_temps(f"call to {instr.func}")
+        self.emit(self.isa.call, Sym(instr.func))
+        if instr.dst is not None:
+            dst, slot = self._dest_reg(instr.dst)
+            result = Reg(self.isa.return_register)
+            if dst != result:
+                self.emit(self.isa.move, dst, result)
+            self._store_back(dst, slot)
+
+    def _ret(self, instr: IR.Ret) -> None:
+        result = Reg(self.isa.return_register)
+        if instr.value is not None:
+            if isinstance(instr.value, IR.Imm):
+                self._load_immediate(result, instr.value.value)
+            else:
+                source = self._read_reg(instr.value, 0)
+                if source != result:
+                    self.emit(self.isa.move, result, source)
+        self._epilogue()
+
+
+# -- ARM -------------------------------------------------------------------------
+
+
+class ARMBackend(_RiscBackend):
+    transient = ("r0", "r1")
+    temp_pool = ("r2", "r3", "r12")
+
+    def _prologue(self, ir: IR.IRFunction) -> None:
+        self.emit("push", Reg("fp"), Reg("lr"))
+        self.emit("mov", Reg("fp"), Reg("sp"))
+        if len(ir.params) > len(self.isa.arg_registers):
+            raise CodegenError("ARM backend supports at most 4 parameters")
+        for i, name in enumerate(ir.params):
+            home = self._home(name)
+            incoming = Reg(self.isa.arg_registers[i])
+            if isinstance(home, Reg):
+                self.emit("mov", home, incoming)
+            else:
+                self.emit("str", incoming, home)
+
+    def _epilogue(self) -> None:
+        self.emit("pop", Reg("fp"), Reg("lr"))
+        self.emit("bx", Reg("lr"))
+
+    def _binop(self, instr: IR.BinOp) -> None:
+        dst, slot = self._dest_reg(instr.dst)
+        lhs = self._read_reg(instr.lhs, 1)
+        mnemonic = self.isa.alu[instr.op]
+        imm_ok = instr.op not in (Ops.MUL, Ops.DIV)
+        if isinstance(instr.rhs, IR.Imm) and imm_ok:
+            self.emit(mnemonic, dst, lhs, AImm(instr.rhs.value))
+        else:
+            rhs = self._read_reg(instr.rhs, 0)
+            self.emit(mnemonic, dst, lhs, rhs)
+        self._store_back(dst, slot)
+
+    def _unop(self, instr: IR.UnOp) -> None:
+        dst, slot = self._dest_reg(instr.dst)
+        src = self._read_reg(instr.src, 1)
+        if instr.op == Ops.NEG:
+            self.emit("rsb", dst, src, AImm(0))
+        else:
+            self.emit("mvn", dst, src)
+        self._store_back(dst, slot)
+
+    def _compare(self, lhs: IR.Operand, rhs: IR.Operand) -> None:
+        lhs_reg = self._read_reg(lhs, 1)
+        if isinstance(rhs, IR.Imm):
+            self.emit("cmp", lhs_reg, AImm(rhs.value))
+        else:
+            self.emit("cmp", lhs_reg, self._read_reg(rhs, 0))
+
+    # -- predication ------------------------------------------------------------
+
+    def _body(self, ir: IR.IRFunction) -> None:
+        instructions = ir.instructions
+        index = 0
+        while index < len(instructions):
+            consumed = self._try_predicate(instructions, index)
+            if consumed:
+                for skipped in range(index, index + consumed):
+                    self._release(instructions[skipped], skipped)
+                index += consumed
+                continue
+            self._instr(instructions[index], index)
+            self._release(instructions[index], index)
+            index += 1
+
+    def _try_predicate(self, instructions, index: int) -> int:
+        """Recognise a small if/else diamond and emit predicated code.
+
+        Returns the number of IR instructions consumed (0 = no match).
+        The lowering emits ``CondJump(N, a, b, L_else)`` where ``N`` is the
+        *negated* source condition, so then-arm instructions are predicated
+        on ``not N`` and else-arm instructions on ``N``.  The else arm is
+        emitted first, matching the MOVLE-before-STRGT layout in the paper's
+        Figure 2 -- so a decompiler sees the inverted comparison first.
+        """
+        match = _match_diamond(instructions, index)
+        if match is None:
+            return 0
+        cond_jump, then_arm, else_arm, consumed = match
+        for arm in (then_arm, else_arm):
+            for instr in arm:
+                if not self._predicable(instr):
+                    return 0
+        self._compare(cond_jump.lhs, cond_jump.rhs)
+        neg_cc = _CC_NAMES[cond_jump.op]
+        pos_cc = _CC_NAMES[NEGATED_COMPARISON[cond_jump.op]]
+        for instr in else_arm:
+            self._emit_predicated(instr, neg_cc)
+        for instr in then_arm:
+            self._emit_predicated(instr, pos_cc)
+        return consumed
+
+    def _predicable(self, instr: IR.IRInstr) -> bool:
+        if isinstance(instr, IR.Move):
+            return (
+                isinstance(instr.dst, IR.Var)
+                and isinstance(self._home(instr.dst.name), Reg)
+                and self._operand_predicable(instr.src)
+            )
+        if isinstance(instr, IR.BinOp):
+            return (
+                instr.op in (Ops.ADD, Ops.SUB, Ops.AND, Ops.OR, Ops.XOR)
+                and isinstance(instr.dst, IR.Var)
+                and isinstance(self._home(instr.dst.name), Reg)
+                and self._operand_predicable(instr.lhs, allow_imm=False)
+                and self._operand_predicable(instr.rhs)
+            )
+        return False
+
+    def _operand_predicable(self, operand: IR.Operand, allow_imm: bool = True) -> bool:
+        if isinstance(operand, IR.Imm):
+            return allow_imm
+        if isinstance(operand, IR.Var):
+            return isinstance(self._home(operand.name), Reg)
+        return False
+
+    def _emit_predicated(self, instr: IR.IRInstr, cc: str) -> None:
+        if isinstance(instr, IR.Move):
+            dst = self._home(instr.dst.name)
+            if isinstance(instr.src, IR.Imm):
+                self.emit("mov", dst, AImm(instr.src.value), cond=cc)
+            else:
+                self.emit("mov", dst, self._home(instr.src.name), cond=cc)
+            return
+        assert isinstance(instr, IR.BinOp)
+        dst = self._home(instr.dst.name)
+        lhs = self._home(instr.lhs.name)
+        rhs = (
+            AImm(instr.rhs.value)
+            if isinstance(instr.rhs, IR.Imm)
+            else self._home(instr.rhs.name)
+        )
+        self.emit(self.isa.alu[instr.op], dst, lhs, rhs, cond=cc)
+
+
+def _match_diamond(instructions, index: int):
+    """Match the IR shape of an if/else (or bare if) with tiny straight arms.
+
+    Returns ``(cond_jump, then_arm, else_arm, consumed)`` or ``None``.
+    """
+    if index >= len(instructions):
+        return None
+    cond_jump = instructions[index]
+    if not isinstance(cond_jump, IR.CondJump):
+        return None
+
+    def collect(start: int, max_len: int = 2):
+        arm = []
+        position = start
+        while position < len(instructions) and len(arm) <= max_len:
+            instr = instructions[position]
+            if isinstance(instr, (IR.Move, IR.BinOp)):
+                arm.append(instr)
+                position += 1
+                continue
+            return arm, position
+        return arm, position
+
+    then_arm, position = collect(index + 1)
+    if not then_arm or len(then_arm) > 2:
+        return None
+    instr = instructions[position] if position < len(instructions) else None
+    if isinstance(instr, IR.Jump):
+        # if/else: Jump(end); Label(else); arm; Label(end)
+        end_label = instr.target
+        position += 1
+        if (
+            position >= len(instructions)
+            or not isinstance(instructions[position], IR.Label)
+            or instructions[position].name != cond_jump.target
+        ):
+            return None
+        position += 1
+        else_arm, position = collect(position)
+        if not else_arm or len(else_arm) > 2:
+            return None
+        if (
+            position >= len(instructions)
+            or not isinstance(instructions[position], IR.Label)
+            or instructions[position].name != end_label
+        ):
+            return None
+        return cond_jump, then_arm, else_arm, position + 1 - index
+    if isinstance(instr, IR.Label) and instr.name == cond_jump.target:
+        # bare if: arm; Label(end)
+        return cond_jump, then_arm, [], position + 1 - index
+    return None
+
+
+# -- PPC --------------------------------------------------------------------------
+
+
+class PPCBackend(_RiscBackend):
+    transient = ("r11", "r12")
+    temp_pool = ("r5", "r6", "r7", "r8", "r9", "r10")
+
+    def _prologue(self, ir: IR.IRFunction) -> None:
+        if len(ir.params) > len(self.isa.arg_registers):
+            raise CodegenError("PPC backend supports at most 8 parameters")
+        for i, name in enumerate(ir.params):
+            home = self._home(name)
+            incoming = Reg(self.isa.arg_registers[i])
+            if isinstance(home, Reg):
+                self.emit("mr", home, incoming)
+            else:
+                self.emit("stw", incoming, home)
+
+    def _epilogue(self) -> None:
+        self.emit("blr")
+
+    def _binop(self, instr: IR.BinOp) -> None:
+        dst, slot = self._dest_reg(instr.dst)
+        lhs = self._read_reg(instr.lhs, 1)
+        if instr.op == Ops.ADD and isinstance(instr.rhs, IR.Imm):
+            self.emit("addi", dst, lhs, AImm(instr.rhs.value))
+        elif instr.op == Ops.SUB:
+            rhs = self._read_reg(instr.rhs, 0)
+            # subf rd, ra, rb computes rb - ra
+            self.emit("subf", dst, rhs, lhs)
+        else:
+            rhs = self._read_reg(instr.rhs, 0)
+            self.emit(self.isa.alu[instr.op], dst, lhs, rhs)
+        self._store_back(dst, slot)
+
+    def _unop(self, instr: IR.UnOp) -> None:
+        dst, slot = self._dest_reg(instr.dst)
+        src = self._read_reg(instr.src, 1)
+        if instr.op == Ops.NEG:
+            self.emit("neg", dst, src)
+        else:
+            self.emit("nor", dst, src, src)
+        self._store_back(dst, slot)
+
+    def _compare(self, lhs: IR.Operand, rhs: IR.Operand) -> None:
+        lhs_reg = self._read_reg(lhs, 1)
+        if isinstance(rhs, IR.Imm):
+            self.emit("cmpwi", lhs_reg, AImm(rhs.value))
+        else:
+            self.emit("cmpw", lhs_reg, self._read_reg(rhs, 0))
+
+
+_BACKENDS = {
+    "x86": X86Backend,
+    "x64": X86Backend,
+    "arm": ARMBackend,
+    "ppc": PPCBackend,
+}
+
+
+def select_instructions(ir: IR.IRFunction, arch: str) -> AsmFunction:
+    """Run instruction selection for ``ir`` on the named architecture."""
+    isa = get_isa(arch)
+    backend_cls = _BACKENDS[isa.name]
+    return backend_cls(isa).generate(ir)

@@ -1,0 +1,461 @@
+"""Three-address intermediate representation and AST lowering.
+
+The IR is a flat instruction list with symbolic labels.  It is deliberately
+small: moves, binary/unary ALU ops, compare-and-branch, calls, and returns.
+Both the compiler front-end (this module) and the decompiler's lifter
+(:mod:`repro.decompiler.lifter`) speak this IR, which mirrors how real
+decompilers lift machine code to a machine-independent representation before
+AST reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.lang.nodes import (
+    FunctionDef,
+    NEGATED_COMPARISON,
+    Node,
+    Ops,
+)
+
+# -- operands -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Temp:
+    """A compiler temporary."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"%t{self.index}"
+
+
+@dataclass(frozen=True)
+class Var:
+    """A named source-level variable (parameter or local)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An integer immediate."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class StrLit:
+    """A string literal (pooled into the binary's string section)."""
+
+    text: str
+
+    def __str__(self) -> str:
+        return f'"{self.text}"'
+
+
+Operand = Union[Temp, Var, Imm, StrLit]
+Dest = Union[Temp, Var]
+
+BINARY_IR_OPS = (
+    Ops.ADD,
+    Ops.SUB,
+    Ops.MUL,
+    Ops.DIV,
+    Ops.AND,
+    Ops.OR,
+    Ops.XOR,
+)
+UNARY_IR_OPS = (Ops.NEG, Ops.NOT, Ops.LNOT)
+COMPARE_IR_OPS = (Ops.EQ, Ops.NE, Ops.GT, Ops.LT, Ops.GE, Ops.LE)
+
+
+# -- instructions --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Label:
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}:"
+
+
+@dataclass(frozen=True)
+class Move:
+    dst: Dest
+    src: Operand
+
+    def __str__(self) -> str:
+        return f"  {self.dst} = {self.src}"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    dst: Dest
+    op: str
+    lhs: Operand
+    rhs: Operand
+
+    def __str__(self) -> str:
+        return f"  {self.dst} = {self.lhs} {self.op} {self.rhs}"
+
+
+@dataclass(frozen=True)
+class UnOp:
+    dst: Dest
+    op: str
+    src: Operand
+
+    def __str__(self) -> str:
+        return f"  {self.dst} = {self.op} {self.src}"
+
+
+@dataclass(frozen=True)
+class CondJump:
+    """Jump to ``target`` when ``lhs <op> rhs`` holds; else fall through."""
+
+    op: str
+    lhs: Operand
+    rhs: Operand
+    target: str
+
+    def __str__(self) -> str:
+        return f"  if {self.lhs} {self.op} {self.rhs} goto {self.target}"
+
+
+@dataclass(frozen=True)
+class Jump:
+    target: str
+
+    def __str__(self) -> str:
+        return f"  goto {self.target}"
+
+
+@dataclass(frozen=True)
+class Call:
+    dst: Optional[Dest]
+    func: str
+    args: Tuple[Operand, ...]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        prefix = f"  {self.dst} = " if self.dst is not None else "  "
+        return f"{prefix}call {self.func}({args})"
+
+
+@dataclass(frozen=True)
+class Ret:
+    value: Optional[Operand] = None
+
+    def __str__(self) -> str:
+        return f"  ret {self.value}" if self.value is not None else "  ret"
+
+
+IRInstr = Union[Label, Move, BinOp, UnOp, CondJump, Jump, Call, Ret]
+
+
+@dataclass
+class IRFunction:
+    """A lowered function: flat instruction list plus metadata."""
+
+    name: str
+    params: Tuple[str, ...]
+    local_vars: Tuple[str, ...]
+    instructions: List[IRInstr] = field(default_factory=list)
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(self.params) + tuple(self.local_vars)
+
+    def labels(self) -> Dict[str, int]:
+        """Map label name -> index in the instruction list."""
+        return {
+            instr.name: i
+            for i, instr in enumerate(self.instructions)
+            if isinstance(instr, Label)
+        }
+
+    def callee_names(self) -> Tuple[str, ...]:
+        return tuple(
+            instr.func for instr in self.instructions if isinstance(instr, Call)
+        )
+
+    def __str__(self) -> str:
+        header = f"func {self.name}({', '.join(self.params)})"
+        return "\n".join([header] + [str(i) for i in self.instructions])
+
+
+class LoweringError(Exception):
+    """Raised when an AST uses constructs the lowering does not support."""
+
+
+@dataclass
+class _LoopContext:
+    break_label: str
+    continue_label: str
+
+
+class Lowerer:
+    """Lower a :class:`~repro.lang.nodes.FunctionDef` to :class:`IRFunction`."""
+
+    def __init__(self):
+        self._temp_counter = 0
+        self._label_counter = 0
+        self._code: List[IRInstr] = []
+        self._loops: List[_LoopContext] = []
+
+    # -- public ------------------------------------------------------------
+
+    def lower(self, fn: FunctionDef) -> IRFunction:
+        self._temp_counter = 0
+        self._label_counter = 0
+        self._code = []
+        self._loops = []
+        self._stmt(fn.body)
+        if not self._code or not isinstance(self._code[-1], Ret):
+            self._code.append(Ret(Imm(0)))
+        return IRFunction(
+            name=fn.name,
+            params=fn.params,
+            local_vars=fn.local_vars,
+            instructions=self._code,
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _fresh_temp(self) -> Temp:
+        temp = Temp(self._temp_counter)
+        self._temp_counter += 1
+        return temp
+
+    def _fresh_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f".L{hint}{self._label_counter}"
+
+    def _emit(self, instr: IRInstr) -> None:
+        self._code.append(instr)
+
+    # -- statements ------------------------------------------------------------
+
+    def _stmt(self, node: Node) -> None:
+        handler = {
+            Ops.BLOCK: self._stmt_block,
+            Ops.IF: self._stmt_if,
+            Ops.WHILE: self._stmt_while,
+            Ops.FOR: self._stmt_for,
+            Ops.RETURN: self._stmt_return,
+            Ops.BREAK: self._stmt_break,
+            Ops.CONTINUE: self._stmt_continue,
+            Ops.SWITCH: self._stmt_switch,
+        }.get(node.op)
+        if handler is not None:
+            handler(node)
+            return
+        if node.op == Ops.ASG or node.op in _COMPOUND_ASG:
+            self._stmt_assign(node)
+            return
+        if node.op == Ops.CALL:
+            args = tuple(self._expr(a) for a in node.children)
+            self._emit(Call(None, node.value, args))
+            return
+        raise LoweringError(f"unsupported statement op: {node.op!r}")
+
+    def _stmt_block(self, node: Node) -> None:
+        for child in node.children:
+            self._stmt(child)
+
+    def _stmt_assign(self, node: Node) -> None:
+        lhs, rhs = node.children
+        if lhs.op != Ops.VAR:
+            raise LoweringError("only variable assignment targets are supported")
+        dest = Var(lhs.value)
+        if node.op == Ops.ASG:
+            if rhs.op == Ops.CALL:
+                args = tuple(self._expr(a) for a in rhs.children)
+                self._emit(Call(dest, rhs.value, args))
+                return
+            if rhs.op in BINARY_IR_OPS and len(rhs.children) == 2:
+                left = self._expr(rhs.children[0])
+                right = self._expr(rhs.children[1])
+                self._emit(BinOp(dest, rhs.op, left, right))
+                return
+            if rhs.op in UNARY_IR_OPS:
+                src = self._expr(rhs.children[0])
+                self._emit(UnOp(dest, rhs.op, src))
+                return
+            self._emit(Move(dest, self._expr(rhs)))
+            return
+        # compound assignment: x op= e  =>  x = x op e
+        op = _COMPOUND_ASG[node.op]
+        value = self._expr(rhs)
+        self._emit(BinOp(dest, op, Var(lhs.value), value))
+
+    def _stmt_if(self, node: Node) -> None:
+        cond = node.children[0]
+        has_else = len(node.children) == 3
+        false_label = self._fresh_label("else" if has_else else "endif")
+        self._branch_if_false(cond, false_label)
+        self._stmt(node.children[1])
+        if has_else:
+            end_label = self._fresh_label("endif")
+            self._emit(Jump(end_label))
+            self._emit(Label(false_label))
+            self._stmt(node.children[2])
+            self._emit(Label(end_label))
+        else:
+            self._emit(Label(false_label))
+
+    def _stmt_while(self, node: Node) -> None:
+        cond, body = node.children
+        head = self._fresh_label("while")
+        end = self._fresh_label("endwhile")
+        self._emit(Label(head))
+        self._branch_if_false(cond, end)
+        self._loops.append(_LoopContext(break_label=end, continue_label=head))
+        self._stmt(body)
+        self._loops.pop()
+        self._emit(Jump(head))
+        self._emit(Label(end))
+
+    def _stmt_for(self, node: Node) -> None:
+        init, cond, step, body = node.children
+        self._stmt(init)
+        head = self._fresh_label("for")
+        step_label = self._fresh_label("forstep")
+        end = self._fresh_label("endfor")
+        self._emit(Label(head))
+        self._branch_if_false(cond, end)
+        self._loops.append(_LoopContext(break_label=end, continue_label=step_label))
+        self._stmt(body)
+        self._loops.pop()
+        self._emit(Label(step_label))
+        self._stmt(step)
+        self._emit(Jump(head))
+        self._emit(Label(end))
+
+    def _stmt_switch(self, node: Node) -> None:
+        # switch(value) { case k: block; ... }  -- children: value, then
+        # alternating (num, block) pairs.  Lowered to a compare chain.
+        value = self._expr(node.children[0])
+        end = self._fresh_label("endswitch")
+        cases = node.children[1:]
+        if len(cases) % 2 != 0:
+            raise LoweringError("switch requires (num, block) child pairs")
+        for i in range(0, len(cases), 2):
+            case_value, case_body = cases[i], cases[i + 1]
+            skip = self._fresh_label("case")
+            self._emit(
+                CondJump(Ops.NE, value, self._expr(case_value), skip)
+            )
+            self._loops.append(_LoopContext(break_label=end, continue_label=end))
+            self._stmt(case_body)
+            self._loops.pop()
+            self._emit(Jump(end))
+            self._emit(Label(skip))
+        self._emit(Label(end))
+
+    def _stmt_return(self, node: Node) -> None:
+        if node.children:
+            self._emit(Ret(self._expr(node.children[0])))
+        else:
+            self._emit(Ret(None))
+
+    def _stmt_break(self, node: Node) -> None:
+        if not self._loops:
+            raise LoweringError("break outside loop")
+        self._emit(Jump(self._loops[-1].break_label))
+
+    def _stmt_continue(self, node: Node) -> None:
+        if not self._loops:
+            raise LoweringError("continue outside loop")
+        self._emit(Jump(self._loops[-1].continue_label))
+
+    # -- conditions --------------------------------------------------------------
+
+    def _branch_if_false(self, cond: Node, target: str) -> None:
+        """Emit a branch to ``target`` taken when ``cond`` is false."""
+        if cond.op in COMPARE_IR_OPS:
+            lhs = self._expr(cond.children[0])
+            rhs = self._expr(cond.children[1])
+            self._emit(CondJump(NEGATED_COMPARISON[cond.op], lhs, rhs, target))
+            return
+        if cond.op == Ops.LNOT:
+            self._branch_if_true(cond.children[0], target)
+            return
+        value = self._expr(cond)
+        self._emit(CondJump(Ops.EQ, value, Imm(0), target))
+
+    def _branch_if_true(self, cond: Node, target: str) -> None:
+        if cond.op in COMPARE_IR_OPS:
+            lhs = self._expr(cond.children[0])
+            rhs = self._expr(cond.children[1])
+            self._emit(CondJump(cond.op, lhs, rhs, target))
+            return
+        value = self._expr(cond)
+        self._emit(CondJump(Ops.NE, value, Imm(0), target))
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _expr(self, node: Node) -> Operand:
+        if node.op == Ops.VAR:
+            return Var(node.value)
+        if node.op == Ops.NUM:
+            return Imm(int(node.value))
+        if node.op == Ops.STR:
+            return StrLit(node.value)
+        if node.op == Ops.CALL:
+            args = tuple(self._expr(a) for a in node.children)
+            temp = self._fresh_temp()
+            self._emit(Call(temp, node.value, args))
+            return temp
+        if node.op in BINARY_IR_OPS and len(node.children) == 2:
+            lhs = self._expr(node.children[0])
+            rhs = self._expr(node.children[1])
+            temp = self._fresh_temp()
+            self._emit(BinOp(temp, node.op, lhs, rhs))
+            return temp
+        if node.op in UNARY_IR_OPS:
+            src = self._expr(node.children[0])
+            temp = self._fresh_temp()
+            self._emit(UnOp(temp, node.op, src))
+            return temp
+        if node.op in COMPARE_IR_OPS:
+            # Materialise a boolean: t = (a op b) ? 1 : 0
+            lhs = self._expr(node.children[0])
+            rhs = self._expr(node.children[1])
+            temp = self._fresh_temp()
+            true_label = self._fresh_label("cmpt")
+            end_label = self._fresh_label("cmpe")
+            self._emit(CondJump(node.op, lhs, rhs, true_label))
+            self._emit(Move(temp, Imm(0)))
+            self._emit(Jump(end_label))
+            self._emit(Label(true_label))
+            self._emit(Move(temp, Imm(1)))
+            self._emit(Label(end_label))
+            return temp
+        raise LoweringError(f"unsupported expression op: {node.op!r}")
+
+
+_COMPOUND_ASG = {
+    Ops.ASG_OR: Ops.OR,
+    Ops.ASG_XOR: Ops.XOR,
+    Ops.ASG_AND: Ops.AND,
+    Ops.ASG_ADD: Ops.ADD,
+    Ops.ASG_SUB: Ops.SUB,
+    Ops.ASG_MUL: Ops.MUL,
+    Ops.ASG_DIV: Ops.DIV,
+}
+
+
+def lower_function(fn: FunctionDef) -> IRFunction:
+    """Convenience wrapper: lower one function definition."""
+    return Lowerer().lower(fn)

@@ -1,0 +1,245 @@
+"""Instruction-set architecture definitions.
+
+Four symbolic ISAs model the four architectures the paper's toolchain
+(Hex-Rays) supports: x86, x64, ARM and PPC.  Each ISA declares its register
+file, calling convention, mnemonic vocabulary (with an opcode table used by
+the binary encoder/decoder), and the architectural quirks that make the
+emitted assembly *look* different across targets:
+
+* x86 -- two-operand ALU ops, all variables in stack slots, arguments pushed
+  on the stack;
+* x64 -- two-operand ALU ops, register arguments, 8-byte slots;
+* ARM -- three-operand ALU ops, variables homed in ``r4``-``r11``,
+  *predicated execution* that collapses small if/else diamonds into one
+  basic block (the effect shown in the paper's Figure 2);
+* PPC -- three-operand ALU ops, variables homed in ``r14``-``r30``,
+  distinct mnemonics (``li``/``mr``/``lwz``/``stw``/``subf``...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.lang.nodes import Ops
+
+SUPPORTED_ARCHES = ("x86", "x64", "arm", "ppc")
+
+# Comparison kind -> per-family conditional branch mnemonic suffix.
+_CC_SUFFIX = {
+    Ops.EQ: "eq",
+    Ops.NE: "ne",
+    Ops.GT: "gt",
+    Ops.LT: "lt",
+    Ops.GE: "ge",
+    Ops.LE: "le",
+}
+
+# x86-family jcc mnemonics.
+_X86_JCC = {
+    Ops.EQ: "je",
+    Ops.NE: "jne",
+    Ops.GT: "jg",
+    Ops.LT: "jl",
+    Ops.GE: "jge",
+    Ops.LE: "jle",
+}
+
+
+@dataclass(frozen=True)
+class ISA:
+    """Static description of one target architecture."""
+
+    name: str
+    word_size: int  # bytes
+    frame_pointer: str
+    stack_pointer: str
+    return_register: str
+    link_register: str  # "" when return addresses live on the stack
+    arg_registers: Tuple[str, ...]  # empty => stack-passed arguments
+    var_registers: Tuple[str, ...]  # variable homes ("" tuple => stack slots)
+    scratch_registers: Tuple[str, ...]
+    three_operand: bool
+    supports_predication: bool
+    mnemonics: Tuple[str, ...]
+    # ALU op (IR kind) -> mnemonic
+    alu: Dict[str, str] = field(default_factory=dict)
+    # comparison kind -> conditional-branch mnemonic
+    branches: Dict[str, str] = field(default_factory=dict)
+    jump: str = "jmp"
+    call: str = "call"
+    compare: str = "cmp"
+    load: str = "mov"
+    store: str = "mov"
+    move: str = "mov"
+    load_imm: str = "mov"
+    ret_mnemonic: str = "ret"
+
+    def opcode_table(self) -> Dict[str, int]:
+        """Stable mnemonic -> opcode byte mapping for this ISA."""
+        return {mnemonic: i + 1 for i, mnemonic in enumerate(self.mnemonics)}
+
+    def mnemonic_table(self) -> Dict[int, str]:
+        return {i + 1: mnemonic for i, mnemonic in enumerate(self.mnemonics)}
+
+    def branch_condition(self, mnemonic: str) -> str:
+        """Inverse lookup: conditional-branch mnemonic -> comparison kind."""
+        for kind, name in self.branches.items():
+            if name == mnemonic:
+                return kind
+        raise KeyError(f"{mnemonic!r} is not a conditional branch on {self.name}")
+
+    def is_conditional_branch(self, mnemonic: str) -> bool:
+        return mnemonic in self.branches.values()
+
+
+def _x86_like(name: str, word_size: int, prefix: str) -> ISA:
+    if name == "x86":
+        regs = ("eax", "ecx", "edx", "ebx", "esi", "edi")
+        fp, sp = "ebp", "esp"
+        arg_regs: Tuple[str, ...] = ()
+    else:
+        regs = ("rax", "rcx", "rdx", "rbx", "rsi", "rdi", "r8", "r9", "r10", "r11")
+        fp, sp = "rbp", "rsp"
+        arg_regs = ("rdi", "rsi", "rdx", "rcx", "r8", "r9")
+    mnemonics = (
+        "mov", "add", "sub", "imul", "idiv", "and", "or", "xor", "neg", "not",
+        "cmp", "test", "push", "pop", "call", "leave", "ret", "jmp",
+        "je", "jne", "jg", "jl", "jge", "jle", "nop",
+    )
+    return ISA(
+        name=name,
+        word_size=word_size,
+        frame_pointer=fp,
+        stack_pointer=sp,
+        return_register=regs[0],
+        link_register="",
+        arg_registers=arg_regs,
+        var_registers=(),
+        scratch_registers=regs,
+        three_operand=False,
+        supports_predication=False,
+        mnemonics=mnemonics,
+        alu={
+            Ops.ADD: "add",
+            Ops.SUB: "sub",
+            Ops.MUL: "imul",
+            Ops.DIV: "idiv",
+            Ops.AND: "and",
+            Ops.OR: "or",
+            Ops.XOR: "xor",
+            Ops.NEG: "neg",
+            Ops.NOT: "not",
+            Ops.LNOT: "not",
+        },
+        branches=_X86_JCC,
+        jump="jmp",
+        call="call",
+        compare="cmp",
+        ret_mnemonic="ret",
+    )
+
+
+def _arm() -> ISA:
+    mnemonics = (
+        "mov", "mvn", "ldr", "str", "add", "sub", "rsb", "mul", "sdiv",
+        "and", "orr", "eor", "cmp", "b", "bl", "bx",
+        "beq", "bne", "bgt", "blt", "bge", "ble", "push", "pop", "nop",
+    )
+    return ISA(
+        name="arm",
+        word_size=4,
+        frame_pointer="fp",
+        stack_pointer="sp",
+        return_register="r0",
+        link_register="lr",
+        arg_registers=("r0", "r1", "r2", "r3"),
+        var_registers=("r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11"),
+        scratch_registers=("r0", "r1", "r2", "r3", "r12"),
+        three_operand=True,
+        supports_predication=True,
+        mnemonics=mnemonics,
+        alu={
+            Ops.ADD: "add",
+            Ops.SUB: "sub",
+            Ops.MUL: "mul",
+            Ops.DIV: "sdiv",
+            Ops.AND: "and",
+            Ops.OR: "orr",
+            Ops.XOR: "eor",
+            Ops.NEG: "rsb",
+            Ops.NOT: "mvn",
+            Ops.LNOT: "mvn",
+        },
+        branches={k: f"b{v}" for k, v in _CC_SUFFIX.items()},
+        jump="b",
+        call="bl",
+        compare="cmp",
+        load="ldr",
+        store="str",
+        move="mov",
+        load_imm="mov",
+        ret_mnemonic="bx",
+    )
+
+
+def _ppc() -> ISA:
+    mnemonics = (
+        "li", "mr", "lwz", "stw", "add", "subf", "mullw", "divw",
+        "and", "or", "xor", "neg", "nor", "addi", "cmpw", "cmpwi",
+        "b", "bl", "blr", "beq", "bne", "bgt", "blt", "bge", "ble", "nop",
+    )
+    return ISA(
+        name="ppc",
+        word_size=4,
+        frame_pointer="r31",
+        stack_pointer="r1",
+        return_register="r3",
+        link_register="lr",
+        arg_registers=("r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10"),
+        var_registers=tuple(f"r{i}" for i in range(14, 31)),
+        scratch_registers=("r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10",
+                           "r11", "r12"),
+        three_operand=True,
+        supports_predication=False,
+        mnemonics=mnemonics,
+        alu={
+            Ops.ADD: "add",
+            Ops.SUB: "subf",
+            Ops.MUL: "mullw",
+            Ops.DIV: "divw",
+            Ops.AND: "and",
+            Ops.OR: "or",
+            Ops.XOR: "xor",
+            Ops.NEG: "neg",
+            Ops.NOT: "nor",
+            Ops.LNOT: "nor",
+        },
+        branches={k: f"b{v}" for k, v in _CC_SUFFIX.items()},
+        jump="b",
+        call="bl",
+        compare="cmpw",
+        load="lwz",
+        store="stw",
+        move="mr",
+        load_imm="li",
+        ret_mnemonic="blr",
+    )
+
+
+_ISAS: Dict[str, ISA] = {
+    "x86": _x86_like("x86", 4, "e"),
+    "x64": _x86_like("x64", 8, "r"),
+    "arm": _arm(),
+    "ppc": _ppc(),
+}
+
+
+def get_isa(name: str) -> ISA:
+    """Look up an ISA by name (``x86`` / ``x64`` / ``arm`` / ``ppc``)."""
+    try:
+        return _ISAS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown architecture {name!r}; supported: {SUPPORTED_ARCHES}"
+        ) from None

@@ -1,0 +1,202 @@
+"""Compiler optimisations.
+
+Two passes matter for the reproduction:
+
+* **Function inlining** (AST level).  The paper's calibration scheme exists
+  because real compilers inline small callees, perturbing callee counts
+  across architectures.  We reproduce that: each backend has a default
+  inline threshold (cost models differ per target), so a callee near the
+  threshold is inlined on some architectures and not others -- which the
+  β instruction-count filter in :mod:`repro.core.calibration` then smooths.
+* **Constant folding** (IR level).  A classic clean-up pass; it also makes
+  the emitted assembly less trivially identical across targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler import ir as IR
+from repro.lang.nodes import FunctionDef, Node, Ops, Package
+
+# Default inline thresholds (max callee statement count), per architecture.
+# Same source + different targets => occasionally different inline decisions,
+# as with real compiler cost models.
+DEFAULT_INLINE_THRESHOLDS = {"x86": 2, "x64": 3, "arm": 3, "ppc": 2}
+
+
+# -- inlining --------------------------------------------------------------------
+
+
+def _inlinable_body(fn: FunctionDef) -> Optional[Tuple[List[Node], Node]]:
+    """If ``fn`` is a straight-line leaf function, return (stmts, return expr).
+
+    Only functions whose body is a block of plain/compound assignments
+    followed by a single ``return <expr>`` are inlined; anything with control
+    flow or calls stays a real call.
+    """
+    body = fn.body
+    if body.op != Ops.BLOCK or not body.children:
+        return None
+    *stmts, last = body.children
+    if last.op != Ops.RETURN or len(last.children) != 1:
+        return None
+    for stmt in stmts:
+        if stmt.op != Ops.ASG and stmt.op not in _COMPOUND:
+            return None
+        if any(n.op == Ops.CALL for n in stmt.walk()):
+            return None
+    if any(n.op == Ops.CALL for n in last.walk()):
+        return None
+    return list(stmts), last.children[0]
+
+
+_COMPOUND = {
+    Ops.ASG_OR, Ops.ASG_XOR, Ops.ASG_AND, Ops.ASG_ADD,
+    Ops.ASG_SUB, Ops.ASG_MUL, Ops.ASG_DIV,
+}
+
+
+def _substitute(node: Node, mapping: Dict[str, Node]) -> Node:
+    """Replace ``var`` leaves by mapped expressions (used for parameters)."""
+    if node.op == Ops.VAR and node.value in mapping:
+        return mapping[node.value]
+    if not node.children:
+        return node
+    return Node(
+        node.op,
+        tuple(_substitute(c, mapping) for c in node.children),
+        node.value,
+    )
+
+
+class _Inliner:
+    def __init__(self, package: Package, threshold: int):
+        self.threshold = threshold
+        self.candidates: Dict[str, Tuple[List[Node], Node, FunctionDef]] = {}
+        for fn in package.functions:
+            body = _inlinable_body(fn)
+            if body is not None and len(body[0]) <= threshold:
+                self.candidates[fn.name] = (body[0], body[1], fn)
+        self._rename_counter = 0
+
+    def inline_function(self, fn: FunctionDef) -> FunctionDef:
+        new_locals: List[str] = list(fn.local_vars)
+        body = self._rewrite(fn.body, new_locals)
+        return FunctionDef(
+            name=fn.name,
+            params=fn.params,
+            local_vars=tuple(new_locals),
+            body=body,
+            return_type=fn.return_type,
+        )
+
+    def _rewrite(self, node: Node, new_locals: List[str]) -> Node:
+        if node.op == Ops.BLOCK:
+            out: List[Node] = []
+            for child in node.children:
+                out.extend(self._rewrite_stmt(child, new_locals))
+            return Node(Ops.BLOCK, tuple(out))
+        if node.op in (Ops.IF, Ops.WHILE, Ops.FOR, Ops.SWITCH):
+            children = list(node.children)
+            for i, child in enumerate(children):
+                if child.op == Ops.BLOCK:
+                    children[i] = self._rewrite(child, new_locals)
+            return Node(node.op, tuple(children), node.value)
+        return node
+
+    def _rewrite_stmt(self, stmt: Node, new_locals: List[str]) -> List[Node]:
+        if stmt.op in (Ops.IF, Ops.WHILE, Ops.FOR, Ops.BLOCK, Ops.SWITCH):
+            return [self._rewrite(stmt, new_locals)]
+        if stmt.op == Ops.ASG and stmt.children[1].op == Ops.CALL:
+            call = stmt.children[1]
+            expansion = self._expand(call, new_locals)
+            if expansion is not None:
+                stmts, value = expansion
+                return stmts + [Node(Ops.ASG, (stmt.children[0], value))]
+        if stmt.op == Ops.CALL:
+            expansion = self._expand(stmt, new_locals)
+            if expansion is not None:
+                stmts, _value = expansion
+                return stmts
+        return [stmt]
+
+    def _expand(self, call: Node, new_locals: List[str]):
+        target = self.candidates.get(call.value)
+        if target is None:
+            return None
+        stmts, ret_expr, fn = target
+        if len(call.children) != len(fn.params):
+            return None
+        if any(arg.op not in (Ops.VAR, Ops.NUM, Ops.STR) for arg in call.children):
+            return None
+        mapping: Dict[str, Node] = dict(zip(fn.params, call.children))
+        for local in fn.local_vars:
+            self._rename_counter += 1
+            fresh = f"inl{self._rename_counter}"
+            new_locals.append(fresh)
+            mapping[local] = Node(Ops.VAR, value=fresh)
+        inlined = [_substitute(s, mapping) for s in stmts]
+        return inlined, _substitute(ret_expr, mapping)
+
+
+def inline_small_functions(package: Package, threshold: int) -> Package:
+    """Return a copy of ``package`` with small leaf callees inlined.
+
+    One level of inlining is applied (callees are expanded into callers; the
+    expansion is not re-scanned), which matches the conservative behaviour of
+    ``-O1``-style inliners on call-graph DAGs.
+    """
+    inliner = _Inliner(package, threshold)
+    out = Package(name=package.name)
+    for fn in package.functions:
+        out.functions.append(inliner.inline_function(fn))
+    return out
+
+
+# -- constant folding ---------------------------------------------------------------
+
+
+_FOLDABLE = {
+    Ops.ADD: lambda a, b: a + b,
+    Ops.SUB: lambda a, b: a - b,
+    Ops.MUL: lambda a, b: a * b,
+    Ops.DIV: lambda a, b: _c_div(a, b),
+    Ops.AND: lambda a, b: a & b,
+    Ops.OR: lambda a, b: a | b,
+    Ops.XOR: lambda a, b: a ^ b,
+}
+
+
+def _c_div(a: int, b: int) -> int:
+    """C-style truncating division (toward zero)."""
+    if b == 0:
+        raise ZeroDivisionError("constant division by zero")
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def fold_constants(ir: IR.IRFunction) -> IR.IRFunction:
+    """Fold binary ops whose operands are both immediates into moves."""
+    folded: List[IR.IRInstr] = []
+    for instr in ir.instructions:
+        if (
+            isinstance(instr, IR.BinOp)
+            and isinstance(instr.lhs, IR.Imm)
+            and isinstance(instr.rhs, IR.Imm)
+            and instr.op in _FOLDABLE
+            and not (instr.op == Ops.DIV and instr.rhs.value == 0)
+        ):
+            value = _FOLDABLE[instr.op](instr.lhs.value, instr.rhs.value)
+            folded.append(IR.Move(instr.dst, IR.Imm(value)))
+            continue
+        if (
+            isinstance(instr, IR.UnOp)
+            and isinstance(instr.src, IR.Imm)
+            and instr.op == Ops.NEG
+        ):
+            folded.append(IR.Move(instr.dst, IR.Imm(-instr.src.value)))
+            continue
+        folded.append(instr)
+    return replace(ir, instructions=folded)

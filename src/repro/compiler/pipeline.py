@@ -1,0 +1,172 @@
+"""End-to-end compilation: packages -> binaries.
+
+``compile_package`` is the analogue of the paper's buildroot cross-compile
+step: one source package in, one RBIN binary per architecture out.  Library
+leaf functions (the mini libc) are appended to every binary so all call
+targets resolve at link time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.binformat.binary import BinaryFile, assemble_binary
+from repro.compiler.codegen import AsmFunction, select_instructions
+from repro.compiler.ir import Lowerer
+from repro.compiler.isa import SUPPORTED_ARCHES
+from repro.compiler.optimizer import (
+    DEFAULT_INLINE_THRESHOLDS,
+    fold_constants,
+    inline_small_functions,
+)
+from repro.lang import nodes as N
+from repro.lang.nodes import FunctionDef, Ops, Package
+
+
+@dataclass
+class CompilationOptions:
+    """Per-compile knobs.
+
+    ``inline_threshold`` of None picks the per-architecture default from
+    :data:`~repro.compiler.optimizer.DEFAULT_INLINE_THRESHOLDS`, which is how
+    cross-architecture callee-count divergence arises (see DESIGN.md).
+    """
+
+    inline_threshold: Optional[int] = None
+    fold_constants: bool = True
+    include_library: bool = True
+
+    def effective_inline_threshold(self, arch: str) -> int:
+        if self.inline_threshold is not None:
+            return self.inline_threshold
+        return DEFAULT_INLINE_THRESHOLDS[arch]
+
+
+def library_function_defs() -> List[FunctionDef]:
+    """Deterministic bodies for the mini-libc leaf functions.
+
+    Statement counts straddle the per-arch inline thresholds on purpose:
+    ``lib_read``/``lib_alloc`` (2 statements) inline on x64/ARM (threshold 3)
+    but stay calls on x86/PPC (threshold 2); ``lib_free`` (3 statements)
+    inlines nowhere by default; the 0/1-statement leaves inline everywhere.
+    """
+    defs = []
+    # return a0
+    defs.append(FunctionDef("lib_log", ("a0",), (), N.block(N.ret(N.var("a0")))))
+    # v0 = a0 ^ a1; return v0
+    defs.append(
+        FunctionDef(
+            "lib_checksum",
+            ("a0", "a1"),
+            ("v0",),
+            N.block(
+                N.asg(N.var("v0"), N.binop(Ops.XOR, N.var("a0"), N.var("a1"))),
+                N.ret(N.var("v0")),
+            ),
+        )
+    )
+    # v0 = a0 + 1; v0 = v0 & 4095; return v0
+    defs.append(
+        FunctionDef(
+            "lib_read",
+            ("a0",),
+            ("v0",),
+            N.block(
+                N.asg(N.var("v0"), N.binop(Ops.ADD, N.var("a0"), N.num(1))),
+                N.asg(N.var("v0"), N.binop(Ops.AND, N.var("v0"), N.num(4095))),
+                N.ret(N.var("v0")),
+            ),
+        )
+    )
+    # v0 = a0 - a1; return v0
+    defs.append(
+        FunctionDef(
+            "lib_write",
+            ("a0", "a1"),
+            ("v0",),
+            N.block(
+                N.asg(N.var("v0"), N.binop(Ops.SUB, N.var("a0"), N.var("a1"))),
+                N.ret(N.var("v0")),
+            ),
+        )
+    )
+    # v0 = a0 * 2; v0 = v0 + 16; return v0
+    defs.append(
+        FunctionDef(
+            "lib_alloc",
+            ("a0",),
+            ("v0",),
+            N.block(
+                N.asg(N.var("v0"), N.binop(Ops.MUL, N.var("a0"), N.num(2))),
+                N.asg(N.var("v0"), N.binop(Ops.ADD, N.var("v0"), N.num(16))),
+                N.ret(N.var("v0")),
+            ),
+        )
+    )
+    # v0 = a0 & 255; v1 = v0 + 3; v0 = v1 ^ 21; return v0
+    defs.append(
+        FunctionDef(
+            "lib_free",
+            ("a0",),
+            ("v0", "v1"),
+            N.block(
+                N.asg(N.var("v0"), N.binop(Ops.AND, N.var("a0"), N.num(255))),
+                N.asg(N.var("v1"), N.binop(Ops.ADD, N.var("v0"), N.num(3))),
+                N.asg(N.var("v0"), N.binop(Ops.XOR, N.var("v1"), N.num(21))),
+                N.ret(N.var("v0")),
+            ),
+        )
+    )
+    return defs
+
+
+def compile_function_to_asm(
+    fn: FunctionDef, arch: str, options: Optional[CompilationOptions] = None
+) -> AsmFunction:
+    """Lower, optimise and select instructions for one function."""
+    options = options or CompilationOptions()
+    ir = Lowerer().lower(fn)
+    if options.fold_constants:
+        ir = fold_constants(ir)
+    return select_instructions(ir, arch)
+
+
+def compile_package(
+    package: Package, arch: str, options: Optional[CompilationOptions] = None
+) -> BinaryFile:
+    """Compile a package for one architecture into a binary.
+
+    Pipeline: inline small callees (per-arch threshold) -> lower each
+    function to IR -> fold constants -> select instructions -> assemble,
+    with the library leaf bodies appended.
+    """
+    if arch not in SUPPORTED_ARCHES:
+        raise ValueError(f"unknown architecture {arch!r}")
+    options = options or CompilationOptions()
+    library = library_function_defs() if options.include_library else []
+    augmented = Package(name=package.name, functions=list(package.functions) + library)
+    inlined = inline_small_functions(
+        augmented, options.effective_inline_threshold(arch)
+    )
+    asm_functions = [
+        compile_function_to_asm(fn, arch, options) for fn in inlined.functions
+    ]
+    return assemble_binary(package.name, arch, asm_functions)
+
+
+def compile_function(
+    fn: FunctionDef, arch: str, options: Optional[CompilationOptions] = None
+) -> BinaryFile:
+    """Compile a standalone function (plus the library) into a binary."""
+    package = Package(name=fn.name, functions=[fn])
+    return compile_package(package, arch, options)
+
+
+def cross_compile(
+    package: Package,
+    arches: Sequence[str] = SUPPORTED_ARCHES,
+    options: Optional[CompilationOptions] = None,
+) -> Dict[str, BinaryFile]:
+    """Compile one package for several architectures."""
+    return {arch: compile_package(package, arch, options) for arch in arches}

@@ -1,0 +1,159 @@
+"""The paper's §VII proposed extension: embedding constants and strings.
+
+Digitisation (Table I) deliberately drops constant values and string
+contents; the paper's discussion notes this loses semantic signal and
+proposes "another embedding system to embed constants and strings ...
+and combine the embedding vectors with the AST encoding".
+
+This module implements that extension as a score-level combination:
+
+* :class:`ValueFeatureExtractor` turns the *raw* (pre-digitisation) AST
+  into a fixed-dimension feature vector describing its literal values --
+  counts, log-magnitude histogram of numeric constants, hashed character
+  n-gram sketch of string literals.  These features are architecture-
+  independent (literals survive compilation on every target).
+* :class:`ValueAwareAsteria` augments each function encoding with the
+  value features and blends the Tree-LSTM similarity M with a value-
+  feature similarity V:  ``M' = (1 - w) * M + w * V``; calibration then
+  applies as usual (eq. 10).
+
+The combination adds the paper's predicted accuracy/cost trade-off: value
+extraction is cheap, but encodings grow by ``feature_dim``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.model import Asteria, AsteriaConfig, FunctionEncoding
+from repro.decompiler.hexrays import DecompiledFunction
+from repro.lang.nodes import Node, Ops
+
+# Feature layout: [n_numeric, n_strings] + magnitude histogram + string sketch
+_MAGNITUDE_BUCKETS = 8  # |value| in [0,1), [1,10), [10,100), ...
+_STRING_SKETCH = 16
+
+
+@dataclass(frozen=True)
+class ValueFeatures:
+    """Literal-value features of one function's AST."""
+
+    vector: np.ndarray
+
+    @property
+    def dim(self) -> int:
+        return self.vector.shape[0]
+
+
+FEATURE_DIM = 2 + _MAGNITUDE_BUCKETS + _STRING_SKETCH
+
+
+class ValueFeatureExtractor:
+    """Deterministic literal-value featurisation of raw ASTs."""
+
+    def extract(self, ast: Node) -> ValueFeatures:
+        numeric = []
+        strings = []
+        for node in ast.walk():
+            if node.op == Ops.NUM:
+                numeric.append(int(node.value))
+            elif node.op == Ops.STR:
+                strings.append(str(node.value))
+        vector = np.zeros(FEATURE_DIM)
+        vector[0] = len(numeric)
+        vector[1] = len(strings)
+        for value in numeric:
+            magnitude = abs(value)
+            bucket = 0 if magnitude < 1 else min(
+                _MAGNITUDE_BUCKETS - 1, int(math.log10(magnitude)) + 1
+            )
+            vector[2 + bucket] += 1.0
+        for text in strings:
+            digest = hashlib.sha256(text.encode("utf-8")).digest()
+            slot = digest[0] % _STRING_SKETCH
+            vector[2 + _MAGNITUDE_BUCKETS + slot] += 1.0
+        return ValueFeatures(vector=vector)
+
+    @staticmethod
+    def similarity(a: ValueFeatures, b: ValueFeatures) -> float:
+        """Cosine similarity of value features, mapped to [0, 1].
+
+        Two functions with no literals at all are vacuously similar (1.0).
+        """
+        norm_a = np.linalg.norm(a.vector)
+        norm_b = np.linalg.norm(b.vector)
+        if norm_a == 0.0 and norm_b == 0.0:
+            return 1.0
+        if norm_a == 0.0 or norm_b == 0.0:
+            return 0.0
+        cosine = float(a.vector @ b.vector / (norm_a * norm_b))
+        return (cosine + 1.0) * 0.5
+
+
+@dataclass
+class ValueAwareEncoding:
+    """A function encoding augmented with value features."""
+
+    base: FunctionEncoding
+    values: ValueFeatures
+
+
+class ValueAwareAsteria:
+    """Asteria + the constants/strings extension (paper §VII).
+
+    ``value_weight`` blends the Tree-LSTM similarity with the value-feature
+    similarity; 0 recovers plain Asteria.
+    """
+
+    def __init__(
+        self,
+        model: Optional[Asteria] = None,
+        config: Optional[AsteriaConfig] = None,
+        value_weight: float = 0.25,
+    ):
+        if not 0.0 <= value_weight <= 1.0:
+            raise ValueError("value_weight must be in [0, 1]")
+        self.model = model if model is not None else Asteria(config)
+        self.value_weight = value_weight
+        self.extractor = ValueFeatureExtractor()
+
+    @property
+    def config(self) -> AsteriaConfig:
+        return self.model.config
+
+    def encode_function(self, fn: DecompiledFunction) -> ValueAwareEncoding:
+        return ValueAwareEncoding(
+            base=self.model.encode_function(fn),
+            values=self.extractor.extract(fn.ast),
+        )
+
+    def similarity(
+        self,
+        e1: ValueAwareEncoding,
+        e2: ValueAwareEncoding,
+        calibrate: bool = True,
+    ) -> float:
+        from repro.core.calibration import calibrated_similarity
+
+        tree_sim = self.model.ast_similarity(e1.base.vector, e2.base.vector)
+        value_sim = self.extractor.similarity(e1.values, e2.values)
+        blended = (1.0 - self.value_weight) * tree_sim \
+            + self.value_weight * value_sim
+        if not calibrate:
+            return blended
+        return calibrated_similarity(
+            blended, e1.base.callee_count, e2.base.callee_count
+        )
+
+    def compare_functions(
+        self, f1: DecompiledFunction, f2: DecompiledFunction,
+        calibrate: bool = True,
+    ) -> float:
+        return self.similarity(
+            self.encode_function(f1), self.encode_function(f2), calibrate
+        )

@@ -1,0 +1,78 @@
+"""Table-I node digitisation.
+
+Maps every AST op to a small integer label.  The grouping follows the
+paper's Table I: statement nodes 1-9, assignments 10-17, comparisons 18-23,
+arithmetic 24-34, and "other" expressions from 35 up.  Constant *values* and
+string *contents* are dropped during digitisation (paper §VII) -- only the
+node kind survives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lang.nodes import Ops
+
+NODE_LABELS: Dict[str, int] = {
+    # statements (Table I rows 1-9)
+    Ops.IF: 1,
+    Ops.BLOCK: 2,
+    Ops.FOR: 3,
+    Ops.WHILE: 4,
+    Ops.SWITCH: 5,
+    Ops.RETURN: 6,
+    Ops.GOTO: 7,
+    Ops.CONTINUE: 8,
+    Ops.BREAK: 9,
+    # assignments (10-17)
+    Ops.ASG: 10,
+    Ops.ASG_OR: 11,
+    Ops.ASG_XOR: 12,
+    Ops.ASG_AND: 13,
+    Ops.ASG_ADD: 14,
+    Ops.ASG_SUB: 15,
+    Ops.ASG_MUL: 16,
+    Ops.ASG_DIV: 17,
+    # comparisons (18-23)
+    Ops.EQ: 18,
+    Ops.NE: 19,
+    Ops.GT: 20,
+    Ops.LT: 21,
+    Ops.GE: 22,
+    Ops.LE: 23,
+    # arithmetic (24-34; "and" rides along with the bit ops)
+    Ops.OR: 24,
+    Ops.XOR: 25,
+    Ops.ADD: 26,
+    Ops.SUB: 27,
+    Ops.MUL: 28,
+    Ops.DIV: 29,
+    Ops.NOT: 30,
+    Ops.POST_INC: 31,
+    Ops.POST_DEC: 32,
+    Ops.PRE_INC: 33,
+    Ops.PRE_DEC: 34,
+    # other (35+)
+    Ops.AND: 35,
+    Ops.INDEX: 36,
+    Ops.VAR: 37,
+    Ops.NUM: 38,
+    Ops.CALL: 39,
+    Ops.STR: 40,
+    Ops.ASM: 41,
+    Ops.CAST: 42,
+    Ops.REF: 43,
+    Ops.DEREF: 44,
+    Ops.NEG: 45,
+    Ops.LAND: 46,
+    Ops.LOR: 47,
+    Ops.LNOT: 48,
+}
+
+# Label 0 is reserved (padding / unknown); embeddings are sized NUM_LABELS.
+NUM_LABELS: int = max(NODE_LABELS.values()) + 1
+
+
+def label_of(op: str) -> int:
+    """Integer label for an op name (raises ``KeyError`` on unknown ops)."""
+    return NODE_LABELS[op]

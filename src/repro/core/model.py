@@ -1,0 +1,142 @@
+"""The end-to-end Asteria model.
+
+:class:`Asteria` bundles the Tree-LSTM encoder, the Siamese head, the
+preprocessing settings and the calibration parameters behind one API:
+
+* :meth:`Asteria.encode` -- offline phase: AST -> encoding vector;
+* :meth:`Asteria.encode_function` -- offline phase for a decompiled
+  function (vector + filtered callee count);
+* :meth:`Asteria.ast_similarity` / :meth:`Asteria.similarity` -- online
+  phase on cached encodings, with and without calibration;
+* :meth:`Asteria.save` / :meth:`Asteria.load` -- checkpointing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.calibration import (
+    DEFAULT_BETA,
+    calibrated_similarity,
+    filtered_callee_count,
+)
+from repro.core.labels import NUM_LABELS
+from repro.core.preprocess import DEFAULT_MIN_AST_SIZE, preprocess_ast
+from repro.core.siamese import SiameseClassifier, SiameseRegression
+from repro.decompiler.hexrays import DecompiledFunction
+from repro.lang.nodes import Node
+from repro.nn.serialize import load_state, save_state
+from repro.nn.tensor import no_grad
+from repro.nn.treelstm import BinaryTreeLSTM, BinaryTreeNode
+
+
+@dataclass
+class AsteriaConfig:
+    """Hyperparameters (defaults follow the paper's chosen settings)."""
+
+    embedding_dim: int = 16
+    hidden_dim: int = 64
+    leaf_init: str = "zero"  # Figure 9: all-zeros beats all-ones
+    head: str = "classification"  # Figure 9: beats "regression"
+    min_ast_size: int = DEFAULT_MIN_AST_SIZE
+    beta: int = DEFAULT_BETA
+    seed: int = 0
+
+
+@dataclass
+class FunctionEncoding:
+    """Cached offline-phase output for one function."""
+
+    name: str
+    arch: str
+    binary_name: str
+    vector: np.ndarray
+    callee_count: int
+    ast_size: int = 0
+
+
+class Asteria:
+    """The full model: encoder + Siamese head + calibration."""
+
+    def __init__(self, config: Optional[AsteriaConfig] = None):
+        self.config = config or AsteriaConfig()
+        self.encoder = BinaryTreeLSTM(
+            num_labels=NUM_LABELS,
+            embedding_dim=self.config.embedding_dim,
+            hidden_dim=self.config.hidden_dim,
+            leaf_init=self.config.leaf_init,
+            seed=self.config.seed,
+        )
+        if self.config.head == "classification":
+            self.siamese = SiameseClassifier(self.encoder, seed=self.config.seed)
+        elif self.config.head == "regression":
+            self.siamese = SiameseRegression(self.encoder)
+        else:
+            raise ValueError(f"unknown head {self.config.head!r}")
+
+    # -- offline phase -------------------------------------------------------
+
+    def preprocess(self, ast: Node) -> BinaryTreeNode:
+        return preprocess_ast(ast, self.config.min_ast_size)
+
+    def encode_tree(self, tree: BinaryTreeNode) -> np.ndarray:
+        """Encode a preprocessed binary tree to a vector."""
+        with no_grad():
+            return self.encoder(tree).data.copy()
+
+    def encode(self, ast: Node) -> np.ndarray:
+        """Preprocess + encode an AST."""
+        return self.encode_tree(self.preprocess(ast))
+
+    def encode_function(self, fn: DecompiledFunction) -> FunctionEncoding:
+        """Offline phase for one decompiled function."""
+        vector = self.encode(fn.ast)
+        return FunctionEncoding(
+            name=fn.name,
+            arch=fn.arch,
+            binary_name=fn.binary_name,
+            vector=vector,
+            callee_count=filtered_callee_count(fn.callees, self.config.beta),
+            ast_size=fn.ast_size(),
+        )
+
+    # -- online phase ------------------------------------------------------------
+
+    def ast_similarity(self, v1: np.ndarray, v2: np.ndarray) -> float:
+        """M(T1, T2) from cached encoding vectors (no calibration)."""
+        return self.siamese.similarity_from_vectors(v1, v2)
+
+    def similarity(
+        self, e1: FunctionEncoding, e2: FunctionEncoding, calibrate: bool = True
+    ) -> float:
+        """F(F1, F2) = M(T1, T2) x S(C1, C2) (or just M with calibrate=False).
+
+        ``calibrate=False`` is the paper's Asteria-WOC ablation.
+        """
+        m = self.ast_similarity(e1.vector, e2.vector)
+        if not calibrate:
+            return m
+        return calibrated_similarity(m, e1.callee_count, e2.callee_count)
+
+    def compare_functions(
+        self, f1: DecompiledFunction, f2: DecompiledFunction, calibrate: bool = True
+    ) -> float:
+        """Convenience: offline + online phases for one pair."""
+        return self.similarity(
+            self.encode_function(f1), self.encode_function(f2), calibrate
+        )
+
+    # -- checkpointing ----------------------------------------------------------------
+
+    def save(self, path) -> None:
+        save_state(path, self.siamese.state_dict(), meta=asdict(self.config))
+
+    @classmethod
+    def load(cls, path) -> "Asteria":
+        state, meta = load_state(path)
+        model = cls(AsteriaConfig(**meta))
+        model.siamese.load_state_dict(state)
+        return model

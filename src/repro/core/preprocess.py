@@ -1,0 +1,78 @@
+"""AST preprocessing: digitisation and format transformation (paper §III-A).
+
+Two steps precede Tree-LSTM encoding:
+
+* **digitisation** -- every node is replaced by its Table-I integer label;
+  variable names, constant values and string contents are dropped;
+* **binarisation** -- the n-ary AST becomes a binary tree via the
+  left-child right-sibling transformation: a node's first child becomes its
+  left child, and each child's next sibling becomes that child's right
+  child.
+
+ASTs with fewer than ``min_size`` nodes are rejected (the paper removes AST
+pairs with node count < 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.labels import label_of
+from repro.lang.nodes import Node
+from repro.nn.treelstm import BinaryTreeNode
+
+DEFAULT_MIN_AST_SIZE = 5
+
+
+class PreprocessError(Exception):
+    """Raised when an AST cannot be preprocessed (e.g. too small)."""
+
+
+def digitize(ast: Node) -> BinaryTreeNode:
+    """Digitise and binarise an AST in one pass.
+
+    The left-child right-sibling construction is done iteratively with an
+    explicit worklist so arbitrarily wide/deep ASTs cannot overflow the
+    Python stack.
+    """
+    root = BinaryTreeNode(label=label_of(ast.op))
+    # worklist of (source node, produced binary node)
+    worklist = [(ast, root)]
+    while worklist:
+        source, produced = worklist.pop()
+        previous: Optional[BinaryTreeNode] = None
+        for child in source.children:
+            binary_child = BinaryTreeNode(label=label_of(child.op))
+            if previous is None:
+                produced.left = binary_child
+            else:
+                previous.right = binary_child
+            previous = binary_child
+            worklist.append((child, binary_child))
+    return root
+
+
+# Alias: the binarisation *is* the LCRS transform.
+to_binary_tree = digitize
+
+
+def preprocess_ast(
+    ast: Node, min_size: int = DEFAULT_MIN_AST_SIZE
+) -> BinaryTreeNode:
+    """Full preprocessing; raises :class:`PreprocessError` on tiny ASTs."""
+    size = ast.size()
+    if size < min_size:
+        raise PreprocessError(
+            f"AST has {size} nodes, below the minimum of {min_size}"
+        )
+    return digitize(ast)
+
+
+def try_preprocess_ast(
+    ast: Node, min_size: int = DEFAULT_MIN_AST_SIZE
+) -> Optional[BinaryTreeNode]:
+    """Like :func:`preprocess_ast` but returns None instead of raising."""
+    try:
+        return preprocess_ast(ast, min_size)
+    except PreprocessError:
+        return None

@@ -1,0 +1,102 @@
+"""Siamese similarity heads over Tree-LSTM encodings (paper §III-B, eq. 8).
+
+Two heads are provided:
+
+* :class:`SiameseClassifier` -- the paper's design:
+  ``softmax(σ(cat(|v1−v2|, v1⊙v2) · W))`` with ``W ∈ R^{2h×2}``, trained as
+  binary classification with BCE against one-hot labels;
+* :class:`SiameseRegression` -- the cosine-distance ablation from Figure 9.
+
+Both share *one* Tree-LSTM encoder instance (identical weights on both
+branches -- the defining property of a Siamese network).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter, glorot
+from repro.nn.tensor import Tensor, concat, no_grad
+from repro.nn.treelstm import BinaryTreeLSTM, BinaryTreeNode
+from repro.utils.rng import RNG
+
+
+class SiameseClassifier(Module):
+    """The paper's classification-style Siamese network M(T1, T2).
+
+    Note on equation (8): read literally, the paper applies a sigmoid
+    *inside* the softmax -- ``softmax(σ(cat(...)·W))`` -- which bounds the
+    similarity output to at most ``e/(1+e) ≈ 0.731``.  That contradicts the
+    paper's own reported behaviour (a decision threshold of 0.84 in §V and
+    candidate scores of exactly 1).  The default here therefore applies the
+    softmax to the raw logits, matching the reported score range; pass
+    ``literal_sigmoid=True`` to get the literal formula.
+    """
+
+    def __init__(self, encoder: BinaryTreeLSTM, seed: int = 0,
+                 literal_sigmoid: bool = False):
+        self.encoder = encoder
+        self.literal_sigmoid = literal_sigmoid
+        rng = RNG(seed)
+        self.w = Parameter(
+            glorot(rng.child("siamese_w"), (2 * encoder.hidden_dim, 2))
+        )
+
+    def forward(self, t1: BinaryTreeNode, t2: BinaryTreeNode) -> Tensor:
+        """Output ``[dissimilarity, similarity]`` (a 2-probability vector)."""
+        v1 = self.encoder(t1)
+        v2 = self.encoder(t2)
+        return self.head(v1, v2)
+
+    def head(self, v1: Tensor, v2: Tensor) -> Tensor:
+        """Equation (8) applied to two encoding vectors."""
+        features = concat([(v1 - v2).abs(), v1 * v2])
+        logits = features @ self.w
+        if self.literal_sigmoid:
+            logits = logits.sigmoid()
+        return logits.softmax()
+
+    def similarity(self, t1: BinaryTreeNode, t2: BinaryTreeNode) -> float:
+        """Inference: the similarity component of the output."""
+        with no_grad():
+            return float(self.forward(t1, t2).data[1])
+
+    def similarity_from_vectors(self, v1: np.ndarray, v2: np.ndarray) -> float:
+        """The fast online path: equation (8) in raw numpy.
+
+        This is what makes per-pair similarity nanosecond-to-microsecond
+        scale in the paper's Figure 10(c): once functions are encoded, one
+        comparison is two tiny vector ops and a 2x(2h) matmul.
+        """
+        features = np.concatenate([np.abs(v1 - v2), v1 * v2])
+        logits = features @ self.w.data
+        if self.literal_sigmoid:
+            logits = 1.0 / (1.0 + np.exp(-logits))
+        shifted = logits - logits.max()
+        exps = np.exp(shifted)
+        return float(exps[1] / exps.sum())
+
+
+class SiameseRegression(Module):
+    """Cosine-distance Siamese head (the Figure 9 'Regression' ablation)."""
+
+    def __init__(self, encoder: BinaryTreeLSTM):
+        self.encoder = encoder
+
+    def forward(self, t1: BinaryTreeNode, t2: BinaryTreeNode) -> Tensor:
+        v1 = self.encoder(t1)
+        v2 = self.encoder(t2)
+        return self.head(v1, v2)
+
+    def head(self, v1: Tensor, v2: Tensor) -> Tensor:
+        """Cosine similarity rescaled to [0, 1]."""
+        cosine = v1.dot(v2) / (v1.norm() * v2.norm())
+        return (cosine + 1.0) * 0.5
+
+    def similarity(self, t1: BinaryTreeNode, t2: BinaryTreeNode) -> float:
+        with no_grad():
+            return float(self.forward(t1, t2).data)
+
+    def similarity_from_vectors(self, v1: np.ndarray, v2: np.ndarray) -> float:
+        denom = (np.linalg.norm(v1) * np.linalg.norm(v2)) or 1e-12
+        return float((v1 @ v2 / denom + 1.0) * 0.5)

@@ -1,0 +1,153 @@
+"""Model training (paper §IV-A).
+
+Settings follow the paper: batch size 1 (Tree-LSTM computation depends on
+each AST's shape, so batching is not possible), BCE loss on the softmax
+output against one-hot labels, AdaGrad optimiser.  Calibration is *not*
+applied during training, so the Tree-LSTM learns pure AST semantics.
+
+The trainer evaluates AUC on a held-out pair set after each epoch and keeps
+the best-performing weights.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.pairs import TreePair
+from repro.core.siamese import SiameseClassifier, SiameseRegression
+from repro.nn.loss import bce_loss, mse_loss
+from repro.nn.optim import AdaGrad, Adam, SGD
+from repro.nn.tensor import no_grad
+from repro.utils.logging import get_logger
+from repro.utils.rng import RNG
+
+_LOG = get_logger("core.training")
+
+_OPTIMIZERS = {"adagrad": AdaGrad, "adam": Adam, "sgd": SGD}
+
+
+@dataclass
+class TrainConfig:
+    """Training hyperparameters.
+
+    The paper trains 60 epochs on ~1M pairs; at reproduction scale a handful
+    of epochs on thousands of pairs converges, so the default is modest.
+    """
+
+    epochs: int = 10
+    lr: float = 0.05
+    optimizer: str = "adagrad"
+    shuffle_seed: int = 0
+    log_every: int = 0  # pairs between progress logs; 0 = silent
+
+
+@dataclass
+class EpochStats:
+    epoch: int
+    mean_loss: float
+    auc: Optional[float]
+    seconds: float
+
+
+@dataclass
+class TrainHistory:
+    epochs: List[EpochStats] = field(default_factory=list)
+    best_auc: float = 0.0
+    best_epoch: int = -1
+
+    def losses(self) -> List[float]:
+        return [e.mean_loss for e in self.epochs]
+
+
+class Trainer:
+    """Trains a Siamese model on preprocessed tree pairs."""
+
+    def __init__(self, siamese, config: Optional[TrainConfig] = None):
+        self.siamese = siamese
+        self.config = config or TrainConfig()
+        optimizer_cls = _OPTIMIZERS.get(self.config.optimizer)
+        if optimizer_cls is None:
+            raise ValueError(f"unknown optimizer {self.config.optimizer!r}")
+        self.optimizer = optimizer_cls(siamese.parameters(), lr=self.config.lr)
+        self._is_classifier = isinstance(siamese, SiameseClassifier)
+        if not self._is_classifier and not isinstance(siamese, SiameseRegression):
+            raise TypeError("siamese must be a SiameseClassifier or SiameseRegression")
+
+    # -- single steps -----------------------------------------------------------
+
+    def train_step(self, pair: TreePair) -> float:
+        """One forward/backward/update on a single pair; returns the loss."""
+        self.optimizer.zero_grad()
+        output = self.siamese(pair.t1, pair.t2)
+        if self._is_classifier:
+            target = np.array([1.0, 0.0]) if pair.label < 0 else np.array([0.0, 1.0])
+            loss = bce_loss(output, target)
+        else:
+            target = 0.0 if pair.label < 0 else 1.0
+            loss = mse_loss(output, target)
+        loss.backward()
+        self.optimizer.step()
+        return float(loss.data)
+
+    def score(self, pair: TreePair) -> float:
+        """Inference similarity for one pair."""
+        with no_grad():
+            output = self.siamese(pair.t1, pair.t2)
+            if self._is_classifier:
+                return float(output.data[1])
+            return float(output.data)
+
+    # -- full loop ------------------------------------------------------------------
+
+    def train(
+        self,
+        train_pairs: Sequence[TreePair],
+        eval_pairs: Sequence[TreePair] = (),
+    ) -> TrainHistory:
+        """Run the configured number of epochs, tracking best-AUC weights."""
+        from repro.evalsuite.metrics import roc_auc
+
+        history = TrainHistory()
+        best_state = None
+        rng = RNG(self.config.shuffle_seed)
+        order = list(train_pairs)
+        for epoch in range(self.config.epochs):
+            started = time.perf_counter()
+            rng.child("epoch", epoch).shuffle(order)
+            losses = []
+            for i, pair in enumerate(order):
+                losses.append(self.train_step(pair))
+                if self.config.log_every and (i + 1) % self.config.log_every == 0:
+                    _LOG.info(
+                        "epoch %d: %d/%d pairs, mean loss %.4f",
+                        epoch, i + 1, len(order), float(np.mean(losses)),
+                    )
+            auc = None
+            if eval_pairs:
+                scores = [self.score(p) for p in eval_pairs]
+                labels = [1 if p.label > 0 else 0 for p in eval_pairs]
+                auc = roc_auc(labels, scores)
+                if auc > history.best_auc:
+                    history.best_auc = auc
+                    history.best_epoch = epoch
+                    best_state = self.siamese.state_dict()
+            history.epochs.append(
+                EpochStats(
+                    epoch=epoch,
+                    mean_loss=float(np.mean(losses)) if losses else 0.0,
+                    auc=auc,
+                    seconds=time.perf_counter() - started,
+                )
+            )
+            _LOG.info(
+                "epoch %d done: loss=%.4f auc=%s",
+                epoch, history.epochs[-1].mean_loss,
+                f"{auc:.4f}" if auc is not None else "n/a",
+            )
+        if best_state is not None:
+            self.siamese.load_state_dict(best_state)
+        return history

@@ -1,0 +1,32 @@
+"""Decompiler: binaries back to abstract syntax trees.
+
+This is the substitute for the paper's IDA Pro + Hex-Rays step.  The
+pipeline mirrors real decompilers:
+
+1. :mod:`repro.decompiler.lifter` symbolically evaluates each basic block,
+   folding scratch registers/temp slots into expression trees and emitting
+   statements for writes to variable homes;
+2. :mod:`repro.decompiler.structurer` rebuilds structured control flow
+   (if/else, while, break) from the CFG using dominator analysis;
+3. :mod:`repro.decompiler.hexrays` is the user-facing facade returning
+   :class:`DecompiledFunction` objects whose ASTs use the Table-I vocabulary.
+
+Architecture-dependent artefacts arise naturally: ARM predicated diamonds
+decompile with inverted comparisons and swapped arms (paper Fig. 2), ``for``
+loops come back as ``while`` loops, and compound assignments come back as
+plain assignments.
+"""
+
+from repro.decompiler.hexrays import (
+    DecompiledFunction,
+    DecompilationError,
+    decompile_binary,
+    decompile_function,
+)
+
+__all__ = [
+    "DecompiledFunction",
+    "DecompilationError",
+    "decompile_binary",
+    "decompile_function",
+]

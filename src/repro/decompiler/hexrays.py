@@ -1,0 +1,102 @@
+"""Decompiler facade (the stand-in for IDA Pro + Hex-Rays).
+
+``decompile_function`` runs disassembly -> CFG -> lifting -> structuring and
+returns a :class:`DecompiledFunction`: the reconstructed AST (Table-I node
+vocabulary), the callee list with instruction counts (for calibration), and
+function metadata.  Works identically on stripped binaries, where functions
+are named ``sub_<address>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.binformat.binary import BinaryFile, FunctionRecord
+from repro.compiler.cfg import build_cfg
+from repro.decompiler.lifter import LiftError, lift_function
+from repro.decompiler.structurer import StructuringError, structure_function
+from repro.disasm.disassembler import DisassemblyError, disassemble_function
+from repro.lang.nodes import Node
+
+
+class DecompilationError(Exception):
+    """Raised when a function cannot be decompiled."""
+
+
+@dataclass
+class DecompiledFunction:
+    """The decompiler's output for one binary function."""
+
+    name: str
+    arch: str
+    binary_name: str
+    address: int
+    ast: Node
+    callees: Tuple[Tuple[str, int], ...]  # (callee name, instruction count)
+    n_instructions: int
+    n_blocks: int
+
+    def ast_size(self) -> int:
+        return self.ast.size()
+
+    def callee_count(self, min_instructions: int = 0) -> int:
+        """Number of callees with at least ``min_instructions`` instructions.
+
+        Repeated calls count repeatedly, matching the paper's callee set
+        drawn from call sites.
+        """
+        return sum(
+            1 for _name, size in self.callees if size >= min_instructions
+        )
+
+
+def decompile_function(
+    binary: BinaryFile, record: FunctionRecord
+) -> DecompiledFunction:
+    """Decompile one function of a binary to an AST."""
+    try:
+        asm = disassemble_function(binary, record)
+        cfg = build_cfg(asm)
+        lifted = lift_function(asm, cfg, binary)
+        ast = structure_function(cfg, lifted)
+    except (DisassemblyError, LiftError, StructuringError) as exc:
+        raise DecompilationError(
+            f"cannot decompile {record.display_name()} ({binary.arch}): {exc}"
+        ) from exc
+    callees: List[Tuple[str, int]] = []
+    for callee_name in asm.callee_names():
+        try:
+            size = binary.function_named(callee_name).n_instructions
+        except KeyError:
+            size = 0
+        callees.append((callee_name, size))
+    return DecompiledFunction(
+        name=record.display_name(),
+        arch=binary.arch,
+        binary_name=binary.name,
+        address=record.address,
+        ast=ast,
+        callees=tuple(callees),
+        n_instructions=record.n_instructions,
+        n_blocks=cfg.block_count,
+    )
+
+
+def decompile_binary(
+    binary: BinaryFile, skip_errors: bool = False
+) -> List[DecompiledFunction]:
+    """Decompile every function in a binary.
+
+    With ``skip_errors`` set, functions that fail to decompile are skipped
+    (the large-scale firmware path tolerates individual failures, as the
+    paper's pipeline tolerates Hex-Rays failures).
+    """
+    out: List[DecompiledFunction] = []
+    for record in binary.functions:
+        try:
+            out.append(decompile_function(binary, record))
+        except DecompilationError:
+            if not skip_errors:
+                raise
+    return out

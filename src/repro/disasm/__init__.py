@@ -1,0 +1,9 @@
+"""Disassembler: RBIN bytes back to symbolic assembly."""
+
+from repro.disasm.disassembler import (
+    disassemble_binary,
+    disassemble_function,
+    DisassemblyError,
+)
+
+__all__ = ["disassemble_binary", "disassemble_function", "DisassemblyError"]

@@ -1,0 +1,10 @@
+"""Evaluation suite: metrics, dataset builders, vulnerability search, timing."""
+
+from repro.evalsuite.metrics import (
+    confusion_counts,
+    roc_auc,
+    roc_curve,
+    youden_threshold,
+)
+
+__all__ = ["confusion_counts", "roc_auc", "roc_curve", "youden_threshold"]

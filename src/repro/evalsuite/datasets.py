@@ -1,0 +1,157 @@
+"""Dataset builders mirroring the paper's three corpora (§IV-B).
+
+* **Buildroot** -- many packages cross-compiled for four architectures,
+  symbols retained; used for training/testing.
+* **OpenSSL** -- one larger package cross-compiled the same way; used for
+  the comparative evaluation.
+* **Firmware** -- vendor images containing *stripped* binaries, some with
+  implanted vulnerable functions; used for the vulnerability search
+  (built in :mod:`repro.evalsuite.vulnsearch`).
+
+All corpora are generated deterministically from a seed; sizes are scaled
+down from the paper's (millions of functions) to laptop scale but keep the
+structure: per-arch binaries, name-based ground truth, 8:2 splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.gemini.acfg import ACFG, extract_acfg
+from repro.binformat.binary import BinaryFile
+from repro.compiler.isa import SUPPORTED_ARCHES
+from repro.compiler.pipeline import CompilationOptions, compile_package
+from repro.decompiler.hexrays import DecompiledFunction, decompile_binary
+from repro.lang.generator import GeneratorConfig, ProgramGenerator
+from repro.lang.nodes import Package
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("evalsuite.datasets")
+
+
+@dataclass
+class DatasetConfig:
+    """Knobs for corpus generation."""
+
+    n_packages: int = 10
+    functions_per_package: int = 12
+    arches: Tuple[str, ...] = SUPPORTED_ARCHES
+    seed: int = 0
+    name_prefix: str = "pkg"
+    generator: Optional[GeneratorConfig] = None
+    compilation: Optional[CompilationOptions] = None
+
+
+@dataclass
+class ArchStats:
+    """One Table-II row."""
+
+    arch: str
+    n_binaries: int
+    n_functions: int
+
+
+@dataclass
+class Dataset:
+    """A cross-compiled corpus with decompiled functions per architecture."""
+
+    name: str
+    binaries: Dict[str, List[BinaryFile]] = field(default_factory=dict)
+    functions: Dict[str, List[DecompiledFunction]] = field(default_factory=dict)
+    packages: List[Package] = field(default_factory=list)
+    _binary_index: Dict[Tuple[str, str], BinaryFile] = field(default_factory=dict)
+    _acfg_cache: Dict[Tuple[str, str, str], ACFG] = field(default_factory=dict)
+
+    def stats(self) -> List[ArchStats]:
+        """Per-architecture binary/function counts (the Table II rows)."""
+        return [
+            ArchStats(
+                arch=arch,
+                n_binaries=len(self.binaries.get(arch, [])),
+                n_functions=sum(
+                    len(b.functions) for b in self.binaries.get(arch, [])
+                ),
+            )
+            for arch in sorted(self.binaries)
+        ]
+
+    def total_functions(self) -> int:
+        return sum(s.n_functions for s in self.stats())
+
+    def binary_for(self, arch: str, binary_name: str) -> BinaryFile:
+        return self._binary_index[(arch, binary_name)]
+
+    def acfg_for(self, fn: DecompiledFunction) -> ACFG:
+        """ACFG of a decompiled function (cached; used by the Gemini baseline)."""
+        key = (fn.arch, fn.binary_name, fn.name)
+        if key not in self._acfg_cache:
+            binary = self.binary_for(fn.arch, fn.binary_name)
+            record = binary.function_named(fn.name)
+            self._acfg_cache[key] = extract_acfg(binary, record)
+        return self._acfg_cache[key]
+
+    def add_binary(self, binary: BinaryFile) -> None:
+        self.binaries.setdefault(binary.arch, []).append(binary)
+        self._binary_index[(binary.arch, binary.name)] = binary
+        self.functions.setdefault(binary.arch, []).extend(
+            decompile_binary(binary, skip_errors=True)
+        )
+
+
+def build_dataset(config: DatasetConfig, name: str) -> Dataset:
+    """Generate packages, cross-compile, and decompile everything."""
+    generator_config = config.generator or GeneratorConfig(
+        functions_per_package=config.functions_per_package
+    )
+    generator = ProgramGenerator(seed=config.seed, config=generator_config)
+    dataset = Dataset(name=name)
+    for i in range(config.n_packages):
+        package = generator.generate_package(f"{config.name_prefix}{i}")
+        dataset.packages.append(package)
+        for arch in config.arches:
+            binary = compile_package(package, arch, config.compilation)
+            dataset.add_binary(binary)
+    _LOG.info(
+        "dataset %s: %d packages, %d functions",
+        name, config.n_packages, dataset.total_functions(),
+    )
+    return dataset
+
+
+def build_buildroot_dataset(
+    n_packages: int = 10,
+    functions_per_package: int = 12,
+    seed: int = 0,
+    arches: Sequence[str] = SUPPORTED_ARCHES,
+) -> Dataset:
+    """The training/testing corpus (paper: 260 packages via buildroot)."""
+    config = DatasetConfig(
+        n_packages=n_packages,
+        functions_per_package=functions_per_package,
+        arches=tuple(arches),
+        seed=seed,
+        name_prefix="br",
+    )
+    return build_dataset(config, "buildroot")
+
+
+def build_openssl_dataset(
+    n_functions: int = 40,
+    seed: int = 1,
+    arches: Sequence[str] = SUPPORTED_ARCHES,
+) -> Dataset:
+    """The comparative-evaluation corpus (paper: OpenSSL 1.1.0a).
+
+    One large package named ``openssl`` so that pair identities mimic the
+    paper's OpenSSL dataset.
+    """
+    config = DatasetConfig(
+        n_packages=1,
+        functions_per_package=n_functions,
+        arches=tuple(arches),
+        seed=seed,
+        name_prefix="openssl",
+    )
+    dataset = build_dataset(config, "openssl")
+    return dataset

@@ -1,0 +1,184 @@
+"""Computational-overhead measurements (paper §IV-F, Figure 10).
+
+Measures, per function:
+
+* offline phase -- decompilation (A-D), preprocessing (A-P) and Tree-LSTM
+  encoding (A-E) for Asteria; AST hashing for Diaphora (D-H); ACFG
+  extraction (G-EX) and graph encoding (G-EN) for Gemini;
+* online phase -- similarity computation on cached artefacts for all three
+  approaches;
+* the AST size CDF (Figure 10a).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.diaphora import DiaphoraMatcher
+from repro.baselines.gemini.acfg import extract_acfg
+from repro.baselines.gemini.model import Gemini
+from repro.core.model import Asteria
+from repro.core.preprocess import try_preprocess_ast
+from repro.decompiler.hexrays import DecompilationError, decompile_function
+from repro.evalsuite.datasets import Dataset
+from repro.utils.rng import RNG
+
+
+@dataclass
+class OfflineRow:
+    """Per-function offline timings, keyed by AST/CFG size."""
+
+    function_name: str
+    arch: str
+    ast_size: int
+    cfg_size: int
+    decompile_s: float  # A-D
+    preprocess_s: float  # A-P
+    encode_s: float  # A-E
+    diaphora_hash_s: float  # D-H
+    gemini_extract_s: float  # G-EX
+    gemini_encode_s: float  # G-EN
+
+
+@dataclass
+class OnlineStats:
+    """Average per-pair online similarity times (Figure 10c)."""
+
+    asteria_s: float
+    gemini_s: float
+    diaphora_s: float
+    n_pairs: int
+
+
+def ast_size_cdf(sizes: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted sizes and cumulative fractions (Figure 10a)."""
+    sorted_sizes = np.sort(np.asarray(sizes, dtype=np.int64))
+    fractions = np.arange(1, len(sorted_sizes) + 1) / len(sorted_sizes)
+    return sorted_sizes, fractions
+
+
+def measure_offline(
+    dataset: Dataset,
+    asteria: Asteria,
+    gemini: Gemini,
+    max_functions: int = 50,
+    seed: int = 0,
+) -> List[OfflineRow]:
+    """Time the offline phases of all three approaches on sampled functions."""
+    diaphora = DiaphoraMatcher()
+    rows: List[OfflineRow] = []
+    candidates = []
+    for arch, binaries in sorted(dataset.binaries.items()):
+        for binary in binaries:
+            for record in binary.functions:
+                candidates.append((binary, record))
+    rng = RNG(seed)
+    if len(candidates) > max_functions:
+        candidates = rng.sample(candidates, max_functions)
+    for binary, record in candidates:
+        started = time.perf_counter()
+        try:
+            decompiled = decompile_function(binary, record)
+        except DecompilationError:
+            continue
+        decompile_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        tree = try_preprocess_ast(decompiled.ast, asteria.config.min_ast_size)
+        preprocess_s = time.perf_counter() - started
+        if tree is None:
+            continue
+
+        started = time.perf_counter()
+        asteria.encode_tree(tree)
+        encode_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        diaphora.features(decompiled.ast)
+        diaphora_hash_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        acfg = extract_acfg(binary, record)
+        gemini_extract_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        gemini.encode(acfg)
+        gemini_encode_s = time.perf_counter() - started
+
+        rows.append(
+            OfflineRow(
+                function_name=decompiled.name,
+                arch=decompiled.arch,
+                ast_size=decompiled.ast_size(),
+                cfg_size=acfg.n_blocks,
+                decompile_s=decompile_s,
+                preprocess_s=preprocess_s,
+                encode_s=encode_s,
+                diaphora_hash_s=diaphora_hash_s,
+                gemini_extract_s=gemini_extract_s,
+                gemini_encode_s=gemini_encode_s,
+            )
+        )
+    return rows
+
+
+def measure_online(
+    dataset: Dataset,
+    asteria: Asteria,
+    gemini: Gemini,
+    n_pairs: int = 200,
+    seed: int = 0,
+) -> OnlineStats:
+    """Time the online (per-pair) similarity of all three approaches.
+
+    All inputs are precomputed (encodings / multisets), isolating exactly
+    the per-pair comparison cost the paper reports in Figure 10(c).
+    """
+    diaphora = DiaphoraMatcher()
+    rng = RNG(seed)
+    functions = []
+    for arch in sorted(dataset.functions):
+        functions.extend(dataset.functions[arch])
+    functions = [
+        fn for fn in functions
+        if fn.ast_size() >= asteria.config.min_ast_size
+    ]
+    if len(functions) < 2:
+        raise ValueError("need at least two functions")
+    sample = [
+        (rng.choice(functions), rng.choice(functions)) for _ in range(n_pairs)
+    ]
+    asteria_enc = {}
+    gemini_enc = {}
+    diaphora_feat = {}
+    for fn in {id(f): f for pair in sample for f in pair}.values():
+        key = id(fn)
+        asteria_enc[key] = asteria.encode_function(fn)
+        gemini_enc[key] = gemini.encode(dataset.acfg_for(fn))
+        diaphora_feat[key] = diaphora.features(fn.ast)
+
+    started = time.perf_counter()
+    for a, b in sample:
+        asteria.similarity(asteria_enc[id(a)], asteria_enc[id(b)])
+    asteria_s = (time.perf_counter() - started) / n_pairs
+
+    started = time.perf_counter()
+    for a, b in sample:
+        gemini.similarity_from_vectors(gemini_enc[id(a)], gemini_enc[id(b)])
+    gemini_s = (time.perf_counter() - started) / n_pairs
+
+    started = time.perf_counter()
+    for a, b in sample:
+        diaphora.similarity_from_features(diaphora_feat[id(a)], diaphora_feat[id(b)])
+    diaphora_s = (time.perf_counter() - started) / n_pairs
+
+    return OnlineStats(
+        asteria_s=asteria_s,
+        gemini_s=gemini_s,
+        diaphora_s=diaphora_s,
+        n_pairs=n_pairs,
+    )

@@ -1,0 +1,39 @@
+"""A miniature C-like language.
+
+This package is the source-level substrate of the reproduction: the paper
+cross-compiles 260 open-source packages; we instead generate synthetic
+packages in this language and compile them for four architectures with
+:mod:`repro.compiler`.  The node taxonomy mirrors Table I of the paper, so
+decompiled ASTs and source ASTs share one vocabulary.
+"""
+
+from repro.lang.nodes import (
+    Node,
+    FunctionDef,
+    Package,
+    Ops,
+    STATEMENT_OPS,
+    EXPRESSION_OPS,
+    ALL_OPS,
+)
+from repro.lang.types import IntType, PtrType, VoidType, ArrayType, FunctionType
+from repro.lang.generator import GeneratorConfig, ProgramGenerator
+from repro.lang.printer import to_source
+
+__all__ = [
+    "Node",
+    "FunctionDef",
+    "Package",
+    "Ops",
+    "STATEMENT_OPS",
+    "EXPRESSION_OPS",
+    "ALL_OPS",
+    "IntType",
+    "PtrType",
+    "VoidType",
+    "ArrayType",
+    "FunctionType",
+    "GeneratorConfig",
+    "ProgramGenerator",
+    "to_source",
+]

@@ -1,0 +1,301 @@
+"""Random program generator.
+
+The paper's training corpus is 260 real open-source packages cross-compiled
+by buildroot.  We do not have those sources (or a network), so this module
+generates synthetic packages: each package is a set of functions with
+structured bodies (nested conditionals, loops, arithmetic, intra-package
+calls).  Two properties matter for the reproduction and are preserved:
+
+* **semantic identity across architectures** -- one generated function is
+  compiled for all four ISAs, giving ground-truth homologous pairs;
+* **diversity between functions** -- distinct functions have distinct
+  shapes, so non-homologous pairs are genuinely dissimilar.
+
+Generation is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.lang import nodes as N
+from repro.lang.nodes import FunctionDef, Node, Ops, Package
+from repro.utils.rng import RNG
+
+# Leaf library functions every package may call, as (name, arity) pairs.
+# These model libc-style externals; the compiler pipeline appends tiny
+# deterministic bodies for them so call targets always resolve.
+LIBRARY_FUNCTIONS = (
+    ("lib_log", 1),
+    ("lib_checksum", 2),
+    ("lib_read", 1),
+    ("lib_write", 2),
+    ("lib_alloc", 1),
+    ("lib_free", 1),
+)
+
+_STRING_POOL = (
+    "error",
+    "ok",
+    "%s:%d",
+    "out of memory",
+    "invalid argument",
+    "timeout",
+)
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs controlling the shape of generated programs."""
+
+    functions_per_package: int = 12
+    min_statements: int = 3
+    max_statements: int = 8
+    max_depth: int = 3
+    max_expr_depth: int = 3
+    max_params: int = 3
+    max_locals: int = 4
+    call_probability: float = 0.35
+    loop_probability: float = 0.30
+    if_probability: float = 0.45
+    string_probability: float = 0.15
+    include_library_calls: bool = True
+
+    def __post_init__(self):
+        if self.min_statements < 1 or self.max_statements < self.min_statements:
+            raise ValueError("invalid statement count bounds")
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+
+
+@dataclass
+class _FunctionContext:
+    """Mutable state while generating one function body."""
+
+    variables: List[str]
+    callables: List[tuple]  # (name, arity)
+    in_loop: bool = False
+    temp_counter: int = 0
+
+    loop_locals: List[str] = field(default_factory=list)
+
+    def fresh_local(self) -> str:
+        """A loop-private counter variable.
+
+        Deliberately NOT added to ``variables``: if other statements could
+        target a counter the loop might not terminate, and if statements
+        could read one created inside a conditional arm it might be used
+        unassigned.
+        """
+        self.temp_counter += 1
+        name = f"t{self.temp_counter}"
+        self.loop_locals.append(name)
+        return name
+
+
+class ProgramGenerator:
+    """Generates :class:`~repro.lang.nodes.Package` objects.
+
+    Example:
+        >>> gen = ProgramGenerator(seed=7)
+        >>> pkg = gen.generate_package("zlib0")
+        >>> len(pkg) > 0
+        True
+    """
+
+    def __init__(self, seed: int, config: Optional[GeneratorConfig] = None):
+        self.rng = RNG(seed)
+        self.config = config or GeneratorConfig()
+
+    # -- public API ----------------------------------------------------------
+
+    def generate_package(self, name: str) -> Package:
+        """Generate one package with ``functions_per_package`` functions.
+
+        Functions earlier in the list may be called by later ones, yielding a
+        DAG-shaped intra-package call graph (no recursion), plus optional
+        calls to the library leaf functions.
+        """
+        rng = self.rng.child("package", name)
+        package = Package(name=name)
+        callables: List[tuple] = (
+            list(LIBRARY_FUNCTIONS) if self.config.include_library_calls else []
+        )
+        for index in range(self.config.functions_per_package):
+            fn_name = f"{name}_fn{index}"
+            fn = self._generate_function(rng.child("fn", index), fn_name, callables)
+            package.functions.append(fn)
+            callables.append((fn_name, len(fn.params)))
+        return package
+
+    def generate_function(
+        self, name: str, callables: Optional[List[tuple]] = None
+    ) -> FunctionDef:
+        """Generate a single standalone function.
+
+        ``callables`` is a list of ``(name, arity)`` pairs the function may
+        call; defaults to the library leaf functions.
+        """
+        pool = list(callables) if callables else list(LIBRARY_FUNCTIONS)
+        return self._generate_function(self.rng.child("lone", name), name, pool)
+
+    # -- internals -----------------------------------------------------------
+
+    def _generate_function(
+        self, rng: RNG, name: str, callables: List[tuple]
+    ) -> FunctionDef:
+        cfg = self.config
+        n_params = rng.randint(1, cfg.max_params)
+        n_locals = rng.randint(1, cfg.max_locals)
+        params = tuple(f"a{i}" for i in range(n_params))
+        local_vars = [f"v{i}" for i in range(n_locals)]
+        ctx = _FunctionContext(
+            variables=list(params) + local_vars,
+            callables=list(callables),
+        )
+
+        stmts: List[Node] = []
+        # Initialise locals so every variable is defined before use.
+        for local in local_vars:
+            stmts.append(N.asg(N.var(local), self._init_expr(rng, params)))
+        n_stmts = rng.randint(cfg.min_statements, cfg.max_statements)
+        for i in range(n_stmts):
+            stmts.append(self._statement(rng.child("stmt", i), ctx, depth=1))
+        stmts.append(N.ret(self._leaf_expr(rng.child("retval"), ctx)))
+
+        return FunctionDef(
+            name=name,
+            params=params,
+            local_vars=tuple(ctx.variables[len(params):]) + tuple(ctx.loop_locals),
+            body=N.block(*stmts),
+            return_type="int",
+        )
+
+    def _init_expr(self, rng: RNG, params) -> Node:
+        if rng.random() < 0.5:
+            return N.num(rng.randint(0, 255))
+        return N.var(rng.choice(params))
+
+    def _statement(self, rng: RNG, ctx: _FunctionContext, depth: int) -> Node:
+        cfg = self.config
+        roll = rng.random()
+        nested_allowed = depth < cfg.max_depth
+        if nested_allowed and roll < cfg.if_probability:
+            return self._if_statement(rng, ctx, depth)
+        if nested_allowed and roll < cfg.if_probability + cfg.loop_probability:
+            return self._loop_statement(rng, ctx, depth)
+        return self._simple_statement(rng, ctx)
+
+    def _if_statement(self, rng: RNG, ctx: _FunctionContext, depth: int) -> Node:
+        cond = self._comparison(rng.child("cond"), ctx)
+        then_body = self._small_block(rng.child("then"), ctx, depth + 1)
+        if rng.random() < 0.5:
+            else_body = self._small_block(rng.child("else"), ctx, depth + 1)
+            return N.if_(cond, then_body, else_body)
+        return N.if_(cond, then_body)
+
+    def _loop_statement(self, rng: RNG, ctx: _FunctionContext, depth: int) -> Node:
+        was_in_loop = ctx.in_loop
+        ctx.in_loop = True
+        try:
+            bound = rng.randint(2, 16)
+            # Generate the body BEFORE allocating the counter so body
+            # statements can never assign the counter (which would make the
+            # loop non-terminating).
+            body_stmts = [
+                self._simple_statement(rng.child("lbody", i), ctx)
+                for i in range(rng.randint(1, 2))
+            ]
+            if rng.random() < 0.15:
+                guard = self._comparison(rng.child("brk"), ctx)
+                body_stmts.append(N.if_(guard, N.block(Node(Ops.BREAK))))
+            counter = ctx.fresh_local()
+            if rng.random() < 0.5:
+                # for (counter = 0; counter < bound; counter = counter + 1)
+                init = N.asg(N.var(counter), N.num(0))
+                cond = N.binop(Ops.LT, N.var(counter), N.num(bound))
+                step = N.asg(
+                    N.var(counter), N.binop(Ops.ADD, N.var(counter), N.num(1))
+                )
+                return N.for_(init, cond, step, N.block(*body_stmts))
+            # while (counter < bound) { ...; counter = counter + 1; }
+            cond = N.binop(Ops.LT, N.var(counter), N.num(bound))
+            body_stmts.append(
+                N.asg(N.var(counter), N.binop(Ops.ADD, N.var(counter), N.num(1)))
+            )
+            loop = N.while_(cond, N.block(*body_stmts))
+            init = N.asg(N.var(counter), N.num(0))
+            return N.block(init, loop)
+        finally:
+            ctx.in_loop = was_in_loop
+
+    def _small_block(self, rng: RNG, ctx: _FunctionContext, depth: int) -> Node:
+        n = rng.randint(1, 2)
+        stmts = [self._statement(rng.child(i), ctx, depth) for i in range(n)]
+        return N.block(*stmts)
+
+    def _simple_statement(self, rng: RNG, ctx: _FunctionContext) -> Node:
+        cfg = self.config
+        target = N.var(rng.choice(ctx.variables))
+        if ctx.callables and rng.random() < cfg.call_probability:
+            return N.asg(target, self._call_expr(rng, ctx))
+        if rng.random() < 0.2:
+            op = rng.choice(
+                (Ops.ASG_ADD, Ops.ASG_SUB, Ops.ASG_XOR, Ops.ASG_AND, Ops.ASG_OR)
+            )
+            return N.binop(op, target, self._leaf_expr(rng.child("rhs"), ctx))
+        return N.asg(target, self._expression(rng.child("rhs"), ctx, depth=1))
+
+    def _call_expr(self, rng: RNG, ctx: _FunctionContext) -> Node:
+        callee, arity = rng.choice(ctx.callables)
+        args = []
+        for i in range(arity):
+            if rng.random() < self.config.string_probability:
+                args.append(N.string(rng.choice(_STRING_POOL)))
+            else:
+                args.append(self._leaf_expr(rng.child("arg", i), ctx))
+        return N.call(callee, *args)
+
+    def _comparison(self, rng: RNG, ctx: _FunctionContext) -> Node:
+        op = rng.choice((Ops.EQ, Ops.NE, Ops.GT, Ops.LT, Ops.GE, Ops.LE))
+        lhs = N.var(rng.choice(ctx.variables))
+        rhs = (
+            N.num(rng.randint(0, 64))
+            if rng.random() < 0.6
+            else N.var(rng.choice(ctx.variables))
+        )
+        return N.binop(op, lhs, rhs)
+
+    def _expression(self, rng: RNG, ctx: _FunctionContext, depth: int) -> Node:
+        if depth >= self.config.max_expr_depth or rng.random() < 0.35:
+            return self._leaf_expr(rng, ctx)
+        op = rng.choice(
+            (Ops.ADD, Ops.SUB, Ops.MUL, Ops.AND, Ops.OR, Ops.XOR, Ops.DIV)
+        )
+        lhs = self._expression(rng.child("l"), ctx, depth + 1)
+        rhs = self._expression(rng.child("r"), ctx, depth + 1)
+        if op == Ops.DIV and rhs.op == Ops.NUM and rhs.value == 0:
+            rhs = N.num(1)
+        if op == Ops.DIV and rhs.op != Ops.NUM:
+            # Keep generated programs free of potential division by zero.
+            rhs = N.num(rng.randint(1, 16))
+        if rng.random() < 0.1:
+            return Node(Ops.NEG, (N.binop(op, lhs, rhs),))
+        return N.binop(op, lhs, rhs)
+
+    def _leaf_expr(self, rng: RNG, ctx: _FunctionContext) -> Node:
+        if rng.random() < 0.5:
+            return N.var(rng.choice(ctx.variables))
+        return N.num(rng.randint(0, 1023))
+
+
+def generate_corpus(
+    seed: int,
+    n_packages: int,
+    config: Optional[GeneratorConfig] = None,
+    name_prefix: str = "pkg",
+) -> List[Package]:
+    """Generate ``n_packages`` packages deterministically."""
+    gen = ProgramGenerator(seed=seed, config=config)
+    return [gen.generate_package(f"{name_prefix}{i}") for i in range(n_packages)]

@@ -1,0 +1,274 @@
+"""An interpreter for mini-language ASTs.
+
+Used to verify the whole compile -> assemble -> disassemble -> decompile
+pipeline *semantically*: a source function and its decompiled counterpart
+must compute the same outputs on the same inputs, on every architecture.
+(The decompiled AST differs syntactically -- ``for`` vs ``while``, compound
+assignments, flipped comparisons -- but must be behaviourally identical.)
+
+Semantics:
+
+* integers are unbounded Python ints (the compiler performs no
+  wrapping, so source and decompiled evaluation agree exactly);
+* division truncates toward zero (C semantics);
+* string literals evaluate to a deterministic integer (their "address"),
+  stable across source and decompiled forms;
+* calls resolve by name against a function environment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.lang.nodes import FunctionDef, Node, Ops
+
+
+class InterpError(Exception):
+    """Raised on unsupported constructs or runaway execution."""
+
+
+class _Return(Exception):
+    def __init__(self, value: int):
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+def string_value(text: str) -> int:
+    """Deterministic integer stand-in for a string literal's address."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+def _c_div(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpError("division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+_BINARY = {
+    Ops.ADD: lambda a, b: a + b,
+    Ops.SUB: lambda a, b: a - b,
+    Ops.MUL: lambda a, b: a * b,
+    Ops.DIV: _c_div,
+    Ops.AND: lambda a, b: a & b,
+    Ops.OR: lambda a, b: a | b,
+    Ops.XOR: lambda a, b: a ^ b,
+}
+
+_COMPARE = {
+    Ops.EQ: lambda a, b: a == b,
+    Ops.NE: lambda a, b: a != b,
+    Ops.GT: lambda a, b: a > b,
+    Ops.LT: lambda a, b: a < b,
+    Ops.GE: lambda a, b: a >= b,
+    Ops.LE: lambda a, b: a <= b,
+}
+
+_COMPOUND = {
+    Ops.ASG_OR: Ops.OR,
+    Ops.ASG_XOR: Ops.XOR,
+    Ops.ASG_AND: Ops.AND,
+    Ops.ASG_ADD: Ops.ADD,
+    Ops.ASG_SUB: Ops.SUB,
+    Ops.ASG_MUL: Ops.MUL,
+    Ops.ASG_DIV: Ops.DIV,
+}
+
+
+class Interpreter:
+    """Evaluates function bodies against a callee environment."""
+
+    def __init__(
+        self,
+        functions: Optional[Iterable[FunctionDef]] = None,
+        max_steps: int = 200_000,
+    ):
+        self.functions: Dict[str, FunctionDef] = {
+            fn.name: fn for fn in (functions or ())
+        }
+        self.max_steps = max_steps
+        self._steps = 0
+
+    def register(self, fn: FunctionDef) -> None:
+        self.functions[fn.name] = fn
+
+    # -- public -------------------------------------------------------------
+
+    def call(self, name: str, args: Sequence[int]) -> int:
+        """Call a registered function by name."""
+        try:
+            fn = self.functions[name]
+        except KeyError:
+            raise InterpError(f"undefined function {name!r}") from None
+        return self.run(fn, args)
+
+    def run(self, fn: FunctionDef, args: Sequence[int]) -> int:
+        """Execute a function definition with positional integer arguments."""
+        if len(args) != len(fn.params):
+            raise InterpError(
+                f"{fn.name} expects {len(fn.params)} args, got {len(args)}"
+            )
+        self._steps = 0
+        env: Dict[str, int] = dict(zip(fn.params, (int(a) for a in args)))
+        try:
+            self._exec(fn.body, env)
+        except _Return as ret:
+            return ret.value
+        return 0
+
+    def run_body(self, body: Node, params: Dict[str, int]) -> int:
+        """Execute a bare body AST (used for decompiled functions, whose
+        parameter names are positional ``a0``, ``a1``, ...)."""
+        self._steps = 0
+        env = dict(params)
+        try:
+            self._exec(body, env)
+        except _Return as ret:
+            return ret.value
+        return 0
+
+    # -- statements -----------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise InterpError("execution did not terminate within step budget")
+
+    def _exec(self, node: Node, env: Dict[str, int]) -> None:
+        self._tick()
+        op = node.op
+        if op == Ops.BLOCK:
+            for child in node.children:
+                self._exec(child, env)
+            return
+        if op == Ops.IF:
+            if self._truthy(node.children[0], env):
+                self._exec(node.children[1], env)
+            elif len(node.children) == 3:
+                self._exec(node.children[2], env)
+            return
+        if op == Ops.WHILE:
+            while self._truthy(node.children[0], env):
+                self._tick()
+                try:
+                    self._exec(node.children[1], env)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+            return
+        if op == Ops.FOR:
+            init, cond, step, body = node.children
+            self._exec(init, env)
+            while self._truthy(cond, env):
+                self._tick()
+                try:
+                    self._exec(body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                self._exec(step, env)
+            return
+        if op == Ops.RETURN:
+            value = self._eval(node.children[0], env) if node.children else 0
+            raise _Return(value)
+        if op == Ops.BREAK:
+            raise _Break()
+        if op == Ops.CONTINUE:
+            raise _Continue()
+        if op == Ops.ASG:
+            target = node.children[0]
+            if target.op != Ops.VAR:
+                raise InterpError("only variable assignment targets supported")
+            env[target.value] = self._eval(node.children[1], env)
+            return
+        if op in _COMPOUND:
+            target = node.children[0]
+            if target.op != Ops.VAR:
+                raise InterpError("only variable assignment targets supported")
+            current = self._read_var(target.value, env)
+            rhs = self._eval(node.children[1], env)
+            env[target.value] = _BINARY[_COMPOUND[op]](current, rhs)
+            return
+        if op == Ops.CALL:
+            self._eval(node, env)  # call for side effect / discard result
+            return
+        if op == Ops.SWITCH:
+            # children: scrutinee, then alternating (num, block) pairs; the
+            # lowering gives each case an implicit break (no fallthrough).
+            value = self._eval(node.children[0], env)
+            cases = node.children[1:]
+            for i in range(0, len(cases), 2):
+                if self._eval(cases[i], env) == value:
+                    try:
+                        self._exec(cases[i + 1], env)
+                    except _Break:
+                        pass
+                    return
+            return
+        raise InterpError(f"unsupported statement op {op!r}")
+
+    # -- expressions ------------------------------------------------------------
+
+    def _read_var(self, name: str, env: Dict[str, int]) -> int:
+        try:
+            return env[name]
+        except KeyError:
+            raise InterpError(f"read of unassigned variable {name!r}") from None
+
+    def _truthy(self, node: Node, env: Dict[str, int]) -> bool:
+        return self._eval(node, env) != 0
+
+    def _eval(self, node: Node, env: Dict[str, int]) -> int:
+        self._tick()
+        op = node.op
+        if op == Ops.VAR:
+            return self._read_var(node.value, env)
+        if op == Ops.NUM:
+            return int(node.value)
+        if op == Ops.STR:
+            return string_value(node.value)
+        if op in _BINARY:
+            lhs = self._eval(node.children[0], env)
+            rhs = self._eval(node.children[1], env)
+            return _BINARY[op](lhs, rhs)
+        if op in _COMPARE:
+            lhs = self._eval(node.children[0], env)
+            rhs = self._eval(node.children[1], env)
+            return 1 if _COMPARE[op](lhs, rhs) else 0
+        if op == Ops.NEG:
+            return -self._eval(node.children[0], env)
+        if op == Ops.NOT:
+            return ~self._eval(node.children[0], env)
+        if op == Ops.LNOT:
+            return 0 if self._truthy(node.children[0], env) else 1
+        if op == Ops.LAND:
+            return 1 if (self._truthy(node.children[0], env)
+                         and self._truthy(node.children[1], env)) else 0
+        if op == Ops.LOR:
+            return 1 if (self._truthy(node.children[0], env)
+                         or self._truthy(node.children[1], env)) else 0
+        if op == Ops.CALL:
+            args = [self._eval(a, env) for a in node.children]
+            return self.call(node.value, args)
+        raise InterpError(f"unsupported expression op {op!r}")
+
+
+def run_decompiled(
+    interpreter: Interpreter, body: Node, n_params: int, args: Sequence[int]
+) -> int:
+    """Run a decompiled body whose params are ``a0 .. a{n-1}``."""
+    if len(args) != n_params:
+        raise InterpError(f"expected {n_params} args, got {len(args)}")
+    params = {f"a{i}": int(v) for i, v in enumerate(args)}
+    return interpreter.run_body(body, params)

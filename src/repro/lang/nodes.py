@@ -1,0 +1,341 @@
+"""AST node definitions.
+
+The node vocabulary follows Table I of the Asteria paper: *statement* nodes
+control execution flow (``if``, ``block``, loops, ``return`` ...) and
+*expression* nodes perform calculations (assignments, comparisons,
+arithmetic, and "other" leaf-ish nodes such as variables, numbers, calls and
+strings).
+
+A single uniform :class:`Node` class carries an ``op`` string, a tuple of
+children, and an optional ``value`` payload (variable name, constant value,
+call target ...).  This mirrors how decompiler ctrees are represented in
+practice (one ``citem_t`` type with an ``op`` discriminator) and lets the
+source AST, the decompiled AST, and Asteria's preprocessing share one
+representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+
+class Ops:
+    """Canonical op names, grouped as in Table I."""
+
+    # -- statements ---------------------------------------------------------
+    IF = "if"
+    BLOCK = "block"
+    FOR = "for"
+    WHILE = "while"
+    SWITCH = "switch"
+    RETURN = "return"
+    GOTO = "goto"
+    CONTINUE = "continue"
+    BREAK = "break"
+
+    # -- assignments ----------------------------------------------------------
+    ASG = "asg"
+    ASG_OR = "asg_or"
+    ASG_XOR = "asg_xor"
+    ASG_AND = "asg_and"
+    ASG_ADD = "asg_add"
+    ASG_SUB = "asg_sub"
+    ASG_MUL = "asg_mul"
+    ASG_DIV = "asg_div"
+
+    # -- comparisons ----------------------------------------------------------
+    EQ = "eq"
+    NE = "ne"
+    GT = "gt"
+    LT = "lt"
+    GE = "ge"
+    LE = "le"
+
+    # -- arithmetic -------------------------------------------------------------
+    OR = "or"
+    XOR = "xor"
+    AND = "and"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    NOT = "not"
+    POST_INC = "post_inc"
+    POST_DEC = "post_dec"
+    PRE_INC = "pre_inc"
+    PRE_DEC = "pre_dec"
+
+    # -- other ------------------------------------------------------------------
+    INDEX = "index"
+    VAR = "var"
+    NUM = "num"
+    CALL = "call"
+    STR = "str"
+    ASM = "asm"
+    CAST = "cast"
+    REF = "ref"
+    DEREF = "deref"
+    NEG = "neg"
+    LAND = "land"
+    LOR = "lor"
+    LNOT = "lnot"
+
+
+STATEMENT_OPS: Tuple[str, ...] = (
+    Ops.IF,
+    Ops.BLOCK,
+    Ops.FOR,
+    Ops.WHILE,
+    Ops.SWITCH,
+    Ops.RETURN,
+    Ops.GOTO,
+    Ops.CONTINUE,
+    Ops.BREAK,
+)
+
+ASSIGNMENT_OPS: Tuple[str, ...] = (
+    Ops.ASG,
+    Ops.ASG_OR,
+    Ops.ASG_XOR,
+    Ops.ASG_AND,
+    Ops.ASG_ADD,
+    Ops.ASG_SUB,
+    Ops.ASG_MUL,
+    Ops.ASG_DIV,
+)
+
+COMPARISON_OPS: Tuple[str, ...] = (Ops.EQ, Ops.NE, Ops.GT, Ops.LT, Ops.GE, Ops.LE)
+
+ARITHMETIC_OPS: Tuple[str, ...] = (
+    Ops.OR,
+    Ops.XOR,
+    Ops.AND,
+    Ops.ADD,
+    Ops.SUB,
+    Ops.MUL,
+    Ops.DIV,
+    Ops.NOT,
+    Ops.POST_INC,
+    Ops.POST_DEC,
+    Ops.PRE_INC,
+    Ops.PRE_DEC,
+)
+
+OTHER_OPS: Tuple[str, ...] = (
+    Ops.INDEX,
+    Ops.VAR,
+    Ops.NUM,
+    Ops.CALL,
+    Ops.STR,
+    Ops.ASM,
+    Ops.CAST,
+    Ops.REF,
+    Ops.DEREF,
+    Ops.NEG,
+    Ops.LAND,
+    Ops.LOR,
+    Ops.LNOT,
+)
+
+EXPRESSION_OPS: Tuple[str, ...] = (
+    ASSIGNMENT_OPS + COMPARISON_OPS + ARITHMETIC_OPS + OTHER_OPS
+)
+
+ALL_OPS: Tuple[str, ...] = STATEMENT_OPS + EXPRESSION_OPS
+
+# Comparison negation / swap tables, used by the compiler (branch inversion)
+# and the decompiler (reconstructing conditions from inverted branches).
+NEGATED_COMPARISON = {
+    Ops.EQ: Ops.NE,
+    Ops.NE: Ops.EQ,
+    Ops.GT: Ops.LE,
+    Ops.LE: Ops.GT,
+    Ops.LT: Ops.GE,
+    Ops.GE: Ops.LT,
+}
+
+SWAPPED_COMPARISON = {
+    Ops.EQ: Ops.EQ,
+    Ops.NE: Ops.NE,
+    Ops.GT: Ops.LT,
+    Ops.LT: Ops.GT,
+    Ops.GE: Ops.LE,
+    Ops.LE: Ops.GE,
+}
+
+
+@dataclass(frozen=True)
+class Node:
+    """A single AST node.
+
+    Attributes:
+        op: the node kind, one of :data:`ALL_OPS`.
+        children: child nodes, in source order.
+        value: payload for leaf-ish nodes -- the variable name for ``var``,
+            the integer for ``num``, the literal for ``str``, the callee name
+            for ``call`` (whose children are the arguments).
+    """
+
+    op: str
+    children: Tuple["Node", ...] = ()
+    value: Optional[object] = None
+
+    def __post_init__(self):
+        if self.op not in _OP_SET:
+            raise ValueError(f"unknown op: {self.op!r}")
+        if not isinstance(self.children, tuple):
+            object.__setattr__(self, "children", tuple(self.children))
+
+    # -- structure ----------------------------------------------------------
+
+    def walk(self) -> Iterator["Node"]:
+        """Pre-order traversal of this subtree."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def size(self) -> int:
+        """Number of nodes in this subtree."""
+        return sum(1 for _ in self.walk())
+
+    def depth(self) -> int:
+        """Height of this subtree (a leaf has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def is_statement(self) -> bool:
+        return self.op in STATEMENT_OPS
+
+    def is_expression(self) -> bool:
+        return self.op in EXPRESSION_OPS
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def count_ops(self) -> dict:
+        """Histogram of op kinds in this subtree."""
+        counts: dict = {}
+        for node in self.walk():
+            counts[node.op] = counts.get(node.op, 0) + 1
+        return counts
+
+    def replace_children(self, children: Sequence["Node"]) -> "Node":
+        """Return a copy of this node with new children."""
+        return Node(self.op, tuple(children), self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.value is not None and not self.children:
+            return f"Node({self.op}={self.value!r})"
+        if self.value is not None:
+            return f"Node({self.op}={self.value!r}, {len(self.children)} children)"
+        return f"Node({self.op}, {len(self.children)} children)"
+
+
+_OP_SET = frozenset(ALL_OPS)
+
+
+# -- convenience constructors -----------------------------------------------
+
+
+def var(name: str) -> Node:
+    return Node(Ops.VAR, value=name)
+
+
+def num(value: int) -> Node:
+    return Node(Ops.NUM, value=int(value))
+
+
+def string(text: str) -> Node:
+    return Node(Ops.STR, value=text)
+
+
+def call(target: str, *args: Node) -> Node:
+    return Node(Ops.CALL, tuple(args), value=target)
+
+
+def asg(lhs: Node, rhs: Node) -> Node:
+    return Node(Ops.ASG, (lhs, rhs))
+
+
+def block(*stmts: Node) -> Node:
+    return Node(Ops.BLOCK, tuple(stmts))
+
+
+def if_(cond: Node, then: Node, els: Optional[Node] = None) -> Node:
+    children = (cond, then) if els is None else (cond, then, els)
+    return Node(Ops.IF, children)
+
+
+def while_(cond: Node, body: Node) -> Node:
+    return Node(Ops.WHILE, (cond, body))
+
+
+def for_(init: Node, cond: Node, step: Node, body: Node) -> Node:
+    return Node(Ops.FOR, (init, cond, step, body))
+
+
+def ret(value: Optional[Node] = None) -> Node:
+    return Node(Ops.RETURN, () if value is None else (value,))
+
+
+def binop(op: str, lhs: Node, rhs: Node) -> Node:
+    return Node(op, (lhs, rhs))
+
+
+@dataclass
+class FunctionDef:
+    """A function definition: signature plus body.
+
+    Attributes:
+        name: function name (symbol).
+        params: parameter names, in order.
+        local_vars: declared local variable names.
+        body: a ``block`` node.
+        return_type: textual return type ("int" or "void").
+    """
+
+    name: str
+    params: Tuple[str, ...]
+    local_vars: Tuple[str, ...]
+    body: Node
+    return_type: str = "int"
+
+    def ast(self) -> Node:
+        """The function body AST (the unit Asteria operates on)."""
+        return self.body
+
+    def callee_names(self) -> Tuple[str, ...]:
+        """Names of functions called (statically) in the body, with repeats."""
+        return tuple(
+            node.value for node in self.body.walk() if node.op == Ops.CALL
+        )
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(self.params) + tuple(self.local_vars)
+
+
+@dataclass
+class Package:
+    """A software package: a named collection of functions.
+
+    Mirrors one open-source project in the paper's buildroot corpus.
+    """
+
+    name: str
+    functions: list = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDef:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function {name!r} in package {self.name!r}")
+
+    def function_names(self) -> Tuple[str, ...]:
+        return tuple(fn.name for fn in self.functions)
+
+    def __len__(self) -> int:
+        return len(self.functions)

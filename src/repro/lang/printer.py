@@ -1,0 +1,135 @@
+"""C-like pretty printer for ASTs.
+
+Used by examples and debugging output; the printer is intentionally close to
+the decompiler pseudocode shown in the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from repro.lang.nodes import FunctionDef, Node, Ops
+
+_BINOP_SYMBOLS = {
+    Ops.ASG: "=",
+    Ops.ASG_OR: "|=",
+    Ops.ASG_XOR: "^=",
+    Ops.ASG_AND: "&=",
+    Ops.ASG_ADD: "+=",
+    Ops.ASG_SUB: "-=",
+    Ops.ASG_MUL: "*=",
+    Ops.ASG_DIV: "/=",
+    Ops.EQ: "==",
+    Ops.NE: "!=",
+    Ops.GT: ">",
+    Ops.LT: "<",
+    Ops.GE: ">=",
+    Ops.LE: "<=",
+    Ops.OR: "|",
+    Ops.XOR: "^",
+    Ops.AND: "&",
+    Ops.ADD: "+",
+    Ops.SUB: "-",
+    Ops.MUL: "*",
+    Ops.DIV: "/",
+    Ops.LAND: "&&",
+    Ops.LOR: "||",
+}
+
+_UNARY_SYMBOLS = {
+    Ops.NOT: "~",
+    Ops.NEG: "-",
+    Ops.LNOT: "!",
+    Ops.REF: "&",
+    Ops.DEREF: "*",
+}
+
+
+def expr_to_source(node: Node) -> str:
+    """Render an expression node as C-like source text."""
+    if node.op == Ops.VAR:
+        return str(node.value)
+    if node.op == Ops.NUM:
+        return str(node.value)
+    if node.op == Ops.STR:
+        return f'"{node.value}"'
+    if node.op == Ops.CALL:
+        args = ", ".join(expr_to_source(a) for a in node.children)
+        return f"{node.value}({args})"
+    if node.op == Ops.INDEX:
+        base, index = node.children
+        return f"{expr_to_source(base)}[{expr_to_source(index)}]"
+    if node.op == Ops.CAST:
+        return f"({node.value}){expr_to_source(node.children[0])}"
+    if node.op in _UNARY_SYMBOLS:
+        return f"{_UNARY_SYMBOLS[node.op]}({expr_to_source(node.children[0])})"
+    if node.op in (Ops.POST_INC, Ops.POST_DEC):
+        suffix = "++" if node.op == Ops.POST_INC else "--"
+        return f"{expr_to_source(node.children[0])}{suffix}"
+    if node.op in (Ops.PRE_INC, Ops.PRE_DEC):
+        prefix = "++" if node.op == Ops.PRE_INC else "--"
+        return f"{prefix}{expr_to_source(node.children[0])}"
+    if node.op in _BINOP_SYMBOLS and len(node.children) == 2:
+        lhs, rhs = node.children
+        symbol = _BINOP_SYMBOLS[node.op]
+        left = expr_to_source(lhs)
+        right = expr_to_source(rhs)
+        if node.op.startswith("asg"):
+            return f"{left} {symbol} {right}"
+        return f"({left} {symbol} {right})"
+    raise ValueError(f"cannot render expression op {node.op!r}")
+
+
+def _stmt_lines(node: Node, indent: int) -> list:
+    pad = "    " * indent
+    if node.op == Ops.BLOCK:
+        lines = []
+        for child in node.children:
+            lines.extend(_stmt_lines(child, indent))
+        return lines
+    if node.op == Ops.IF:
+        cond = expr_to_source(node.children[0])
+        lines = [f"{pad}if ({cond}) {{"]
+        lines.extend(_stmt_lines(node.children[1], indent + 1))
+        if len(node.children) == 3:
+            lines.append(f"{pad}}} else {{")
+            lines.extend(_stmt_lines(node.children[2], indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if node.op == Ops.WHILE:
+        cond = expr_to_source(node.children[0])
+        lines = [f"{pad}while ({cond}) {{"]
+        lines.extend(_stmt_lines(node.children[1], indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if node.op == Ops.FOR:
+        init, cond, step, body = node.children
+        header = (
+            f"{pad}for ({expr_to_source(init)}; "
+            f"{expr_to_source(cond)}; {expr_to_source(step)}) {{"
+        )
+        lines = [header]
+        lines.extend(_stmt_lines(body, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if node.op == Ops.RETURN:
+        if node.children:
+            return [f"{pad}return {expr_to_source(node.children[0])};"]
+        return [f"{pad}return;"]
+    if node.op == Ops.BREAK:
+        return [f"{pad}break;"]
+    if node.op == Ops.CONTINUE:
+        return [f"{pad}continue;"]
+    if node.op == Ops.GOTO:
+        return [f"{pad}goto {node.value};"]
+    # expression statement
+    return [f"{pad}{expr_to_source(node)};"]
+
+
+def to_source(fn: FunctionDef) -> str:
+    """Render a full function definition as C-like source."""
+    params = ", ".join(f"int {p}" for p in fn.params)
+    lines = [f"{fn.return_type} {fn.name}({params})", "{"]
+    for local in fn.local_vars:
+        lines.append(f"    int {local};")
+    lines.extend(_stmt_lines(fn.body, 1))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""A deliberately small type system for the mini language.
+
+The compiler only distinguishes value widths and pointer-ness; that is all
+the four target ISAs need for instruction selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class IntType:
+    """A signed integer of ``bits`` width (8/16/32/64)."""
+
+    bits: int = 32
+
+    def __post_init__(self):
+        if self.bits not in (8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width: {self.bits}")
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+@dataclass(frozen=True)
+class PtrType:
+    """A pointer to some pointee type."""
+
+    pointee: object = IntType(32)
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class VoidType:
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    element: object
+    length: int
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.length}]"
+
+
+@dataclass(frozen=True)
+class FunctionType:
+    params: Tuple[object, ...]
+    returns: object
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        return f"{self.returns}({params})"

@@ -1,0 +1,39 @@
+"""A small reverse-mode autograd library on numpy.
+
+The environment has no PyTorch, so the paper's model stack (``nn.Embedding``,
+Binary Tree-LSTM, Siamese head, ``BCELoss``, AdaGrad) is implemented here
+from scratch: a :class:`Tensor` with reverse-mode automatic differentiation,
+:class:`Module` containers, layers, losses, and optimisers.  At the paper's
+model sizes (16-dim embeddings, batch size 1 -- Tree-LSTM shapes prevent
+batching, as the paper notes) numpy is entirely adequate.
+"""
+
+from repro.nn.tensor import Tensor, concat, no_grad
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Embedding, Linear
+from repro.nn.treelstm import BinaryTreeLSTM, BinaryTreeNode
+from repro.nn.graphnet import Structure2Vec
+from repro.nn.loss import bce_loss, mse_loss, cosine_embedding_loss
+from repro.nn.optim import SGD, AdaGrad, Adam
+from repro.nn.serialize import save_state, load_state
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "no_grad",
+    "Module",
+    "Parameter",
+    "Embedding",
+    "Linear",
+    "BinaryTreeLSTM",
+    "BinaryTreeNode",
+    "Structure2Vec",
+    "bce_loss",
+    "mse_loss",
+    "cosine_embedding_loss",
+    "SGD",
+    "AdaGrad",
+    "Adam",
+    "save_state",
+    "load_state",
+]

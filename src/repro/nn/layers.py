@@ -1,0 +1,58 @@
+"""Basic layers: Linear and Embedding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter, glorot
+from repro.nn.tensor import Tensor
+from repro.utils.rng import RNG
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b`` for rank-1 inputs."""
+
+    def __init__(self, in_features: int, out_features: int, rng: RNG,
+                 bias: bool = True):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(glorot(rng, (in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    The stand-in for ``torch.nn.Embedding`` the paper uses to embed the
+    Table-I node labels into 16-dimensional vectors.
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng: RNG):
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            rng.normal(0.0, 1.0, size=(num_embeddings, embedding_dim))
+        )
+
+    def forward(self, index: int) -> Tensor:
+        if not 0 <= index < self.num_embeddings:
+            raise IndexError(
+                f"embedding index {index} out of range "
+                f"[0, {self.num_embeddings})"
+            )
+        weight = self.weight
+        out_data = weight.data[index]
+
+        def backward(grad):
+            if weight.requires_grad:
+                full = np.zeros_like(weight.data)
+                full[index] = grad
+                weight._accumulate(full)
+
+        return Tensor._op(out_data, (weight,), backward)

@@ -1,0 +1,42 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+from repro.nn.tensor import Tensor
+
+_EPS = 1e-12
+
+
+def bce_loss(prediction: Tensor, target) -> Tensor:
+    """Binary cross entropy, averaged over elements.
+
+    The paper trains with ``BCELoss`` between the Siamese network's softmax
+    output ``[dissimilarity, similarity]`` and the one-hot label vector
+    ([1,0] = non-homologous, [0,1] = homologous).
+    """
+    target = Tensor._lift(target)
+    count = prediction.data.size
+    log_pos = (prediction + _EPS).log()
+    log_neg = ((1.0 - prediction) + _EPS).log()
+    losses = -(target * log_pos + (1.0 - target) * log_neg)
+    return losses.sum() * (1.0 / count)
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    target = Tensor._lift(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def cosine_embedding_loss(similarity: Tensor, label: int, margin: float = 0.0) -> Tensor:
+    """Cosine-embedding-style loss on a scalar similarity.
+
+    label +1: loss = 1 - sim;  label -1: loss = max(0, sim - margin).
+    Used to train the Gemini baseline (cosine Siamese with ±1 ground truth).
+    """
+    if label == 1:
+        return 1.0 - similarity
+    if label == -1:
+        return (similarity - margin).relu()
+    raise ValueError("label must be +1 or -1")

@@ -1,0 +1,87 @@
+"""Module base class and parameter container."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.utils.rng import RNG
+
+
+class Parameter(Tensor):
+    """A trainable tensor."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+def glorot(rng: RNG, shape: Tuple[int, ...]) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    fan_in = shape[0] if len(shape) > 1 else shape[0]
+    fan_out = shape[1] if len(shape) > 1 else shape[0]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Parameters are discovered by attribute reflection: any attribute that is
+    a :class:`Parameter`, a :class:`Module`, or a list of either contributes
+    to :meth:`parameters` and :meth:`state_dict`.
+    """
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            path = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield path, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(f"{path}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{path}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(f"{path}.{i}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _name, p in self.named_parameters()]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    def n_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+    # -- checkpointing ----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise ValueError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{value.shape} vs {parameter.data.shape}"
+                )
+            parameter.data = value.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,90 @@
+"""Optimisers: SGD, AdaGrad (the paper's choice), and Adam."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimiser."""
+
+    def __init__(self, parameters: Sequence[Parameter]):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer given no parameters")
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters, lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, velocity in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity -= self.lr * p.grad
+                p.data = p.data + velocity
+            else:
+                p.data = p.data - self.lr * p.grad
+
+
+class AdaGrad(Optimizer):
+    """AdaGrad (Duchi et al.); the optimiser used in the paper."""
+
+    def __init__(self, parameters, lr: float = 0.05, eps: float = 1e-10):
+        super().__init__(parameters)
+        self.lr = lr
+        self.eps = eps
+        self._accum = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, accum in zip(self.parameters, self._accum):
+            if p.grad is None:
+                continue
+            accum += p.grad ** 2
+            p.data = p.data - self.lr * p.grad / (np.sqrt(accum) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba)."""
+
+    def __init__(self, parameters, lr: float = 0.001, betas=(0.9, 0.999),
+                 eps: float = 1e-8):
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad ** 2
+            p.data = p.data - self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

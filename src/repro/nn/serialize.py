@@ -1,0 +1,37 @@
+"""Model checkpointing via ``numpy.savez``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Tuple
+
+import numpy as np
+
+_META_KEY = "__meta__"
+
+
+def save_state(path, state: Dict[str, np.ndarray], meta: Dict = None) -> None:
+    """Save a state dict (and optional JSON-able metadata) to ``path``."""
+    path = Path(path)
+    payload = dict(state)
+    if _META_KEY in payload:
+        raise ValueError(f"{_META_KEY!r} is a reserved key")
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_state(path) -> Tuple[Dict[str, np.ndarray], Dict]:
+    """Load ``(state_dict, meta)`` saved by :func:`save_state`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(".npz").exists():
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        state = {
+            key: archive[key] for key in archive.files if key != _META_KEY
+        }
+    return state, meta

@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG, logging, and serialization helpers."""
+
+from repro.utils.rng import RNG, derive_seed
+from repro.utils.logging import get_logger
+
+__all__ = ["RNG", "derive_seed", "get_logger"]

@@ -1,0 +1,33 @@
+"""Logging helpers.
+
+All modules obtain loggers through :func:`get_logger`, which namespaces them
+under ``repro`` so applications can configure the whole library at once.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_CONFIGURED = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure(level: int = logging.INFO) -> None:
+    """Install a basic stderr handler once (idempotent)."""
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(level)
+    _CONFIGURED = True

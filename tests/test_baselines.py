@@ -1,0 +1,153 @@
+"""Tests for the Diaphora and Gemini baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.diaphora import (
+    DiaphoraMatcher,
+    PRIME_TABLE,
+    ast_fuzzy_hash,
+)
+from repro.baselines.gemini.acfg import N_FEATURES, extract_acfg
+from repro.baselines.gemini.model import Gemini, GeminiConfig, GeminiPair
+from repro.lang import nodes as N
+from repro.lang.nodes import Ops
+
+
+class TestDiaphora:
+    def _tree(self, extra=0):
+        stmts = [N.asg(N.var("x"), N.num(1))]
+        stmts += [N.asg(N.var("y"), N.binop(Ops.ADD, N.var("x"), N.num(i)))
+                  for i in range(extra)]
+        stmts.append(N.ret(N.var("x")))
+        return N.block(*stmts)
+
+    def test_primes_distinct(self):
+        assert len(set(PRIME_TABLE.values())) == len(PRIME_TABLE)
+
+    def test_hash_multiplicative(self):
+        """hash(tree) equals the product over node primes."""
+        tree = self._tree()
+        expected = 1
+        for node in tree.walk():
+            expected *= PRIME_TABLE[node.op]
+        assert ast_fuzzy_hash(tree) == expected
+
+    def test_hash_order_insensitive(self):
+        a = N.block(N.asg(N.var("x"), N.num(1)), N.ret(N.var("x")))
+        b = N.block(N.ret(N.var("x")), N.asg(N.var("x"), N.num(1)))
+        assert ast_fuzzy_hash(a) == ast_fuzzy_hash(b)
+
+    def test_identical_trees_score_one(self):
+        matcher = DiaphoraMatcher()
+        tree = self._tree()
+        assert matcher.similarity(tree, tree) == 1.0
+
+    def test_different_trees_score_below_one(self):
+        matcher = DiaphoraMatcher()
+        assert matcher.similarity(self._tree(), self._tree(extra=3)) < 1.0
+
+    def test_multiset_mode_monotone(self):
+        matcher = DiaphoraMatcher("multiset")
+        base = self._tree()
+        near = self._tree(extra=1)
+        far = self._tree(extra=8)
+        assert matcher.similarity(base, near) > matcher.similarity(base, far)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            DiaphoraMatcher("sha256")
+
+    def test_product_mode_weak_on_cross_arch(self, openssl_small):
+        """The faithful product comparison is near-chance on cross-arch
+        pairs -- the paper's headline Diaphora result (AUC ≈ 0.54)."""
+        from repro.core.pairs import build_cross_arch_pairs
+        from repro.evalsuite.metrics import roc_auc
+
+        pairs = build_cross_arch_pairs(openssl_small.functions, 10, seed=3)
+        matcher = DiaphoraMatcher("product")
+        labels = [1 if p.label > 0 else 0 for p in pairs]
+        scores = [matcher.similarity(p.first.ast, p.second.ast) for p in pairs]
+        assert roc_auc(labels, scores) < 0.8
+
+
+class TestACFG:
+    def test_feature_matrix_shape(self, binaries):
+        binary = binaries["x86"]
+        acfg = extract_acfg(binary, binary.functions[0])
+        assert acfg.features.shape == (acfg.n_blocks, N_FEATURES)
+        assert acfg.adjacency.shape == (acfg.n_blocks, acfg.n_blocks)
+
+    def test_instruction_counts_sum(self, binaries):
+        binary = binaries["x86"]
+        record = binary.functions[0]
+        acfg = extract_acfg(binary, record)
+        assert acfg.features[:, 4].sum() == record.n_instructions
+
+    def test_call_counts(self, package, binaries):
+        binary = binaries["ppc"]
+        from repro.disasm.disassembler import disassemble_function
+
+        for fn in package.functions[:3]:
+            record = binary.function_named(fn.name)
+            acfg = extract_acfg(binary, record)
+            asm = disassemble_function(binary, record)
+            assert acfg.features[:, 3].sum() == len(asm.callee_names())
+
+    def test_arch_sensitivity(self, package, binaries):
+        """ACFGs differ across architectures (the baseline's weakness)."""
+        name = package.functions[0].name
+        x86 = extract_acfg(binaries["x86"], binaries["x86"].function_named(name))
+        arm = extract_acfg(binaries["arm"], binaries["arm"].function_named(name))
+        assert x86.features[:, 4].sum() != arm.features[:, 4].sum()
+
+    def test_metadata(self, binaries):
+        binary = binaries["arm"]
+        acfg = extract_acfg(binary, binary.functions[0])
+        assert acfg.arch == "arm"
+        assert acfg.binary_name == binary.name
+
+
+class TestGemini:
+    def test_encode_shape_and_determinism(self, buildroot_small):
+        gemini = Gemini(GeminiConfig(embedding_dim=16, seed=0))
+        fn = buildroot_small.functions["x86"][0]
+        acfg = buildroot_small.acfg_for(fn)
+        v1, v2 = gemini.encode(acfg), gemini.encode(acfg)
+        assert v1.shape == (16,)
+        np.testing.assert_array_equal(v1, v2)
+
+    def test_similarity_bounds(self, buildroot_small):
+        gemini = Gemini(GeminiConfig(embedding_dim=16))
+        fns = buildroot_small.functions["x86"][:4]
+        acfgs = [buildroot_small.acfg_for(f) for f in fns]
+        for a in acfgs:
+            for b in acfgs:
+                assert 0.0 <= gemini.similarity(a, b) <= 1.0
+        assert gemini.similarity(acfgs[0], acfgs[0]) == pytest.approx(1.0)
+
+    def test_training_improves_separation(self, buildroot_small):
+        from repro.core.pairs import build_cross_arch_pairs
+
+        labeled = build_cross_arch_pairs(buildroot_small.functions, 10, seed=4)
+        pairs = [
+            GeminiPair(
+                buildroot_small.acfg_for(p.first),
+                buildroot_small.acfg_for(p.second),
+                p.label,
+            )
+            for p in labeled
+        ]
+        gemini = Gemini(GeminiConfig(embedding_dim=16, iterations=3))
+        history = gemini.train(pairs[:40], pairs[40:60], epochs=3, lr=0.005)
+        assert history.losses[-1] < history.losses[0]
+        assert 0.0 <= history.best_auc <= 1.0
+
+    def test_save_load(self, tmp_path, buildroot_small):
+        gemini = Gemini(GeminiConfig(embedding_dim=16))
+        fn = buildroot_small.functions["arm"][0]
+        acfg = buildroot_small.acfg_for(fn)
+        before = gemini.encode(acfg)
+        gemini.save(tmp_path / "gemini.npz")
+        restored = Gemini.load(tmp_path / "gemini.npz")
+        np.testing.assert_allclose(restored.encode(acfg), before)

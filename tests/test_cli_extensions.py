@@ -1,0 +1,141 @@
+"""Tests for the CLI and the §VII value-embedding extension."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.extensions import (
+    FEATURE_DIM,
+    ValueAwareAsteria,
+    ValueFeatureExtractor,
+)
+from repro.lang import nodes as N
+from repro.lang.nodes import Ops
+
+
+class TestValueFeatures:
+    def _extractor(self):
+        return ValueFeatureExtractor()
+
+    def test_dimension(self):
+        features = self._extractor().extract(N.block(N.ret(N.num(1))))
+        assert features.dim == FEATURE_DIM
+
+    def test_counts(self):
+        ast = N.block(
+            N.asg(N.var("x"), N.num(5)),
+            N.asg(N.var("y"), N.call("f", N.string("a"), N.string("b"))),
+            N.ret(N.num(1000)),
+        )
+        features = self._extractor().extract(ast)
+        assert features.vector[0] == 2  # numeric constants
+        assert features.vector[1] == 2  # strings
+
+    def test_magnitude_buckets(self):
+        small = self._extractor().extract(N.block(N.ret(N.num(1))))
+        large = self._extractor().extract(N.block(N.ret(N.num(10 ** 6))))
+        assert not np.array_equal(small.vector, large.vector)
+
+    def test_identical_literals_similarity_one(self):
+        ast = N.block(N.asg(N.var("x"), N.num(42)), N.ret(N.string("err")))
+        extractor = self._extractor()
+        a = extractor.extract(ast)
+        assert extractor.similarity(a, a) == pytest.approx(1.0)
+
+    def test_no_literals_vacuous(self):
+        extractor = self._extractor()
+        empty = extractor.extract(N.block(N.ret(N.var("x"))))
+        assert extractor.similarity(empty, empty) == 1.0
+        nonempty = extractor.extract(N.block(N.ret(N.num(3))))
+        assert extractor.similarity(empty, nonempty) == 0.0
+
+    def test_values_cross_architecture_stable(self, buildroot_small):
+        """Literals survive compilation identically on every target."""
+        from repro.core.pairs import build_cross_arch_pairs
+
+        extractor = self._extractor()
+        pairs = build_cross_arch_pairs(buildroot_small.functions, 8, seed=1)
+        for pair in pairs:
+            if pair.label != +1:
+                continue
+            a = extractor.extract(pair.first.ast)
+            b = extractor.extract(pair.second.ast)
+            # counts may shift slightly with arch-dependent inlining, but
+            # the features must remain highly similar for homologous pairs
+            assert extractor.similarity(a, b) > 0.8
+
+
+class TestValueAwareAsteria:
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            ValueAwareAsteria(value_weight=1.5)
+
+    def test_zero_weight_recovers_plain(self, trained_model, buildroot_small):
+        aware = ValueAwareAsteria(model=trained_model, value_weight=0.0)
+        fns = buildroot_small.functions["x86"][:2]
+        e1, e2 = aware.encode_function(fns[0]), aware.encode_function(fns[1])
+        plain = trained_model.similarity(
+            trained_model.encode_function(fns[0]),
+            trained_model.encode_function(fns[1]),
+        )
+        assert aware.similarity(e1, e2) == pytest.approx(plain)
+
+    def test_extension_separates_pairs(self, trained_model, buildroot_small):
+        from repro.core.pairs import build_cross_arch_pairs
+        from repro.evalsuite.metrics import roc_auc
+
+        aware = ValueAwareAsteria(model=trained_model, value_weight=0.3)
+        pairs = build_cross_arch_pairs(buildroot_small.functions, 8, seed=2)
+        labels = [1 if p.label > 0 else 0 for p in pairs]
+        scores = [aware.compare_functions(p.first, p.second) for p in pairs]
+        assert roc_auc(labels, scores) > 0.8
+
+
+class TestCLI:
+    def test_generate(self, capsys):
+        assert main(["generate", "--name", "p", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "int p_fn0(" in out
+
+    def test_compile_disasm_decompile(self, tmp_path, capsys):
+        assert main([
+            "compile", "--name", "p", "--seed", "3",
+            "--arch", "arm", "--output", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        binary_path = str(tmp_path / "p.arm.rbin")
+        assert main(["disasm", binary_path, "--function", "p_fn0"]) == 0
+        out = capsys.readouterr().out
+        assert "p_fn0:" in out
+        assert main(["decompile", binary_path, "--function", "p_fn0"]) == 0
+        out = capsys.readouterr().out
+        assert "// p_fn0 (arm" in out
+
+    def test_compile_strip(self, tmp_path, capsys):
+        assert main([
+            "compile", "--name", "p", "--seed", "3",
+            "--arch", "x86", "--strip", "--output", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["decompile", str(tmp_path / "p.x86.rbin")]) == 0
+        out = capsys.readouterr().out
+        assert "sub_" in out
+
+    def test_compare_with_saved_model(self, tmp_path, trained_model, capsys):
+        model_path = tmp_path / "model.npz"
+        trained_model.save(model_path)
+        for arch in ("x86", "arm"):
+            main(["compile", "--name", "q", "--seed", "5",
+                  "--arch", arch, "--output", str(tmp_path)])
+        capsys.readouterr()
+        assert main([
+            "compare", "--model", str(model_path),
+            str(tmp_path / "q.x86.rbin"), "q_fn1",
+            str(tmp_path / "q.arm.rbin"), "q_fn1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "calibrated similarity" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,240 @@
+"""Tests for per-architecture instruction selection."""
+
+import pytest
+
+from repro.compiler.codegen import (
+    AImm,
+    CodegenError,
+    Lab,
+    Mem,
+    Reg,
+    Sym,
+    select_instructions,
+)
+from repro.compiler.ir import lower_function
+from repro.compiler.isa import SUPPORTED_ARCHES, get_isa
+from repro.lang import nodes as N
+from repro.lang.nodes import FunctionDef, Node, Ops
+
+
+def _fn(stmts, params=("a0",), local_vars=("v0",), name="f"):
+    return FunctionDef(name, tuple(params), tuple(local_vars), N.block(*stmts))
+
+
+def _compile(fn, arch):
+    return select_instructions(lower_function(fn), arch)
+
+
+def _mnemonics(asm):
+    return [i.mnemonic for i in asm.instructions]
+
+
+SIMPLE = _fn([
+    N.asg(N.var("v0"), N.binop(Ops.ADD, N.var("a0"), N.num(1))),
+    N.ret(N.var("v0")),
+])
+
+DIAMOND = _fn([
+    N.if_(N.binop(Ops.LT, N.var("a0"), N.num(1)),
+          N.block(N.asg(N.var("v0"), N.num(1))),
+          N.block(N.asg(N.var("v0"), N.var("a0")))),
+    N.ret(N.var("v0")),
+])
+
+CALL = _fn([
+    N.asg(N.var("v0"), N.call("g", N.var("a0"), N.num(7))),
+    N.ret(N.var("v0")),
+])
+
+
+class TestAllArches:
+    @pytest.mark.parametrize("arch", SUPPORTED_ARCHES)
+    def test_only_known_mnemonics(self, arch):
+        isa = get_isa(arch)
+        for fn in (SIMPLE, DIAMOND, CALL):
+            asm = _compile(fn, arch)
+            for instr in asm.instructions:
+                assert instr.mnemonic in isa.mnemonics, instr.mnemonic
+
+    @pytest.mark.parametrize("arch", SUPPORTED_ARCHES)
+    def test_frame_info(self, arch):
+        asm = _compile(SIMPLE, arch)
+        assert asm.frame.n_params == 1
+        assert asm.frame.n_locals == 1
+
+    @pytest.mark.parametrize("arch", SUPPORTED_ARCHES)
+    def test_callee_names(self, arch):
+        asm = _compile(CALL, arch)
+        assert asm.callee_names() == ("g",)
+
+    @pytest.mark.parametrize("arch", SUPPORTED_ARCHES)
+    def test_string_literals_collected(self, arch):
+        fn = _fn([N.asg(N.var("v0"), N.call("g", N.string("hello"))),
+                  N.ret(N.num(0))])
+        asm = _compile(fn, arch)
+        assert asm.string_literals() == ("hello",)
+
+    @pytest.mark.parametrize("arch", SUPPORTED_ARCHES)
+    def test_render_is_textual(self, arch):
+        text = _compile(DIAMOND, arch).render()
+        assert "arch=" + arch in text
+
+
+class TestX86:
+    def test_prologue(self):
+        mnems = _mnemonics(_compile(SIMPLE, "x86"))
+        assert mnems[:3] == ["push", "mov", "sub"]
+
+    def test_stack_args_pushed_right_to_left(self):
+        asm = _compile(CALL, "x86")
+        mnems = _mnemonics(asm)
+        call_at = mnems.index("call")
+        pushes = [i for i, m in enumerate(mnems[:call_at]) if m == "push"]
+        # prologue push + 2 argument pushes
+        assert len(pushes) == 3
+        # stack cleanup after the call
+        assert mnems[call_at + 1] == "add"
+
+    def test_two_operand_accumulator_style(self):
+        asm = _compile(SIMPLE, "x86")
+        add = next(i for i in asm.instructions if i.mnemonic == "add")
+        assert add.operands[0] == Reg("eax")
+
+    def test_strict_immediate_comparison_normalised(self):
+        """x86 turns (a < 1) into cmp a, 0 + jle -- the paper Fig. 1 quirk."""
+        asm = _compile(DIAMOND, "x86")
+        cmp = next(i for i in asm.instructions if i.mnemonic == "cmp")
+        assert cmp.operands[1] == AImm(0)
+        # lowering negates lt -> ge, then x86 turns ge imm into gt imm-1
+        assert "jg" in _mnemonics(asm)
+
+    def test_vars_in_stack_slots(self):
+        asm = _compile(SIMPLE, "x86")
+        stores = [i for i in asm.instructions
+                  if i.mnemonic == "mov" and isinstance(i.operands[0], Mem)]
+        assert stores, "locals should live in frame slots"
+
+
+class TestX64:
+    def test_register_args(self):
+        asm = _compile(CALL, "x64")
+        mnems = _mnemonics(asm)
+        assert "push" not in mnems[3:]  # no argument pushes
+        call_at = mnems.index("call")
+        arg_moves = [
+            i for i in asm.instructions[:call_at]
+            if i.mnemonic == "mov" and isinstance(i.operands[0], Reg)
+            and i.operands[0].name in ("rdi", "rsi")
+        ]
+        assert len(arg_moves) == 2
+
+    def test_param_spilled_to_frame(self):
+        asm = _compile(SIMPLE, "x64")
+        spill = asm.instructions[3]
+        assert spill.mnemonic == "mov"
+        assert isinstance(spill.operands[0], Mem)
+        assert spill.operands[1] == Reg("rdi")
+
+    def test_no_comparison_normalisation(self):
+        asm = _compile(DIAMOND, "x64")
+        cmp = next(i for i in asm.instructions if i.mnemonic == "cmp")
+        assert cmp.operands[1] == AImm(1)
+
+
+class TestARM:
+    def test_three_operand_alu(self):
+        asm = _compile(SIMPLE, "arm")
+        add = next(i for i in asm.instructions if i.mnemonic == "add")
+        assert len(add.operands) == 3
+
+    def test_diamond_is_predicated(self):
+        asm = _compile(DIAMOND, "arm")
+        predicated = [i for i in asm.instructions if i.cond]
+        assert predicated, "small if/else should predicate"
+        conds = {i.cond for i in predicated}
+        assert conds == {"ge", "lt"}
+        # no conditional branches at all -> single basic block
+        isa = get_isa("arm")
+        assert not any(isa.is_conditional_branch(m) for m in _mnemonics(asm))
+
+    def test_else_arm_emitted_first(self):
+        """The inverted-condition (else) instructions precede the then ones,
+        reproducing the MOVLE-before-STRGT layout of the paper's Figure 2."""
+        asm = _compile(DIAMOND, "arm")
+        predicated = [i for i in asm.instructions if i.cond]
+        assert predicated[0].cond == "ge"  # negated source condition first
+
+    def test_call_uses_bl_and_r0(self):
+        asm = _compile(CALL, "arm")
+        mnems = _mnemonics(asm)
+        assert "bl" in mnems
+        bl = next(i for i in asm.instructions if i.mnemonic == "bl")
+        assert bl.operands[0] == Sym("g")
+
+    def test_too_many_params_rejected(self):
+        fn = _fn([N.ret(N.num(0))], params=("a", "b", "c", "d", "e"))
+        with pytest.raises(CodegenError):
+            _compile(fn, "arm")
+
+    def test_large_if_not_predicated(self):
+        stmts = [N.asg(N.var("v0"), N.binop(Ops.ADD, N.var("a0"), N.num(i)))
+                 for i in range(4)]
+        fn = _fn([
+            N.if_(N.binop(Ops.LT, N.var("a0"), N.num(1)),
+                  N.block(*stmts),
+                  N.block(N.asg(N.var("v0"), N.var("a0")))),
+            N.ret(N.var("v0")),
+        ])
+        asm = _compile(fn, "arm")
+        assert any(get_isa("arm").is_conditional_branch(m) for m in _mnemonics(asm))
+
+    def test_call_in_arm_not_predicated(self):
+        fn = _fn([
+            N.if_(N.binop(Ops.LT, N.var("a0"), N.num(1)),
+                  N.block(N.asg(N.var("v0"), N.call("g", N.num(1)))),
+                  N.block(N.asg(N.var("v0"), N.var("a0")))),
+            N.ret(N.var("v0")),
+        ])
+        asm = _compile(fn, "arm")
+        assert "bl" in _mnemonics(asm)
+        assert any(get_isa("arm").is_conditional_branch(m) for m in _mnemonics(asm))
+
+
+class TestPPC:
+    def test_distinct_mnemonics(self):
+        asm = _compile(SIMPLE, "ppc")
+        mnems = set(_mnemonics(asm))
+        assert "mr" in mnems  # prologue arg move
+        assert "addi" in mnems  # add with immediate
+        assert "blr" in mnems
+
+    def test_subf_operand_order(self):
+        """subf rd, ra, rb computes rb - ra: lhs must be the THIRD operand."""
+        fn = _fn([N.asg(N.var("v0"), N.binop(Ops.SUB, N.var("a0"), N.num(3))),
+                  N.ret(N.var("v0"))])
+        asm = _compile(fn, "ppc")
+        subf = next(i for i in asm.instructions if i.mnemonic == "subf")
+        assert len(subf.operands) == 3
+
+    def test_cmpwi_for_immediates(self):
+        asm = _compile(DIAMOND, "ppc")
+        assert "cmpwi" in _mnemonics(asm)
+
+    def test_no_predication(self):
+        asm = _compile(DIAMOND, "ppc")
+        assert all(not i.cond for i in asm.instructions)
+
+
+class TestLabels:
+    @pytest.mark.parametrize("arch", SUPPORTED_ARCHES)
+    def test_branch_targets_resolve(self, arch):
+        fn = _fn([
+            N.while_(N.binop(Ops.LT, N.var("v0"), N.num(3)),
+                     N.block(N.binop(Ops.ASG_ADD, N.var("v0"), N.num(1)))),
+            N.ret(N.num(0)),
+        ])
+        asm = _compile(fn, arch)
+        for instr in asm.instructions:
+            for operand in instr.operands:
+                if isinstance(operand, Lab):
+                    assert operand.name in asm.labels

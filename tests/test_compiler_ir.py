@@ -1,0 +1,206 @@
+"""Tests for AST -> IR lowering."""
+
+import pytest
+
+from repro.compiler import ir as IR
+from repro.compiler.ir import Lowerer, LoweringError, lower_function
+from repro.lang import nodes as N
+from repro.lang.nodes import FunctionDef, Node, Ops
+
+
+def _fn(stmts, params=("a0",), local_vars=("v0",)):
+    return FunctionDef("f", tuple(params), tuple(local_vars), N.block(*stmts))
+
+
+def _ops(ir):
+    return [type(i).__name__ for i in ir.instructions]
+
+
+class TestStraightLine:
+    def test_simple_assignment(self):
+        ir = lower_function(_fn([N.asg(N.var("v0"), N.num(3)), N.ret(N.var("v0"))]))
+        assert isinstance(ir.instructions[0], IR.Move)
+        assert ir.instructions[0].dst == IR.Var("v0")
+        assert ir.instructions[0].src == IR.Imm(3)
+        assert isinstance(ir.instructions[-1], IR.Ret)
+
+    def test_binop_assignment_direct(self):
+        """x = a + b lowers to one BinOp, no temp."""
+        ir = lower_function(
+            _fn([N.asg(N.var("v0"), N.binop(Ops.ADD, N.var("a0"), N.num(1))),
+                 N.ret(N.var("v0"))])
+        )
+        binops = [i for i in ir.instructions if isinstance(i, IR.BinOp)]
+        assert len(binops) == 1
+        assert binops[0].dst == IR.Var("v0")
+
+    def test_nested_expression_uses_temps(self):
+        expr = N.binop(Ops.MUL,
+                       N.binop(Ops.ADD, N.var("a0"), N.num(1)),
+                       N.binop(Ops.SUB, N.var("a0"), N.num(2)))
+        ir = lower_function(_fn([N.asg(N.var("v0"), expr), N.ret(N.var("v0"))]))
+        binops = [i for i in ir.instructions if isinstance(i, IR.BinOp)]
+        assert len(binops) == 3
+        temps = {i.dst for i in binops if isinstance(i.dst, IR.Temp)}
+        assert len(temps) == 2
+
+    def test_compound_assignment(self):
+        ir = lower_function(
+            _fn([N.binop(Ops.ASG_ADD, N.var("v0"), N.num(5)), N.ret(N.num(0))])
+        )
+        binop = next(i for i in ir.instructions if isinstance(i, IR.BinOp))
+        assert binop.op == Ops.ADD
+        assert binop.lhs == IR.Var("v0") and binop.dst == IR.Var("v0")
+
+    def test_implicit_return_added(self):
+        ir = lower_function(_fn([N.asg(N.var("v0"), N.num(1))]))
+        assert isinstance(ir.instructions[-1], IR.Ret)
+
+    def test_unary(self):
+        ir = lower_function(
+            _fn([N.asg(N.var("v0"), Node(Ops.NEG, (N.var("a0"),))),
+                 N.ret(N.var("v0"))])
+        )
+        assert any(isinstance(i, IR.UnOp) and i.op == Ops.NEG
+                   for i in ir.instructions)
+
+
+class TestCalls:
+    def test_call_with_dest(self):
+        ir = lower_function(
+            _fn([N.asg(N.var("v0"), N.call("g", N.var("a0"), N.num(2))),
+                 N.ret(N.var("v0"))])
+        )
+        call = next(i for i in ir.instructions if isinstance(i, IR.Call))
+        assert call.func == "g"
+        assert call.dst == IR.Var("v0")
+        assert call.args == (IR.Var("a0"), IR.Imm(2))
+
+    def test_string_argument(self):
+        ir = lower_function(
+            _fn([N.asg(N.var("v0"), N.call("g", N.string("hi"))), N.ret(N.num(0))])
+        )
+        call = next(i for i in ir.instructions if isinstance(i, IR.Call))
+        assert call.args == (IR.StrLit("hi"),)
+
+    def test_callee_names(self):
+        ir = lower_function(
+            _fn([N.asg(N.var("v0"), N.call("g", N.num(1))),
+                 N.asg(N.var("v0"), N.call("g", N.num(2))),
+                 N.ret(N.num(0))])
+        )
+        assert ir.callee_names() == ("g", "g")
+
+
+class TestControlFlow:
+    def test_if_without_else(self):
+        ir = lower_function(
+            _fn([N.if_(N.binop(Ops.LT, N.var("a0"), N.num(1)),
+                       N.block(N.asg(N.var("v0"), N.num(1)))),
+                 N.ret(N.num(0))])
+        )
+        cond = next(i for i in ir.instructions if isinstance(i, IR.CondJump))
+        # branch is taken when the NEGATED condition holds
+        assert cond.op == Ops.GE
+        labels = ir.labels()
+        assert cond.target in labels
+
+    def test_if_else_has_jump_over_else(self):
+        ir = lower_function(
+            _fn([N.if_(N.binop(Ops.EQ, N.var("a0"), N.num(0)),
+                       N.block(N.asg(N.var("v0"), N.num(1))),
+                       N.block(N.asg(N.var("v0"), N.num(2)))),
+                 N.ret(N.var("v0"))])
+        )
+        assert any(isinstance(i, IR.Jump) for i in ir.instructions)
+        assert len(ir.labels()) == 2
+
+    def test_while_shape(self):
+        ir = lower_function(
+            _fn([N.while_(N.binop(Ops.LT, N.var("v0"), N.num(3)),
+                          N.block(N.binop(Ops.ASG_ADD, N.var("v0"), N.num(1)))),
+                 N.ret(N.num(0))])
+        )
+        # head label, negated branch to end, back jump
+        cond = next(i for i in ir.instructions if isinstance(i, IR.CondJump))
+        assert cond.op == Ops.GE
+        jumps = [i for i in ir.instructions if isinstance(i, IR.Jump)]
+        assert len(jumps) == 1
+
+    def test_for_lowered_with_step_label(self):
+        ir = lower_function(
+            _fn([N.for_(N.asg(N.var("v0"), N.num(0)),
+                        N.binop(Ops.LT, N.var("v0"), N.num(3)),
+                        N.asg(N.var("v0"), N.binop(Ops.ADD, N.var("v0"), N.num(1))),
+                        N.block(N.asg(N.var("v0"), N.var("v0")))),
+                 N.ret(N.num(0))])
+        )
+        assert len(ir.labels()) == 3  # head, step, end
+
+    def test_break_targets_loop_end(self):
+        ir = lower_function(
+            _fn([N.while_(N.binop(Ops.LT, N.var("v0"), N.num(3)),
+                          N.block(Node(Ops.BREAK))),
+                 N.ret(N.num(0))])
+        )
+        cond = next(i for i in ir.instructions if isinstance(i, IR.CondJump))
+        break_jump = next(i for i in ir.instructions if isinstance(i, IR.Jump))
+        assert break_jump.target == cond.target
+
+    def test_break_outside_loop_raises(self):
+        with pytest.raises(LoweringError):
+            lower_function(_fn([Node(Ops.BREAK)]))
+
+    def test_continue_outside_loop_raises(self):
+        with pytest.raises(LoweringError):
+            lower_function(_fn([Node(Ops.CONTINUE)]))
+
+    def test_switch_lowering(self):
+        switch = Node(Ops.SWITCH, (
+            N.var("a0"),
+            N.num(1), N.block(N.asg(N.var("v0"), N.num(10))),
+            N.num(2), N.block(N.asg(N.var("v0"), N.num(20))),
+        ))
+        ir = lower_function(_fn([switch, N.ret(N.var("v0"))]))
+        conds = [i for i in ir.instructions if isinstance(i, IR.CondJump)]
+        assert len(conds) == 2
+        assert all(c.op == Ops.NE for c in conds)
+
+    def test_comparison_materialisation(self):
+        """x = (a < b) produces a 0/1 temp via branch+moves."""
+        ir = lower_function(
+            _fn([N.asg(N.var("v0"), N.binop(Ops.LT, N.var("a0"), N.num(5))),
+                 N.ret(N.var("v0"))])
+        )
+        moves = [i for i in ir.instructions
+                 if isinstance(i, IR.Move) and isinstance(i.src, IR.Imm)]
+        assert {m.src.value for m in moves} >= {0, 1}
+
+    def test_non_comparison_condition(self):
+        """if (x) tests x != 0 via EQ-to-zero branch."""
+        ir = lower_function(
+            _fn([N.if_(N.var("a0"), N.block(N.asg(N.var("v0"), N.num(1)))),
+                 N.ret(N.num(0))])
+        )
+        cond = next(i for i in ir.instructions if isinstance(i, IR.CondJump))
+        assert cond.op == Ops.EQ and cond.rhs == IR.Imm(0)
+
+
+class TestErrors:
+    def test_non_variable_assignment_target(self):
+        bad = Node(Ops.ASG, (N.num(1), N.num(2)))
+        with pytest.raises(LoweringError):
+            lower_function(_fn([bad]))
+
+    def test_unsupported_statement(self):
+        with pytest.raises(LoweringError):
+            lower_function(_fn([Node(Ops.GOTO, value="somewhere")]))
+
+    def test_lowerer_reusable(self):
+        lowerer = Lowerer()
+        fn = _fn([N.ret(N.num(1))])
+        first = lowerer.lower(fn)
+        second = lowerer.lower(fn)
+        assert [str(i) for i in first.instructions] == [
+            str(i) for i in second.instructions
+        ]

@@ -1,0 +1,223 @@
+"""Focused unit tests for the lifter and structurer internals."""
+
+import pytest
+
+from repro.compiler.cfg import build_cfg
+from repro.compiler.ir import lower_function
+from repro.compiler.codegen import select_instructions
+from repro.compiler.pipeline import compile_function, library_function_defs
+from repro.decompiler import decompile_binary
+from repro.decompiler.lifter import LiftError, lift_function, BranchTerm, RetTerm
+from repro.decompiler.structurer import structure_function
+from repro.lang import nodes as N
+from repro.lang.interp import Interpreter, run_decompiled
+from repro.lang.nodes import FunctionDef, Node, Ops
+
+
+def _fn(stmts, params=("a0",), local_vars=("v0",), name="f"):
+    return FunctionDef(name, tuple(params), tuple(local_vars), N.block(*stmts))
+
+
+def _decompile(fn, arch):
+    binary = compile_function(fn, arch)
+    return decompile_binary(binary)[0]
+
+
+def _lift(fn, arch):
+    binary = compile_function(fn, arch)
+    record = binary.function_named(fn.name)
+    from repro.disasm.disassembler import disassemble_function
+
+    asm = disassemble_function(binary, record)
+    cfg = build_cfg(asm)
+    return cfg, lift_function(asm, cfg, binary)
+
+
+class TestLifter:
+    @pytest.mark.parametrize("arch", ("x86", "x64", "arm", "ppc"))
+    def test_straight_line_statements(self, arch):
+        fn = _fn([
+            N.asg(N.var("v0"), N.binop(Ops.ADD, N.var("a0"), N.num(3))),
+            N.ret(N.var("v0")),
+        ])
+        cfg, lifted = _lift(fn, arch)
+        assert cfg.block_count == 1
+        block = lifted[0]
+        assert isinstance(block.terminator, RetTerm)
+        assert block.terminator.value is not None
+        assert len(block.statements) == 1
+        stmt = block.statements[0]
+        assert stmt.op in (Ops.ASG, Ops.ASG_ADD)
+
+    @pytest.mark.parametrize("arch", ("x86", "ppc"))
+    def test_expression_folding(self, arch):
+        """Temps collapse: (a+1)*(a-2) comes back as one expression tree."""
+        expr = N.binop(Ops.MUL,
+                       N.binop(Ops.ADD, N.var("a0"), N.num(1)),
+                       N.binop(Ops.SUB, N.var("a0"), N.num(2)))
+        fn = _fn([N.asg(N.var("v0"), expr), N.ret(N.var("v0"))])
+        _cfg, lifted = _lift(fn, arch)
+        stmt = lifted[0].statements[0]
+        assert stmt.op == Ops.ASG
+        assert stmt.children[1].op == Ops.MUL
+        assert stmt.children[1].children[0].op == Ops.ADD
+
+    def test_branch_terminator_condition(self):
+        fn = _fn([
+            N.if_(N.binop(Ops.EQ, N.var("a0"), N.num(7)),
+                  N.block(N.asg(N.var("v0"), N.call("lib_log", N.num(1))))),
+            N.ret(N.var("v0")),
+        ])
+        _cfg, lifted = _lift(fn, "ppc")
+        terminator = lifted[0].terminator
+        assert isinstance(terminator, BranchTerm)
+        assert terminator.op == Ops.NE  # negated source condition
+        assert terminator.rhs.op == Ops.NUM
+
+    def test_bare_call_statement(self):
+        """A call whose result is unused still appears as a statement.
+
+        Uses PPC, whose inline threshold (2 statements) keeps ``lib_free``
+        (3 statements) as a real call.
+        """
+        body = N.block(
+            N.asg(N.var("v0"), N.num(1)),
+            Node(Ops.CALL, (N.var("a0"),), value="lib_free"),
+            N.ret(N.var("v0")),
+        )
+        fn = FunctionDef("f", ("a0",), ("v0",), body)
+        decompiled = _decompile(fn, "ppc")
+        calls = [n for n in decompiled.ast.walk() if n.op == Ops.CALL]
+        assert any(c.value == "lib_free" for c in calls)
+
+    def test_string_literals_preserved(self):
+        fn = _fn([
+            N.asg(N.var("v0"), N.call("lib_checksum", N.string("seed"),
+                                      N.var("a0"))),
+            N.ret(N.var("v0")),
+        ])
+        decompiled = _decompile(fn, "x64")
+        strings = [n.value for n in decompiled.ast.walk() if n.op == Ops.STR]
+        assert "seed" in strings
+
+    def test_unary_roundtrip(self):
+        fn = _fn([
+            N.asg(N.var("v0"), Node(Ops.NEG, (N.var("a0"),))),
+            N.asg(N.var("v0"), Node(Ops.NOT, (N.var("v0"),))),
+            N.ret(N.var("v0")),
+        ])
+        interp = Interpreter(library_function_defs())
+        for arch in ("x86", "arm", "ppc"):
+            decompiled = _decompile(fn, arch)
+            for arg in (-5, 0, 9):
+                assert run_decompiled(interp, decompiled.ast, 1, [arg]) == \
+                    interp.run(fn, [arg]), arch
+
+
+class TestStructurer:
+    def test_nested_if(self):
+        fn = _fn([
+            N.if_(N.binop(Ops.GT, N.var("a0"), N.num(0)),
+                  N.block(
+                      N.if_(N.binop(Ops.LT, N.var("a0"), N.num(10)),
+                            N.block(N.asg(N.var("v0"), N.num(1)))))),
+            N.ret(N.var("v0")),
+        ], local_vars=("v0",))
+        fn = FunctionDef("f", ("a0",), ("v0",), N.block(
+            N.asg(N.var("v0"), N.num(0)), *fn.body.children
+        ))
+        decompiled = _decompile(fn, "ppc")
+        ifs = [n for n in decompiled.ast.walk() if n.op == Ops.IF]
+        assert len(ifs) == 2
+        # inner if nested within outer's then-block
+        outer = ifs[0]
+        assert any(n.op == Ops.IF for n in outer.children[1].walk())
+
+    def test_if_else_with_nested_loop(self):
+        fn = _fn([
+            N.asg(N.var("v0"), N.num(0)),
+            N.if_(N.binop(Ops.GT, N.var("a0"), N.num(2)),
+                  N.block(
+                      N.asg(N.var("t0"), N.num(0)),
+                      N.while_(N.binop(Ops.LT, N.var("t0"), N.var("a0")),
+                               N.block(
+                                   N.binop(Ops.ASG_ADD, N.var("v0"), N.num(3)),
+                                   N.asg(N.var("t0"),
+                                         N.binop(Ops.ADD, N.var("t0"),
+                                                 N.num(1)))))),
+                  N.block(N.asg(N.var("v0"), N.num(99)))),
+            N.ret(N.var("v0")),
+        ], local_vars=("v0", "t0"))
+        interp = Interpreter(library_function_defs())
+        for arch in ("x86", "x64", "arm", "ppc"):
+            decompiled = _decompile(fn, arch)
+            for arg in (0, 3, 7):
+                assert run_decompiled(interp, decompiled.ast, 1, [arg]) == \
+                    interp.run(fn, [arg]), (arch, arg)
+
+    def test_break_reconstructed(self):
+        fn = _fn([
+            N.asg(N.var("v0"), N.num(0)),
+            N.asg(N.var("t0"), N.num(0)),
+            N.while_(N.binop(Ops.LT, N.var("t0"), N.num(100)),
+                     N.block(
+                         N.binop(Ops.ASG_ADD, N.var("v0"), N.num(1)),
+                         N.if_(N.binop(Ops.GE, N.var("v0"), N.var("a0")),
+                               N.block(Node(Ops.BREAK))),
+                         N.asg(N.var("t0"),
+                               N.binop(Ops.ADD, N.var("t0"), N.num(1))))),
+            N.ret(N.var("v0")),
+        ], local_vars=("v0", "t0"))
+        decompiled = _decompile(fn, "ppc")
+        assert any(n.op == Ops.BREAK for n in decompiled.ast.walk())
+        interp = Interpreter(library_function_defs())
+        for arg in (1, 5, 500):
+            assert run_decompiled(interp, decompiled.ast, 1, [arg]) == \
+                interp.run(fn, [arg])
+
+    def test_sequential_loops(self):
+        fn = _fn([
+            N.asg(N.var("v0"), N.num(0)),
+            N.asg(N.var("t0"), N.num(0)),
+            N.while_(N.binop(Ops.LT, N.var("t0"), N.num(3)),
+                     N.block(N.binop(Ops.ASG_ADD, N.var("v0"), N.num(1)),
+                             N.asg(N.var("t0"), N.binop(Ops.ADD, N.var("t0"),
+                                                        N.num(1))))),
+            N.asg(N.var("t1"), N.num(0)),
+            N.while_(N.binop(Ops.LT, N.var("t1"), N.num(4)),
+                     N.block(N.binop(Ops.ASG_ADD, N.var("v0"), N.num(10)),
+                             N.asg(N.var("t1"), N.binop(Ops.ADD, N.var("t1"),
+                                                        N.num(1))))),
+            N.ret(N.var("v0")),
+        ], local_vars=("v0", "t0", "t1"))
+        interp = Interpreter(library_function_defs())
+        for arch in ("x86", "arm"):
+            decompiled = _decompile(fn, arch)
+            assert run_decompiled(interp, decompiled.ast, 1, [0]) == 43
+
+    def test_switch_compiles_to_if_chain(self):
+        switch = Node(Ops.SWITCH, (
+            N.var("a0"),
+            N.num(1), N.block(N.asg(N.var("v0"), N.num(10))),
+            N.num(2), N.block(N.asg(N.var("v0"), N.num(20))),
+        ))
+        fn = _fn([N.asg(N.var("v0"), N.num(0)), switch, N.ret(N.var("v0"))])
+        interp = Interpreter(library_function_defs())
+        for arch in ("x86", "ppc"):
+            decompiled = _decompile(fn, arch)
+            for arg in (0, 1, 2, 3):
+                assert run_decompiled(interp, decompiled.ast, 1, [arg]) == \
+                    interp.run(fn, [arg]), (arch, arg)
+
+    def test_return_inside_branch(self):
+        fn = _fn([
+            N.if_(N.binop(Ops.LT, N.var("a0"), N.num(0)),
+                  N.block(N.ret(N.num(-1)))),
+            N.ret(N.var("a0")),
+        ], local_vars=())
+        interp = Interpreter(library_function_defs())
+        for arch in ("x86", "x64", "arm", "ppc"):
+            decompiled = _decompile(fn, arch)
+            for arg in (-4, 0, 4):
+                assert run_decompiled(interp, decompiled.ast, 1, [arg]) == \
+                    interp.run(fn, [arg]), (arch, arg)

@@ -1,0 +1,219 @@
+"""Tests for metrics, datasets, vulnerability search, and timing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evalsuite.metrics import (
+    confusion_counts,
+    roc_auc,
+    roc_curve,
+    tpr_at_fpr,
+    youden_threshold,
+)
+from repro.evalsuite.datasets import build_buildroot_dataset
+from repro.evalsuite.vulnsearch import (
+    CVE_LIBRARY,
+    build_firmware_dataset,
+    patched_function,
+    software_package,
+    vulnerable_function,
+)
+
+
+class TestMetrics:
+    def test_perfect_classifier(self):
+        labels = [0, 0, 1, 1]
+        scores = [0.1, 0.2, 0.8, 0.9]
+        assert roc_auc(labels, scores) == 1.0
+
+    def test_inverted_classifier(self):
+        labels = [0, 0, 1, 1]
+        scores = [0.9, 0.8, 0.2, 0.1]
+        assert roc_auc(labels, scores) == 0.0
+
+    def test_random_classifier_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=2000)
+        scores = rng.random(2000)
+        assert abs(roc_auc(labels, scores) - 0.5) < 0.05
+
+    def test_ties_handled(self):
+        labels = [0, 1, 0, 1]
+        scores = [0.5, 0.5, 0.5, 0.5]
+        assert roc_auc(labels, scores) == pytest.approx(0.5)
+
+    def test_curve_endpoints(self):
+        fpr, tpr, thresholds = roc_curve([0, 1], [0.3, 0.7])
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roc_curve([1, 1], [0.5, 0.6])  # no negatives
+        with pytest.raises(ValueError):
+            roc_curve([0, 2], [0.5, 0.6])  # bad label
+        with pytest.raises(ValueError):
+            roc_curve([], [])
+
+    def test_youden_on_separable(self):
+        labels = [0] * 5 + [1] * 5
+        scores = [0.1, 0.2, 0.3, 0.35, 0.4, 0.6, 0.7, 0.8, 0.9, 0.95]
+        threshold, j = youden_threshold(labels, scores)
+        assert 0.4 < threshold <= 0.6
+        assert j == 1.0
+
+    def test_confusion_counts(self):
+        labels = [0, 0, 1, 1]
+        scores = [0.1, 0.9, 0.2, 0.8]
+        confusion = confusion_counts(labels, scores, 0.5)
+        assert (confusion.tp, confusion.fp, confusion.tn, confusion.fn) == (1, 1, 1, 1)
+        assert confusion.tpr == 0.5
+        assert confusion.fpr == 0.5
+        assert confusion.accuracy == 0.5
+
+    def test_tpr_at_fpr(self):
+        labels = [0, 0, 1, 1]
+        scores = [0.1, 0.9, 0.8, 0.95]
+        assert tpr_at_fpr(labels, scores, 0.0) == pytest.approx(0.5)
+        assert tpr_at_fpr(labels, scores, 1.0) == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 1),
+                              st.floats(0, 1, allow_nan=False)),
+                    min_size=4, max_size=60))
+    def test_auc_bounded(self, pairs):
+        labels = [l for l, _ in pairs]
+        scores = [s for _, s in pairs]
+        if len(set(labels)) < 2:
+            return
+        auc = roc_auc(labels, scores)
+        assert 0.0 <= auc <= 1.0
+
+
+class TestDatasets:
+    def test_stats_structure(self, buildroot_small):
+        stats = buildroot_small.stats()
+        assert {s.arch for s in stats} == {"x86", "x64", "arm", "ppc"}
+        for s in stats:
+            assert s.n_binaries == 3
+            assert s.n_functions > 0
+
+    def test_function_counts_match(self, buildroot_small):
+        for arch in ("x86", "arm"):
+            n_records = sum(
+                len(b.functions) for b in buildroot_small.binaries[arch]
+            )
+            assert len(buildroot_small.functions[arch]) == n_records
+
+    def test_determinism(self):
+        a = build_buildroot_dataset(n_packages=1, seed=3)
+        b = build_buildroot_dataset(n_packages=1, seed=3)
+        assert a.binaries["x86"][0].to_bytes() == b.binaries["x86"][0].to_bytes()
+
+    def test_acfg_cache(self, buildroot_small):
+        fn = buildroot_small.functions["x86"][0]
+        first = buildroot_small.acfg_for(fn)
+        second = buildroot_small.acfg_for(fn)
+        assert first is second
+
+    def test_binary_lookup(self, buildroot_small):
+        binary = buildroot_small.binaries["arm"][0]
+        assert buildroot_small.binary_for("arm", binary.name) is binary
+
+
+class TestVulnSearchCorpus:
+    def test_library_has_seven_cves(self):
+        assert len(CVE_LIBRARY) == 7
+        assert len({e.cve_id for e in CVE_LIBRARY}) == 7
+        softwares = {e.software for e in CVE_LIBRARY}
+        assert softwares == {"openssl", "wget", "libcurl", "vsftpd"}
+
+    def test_vulnerable_function_deterministic(self):
+        entry = CVE_LIBRARY[0]
+        a, b = vulnerable_function(entry), vulnerable_function(entry)
+        assert a.body == b.body
+        assert a.name == entry.function_name
+
+    def test_patched_differs_by_guard(self):
+        entry = CVE_LIBRARY[0]
+        vuln = vulnerable_function(entry)
+        patched = patched_function(entry)
+        assert patched.body != vuln.body
+        assert patched.body.children[0].op == "if"
+        # the original body is preserved behind the guard
+        assert patched.body.children[1:] == vuln.body.children
+
+    def test_software_package_contains_cve_functions(self):
+        package = software_package("openssl", "1.0.1", vulnerable=True)
+        names = package.function_names()
+        for entry in CVE_LIBRARY:
+            if entry.software == "openssl":
+                assert entry.function_name in names
+
+    def test_firmware_dataset_ground_truth(self):
+        dataset = build_firmware_dataset(n_images=6, seed=1)
+        assert len(dataset.images) == 6
+        assert dataset.provenance
+        for (image_id, binary_name), info in dataset.provenance.items():
+            if info.vulnerable:
+                assert info.version in binary_name or info.software in binary_name
+
+    def test_unknown_format_fraction(self):
+        dataset = build_firmware_dataset(
+            n_images=20, seed=2, unknown_format_fraction=1.0
+        )
+        assert dataset.n_unpackable() == 0
+
+    def test_firmware_binaries_stripped(self):
+        dataset = build_firmware_dataset(n_images=4, seed=3)
+        for image in dataset.images:
+            for binary in image.binaries:
+                assert binary.is_stripped
+
+
+class TestTiming:
+    def test_offline_rows(self, buildroot_small):
+        from repro.baselines.gemini.model import Gemini, GeminiConfig
+        from repro.core.model import Asteria, AsteriaConfig
+        from repro.evalsuite.timing import measure_offline
+
+        rows = measure_offline(
+            buildroot_small,
+            Asteria(AsteriaConfig(hidden_dim=16)),
+            Gemini(GeminiConfig(embedding_dim=16)),
+            max_functions=8,
+        )
+        assert rows
+        for row in rows:
+            assert row.ast_size > 0
+            assert row.cfg_size > 0
+            for value in (row.decompile_s, row.preprocess_s, row.encode_s,
+                          row.diaphora_hash_s, row.gemini_extract_s,
+                          row.gemini_encode_s):
+                assert value >= 0.0
+
+    def test_online_stats(self, buildroot_small):
+        from repro.baselines.gemini.model import Gemini, GeminiConfig
+        from repro.core.model import Asteria, AsteriaConfig
+        from repro.evalsuite.timing import measure_online
+
+        stats = measure_online(
+            buildroot_small,
+            Asteria(AsteriaConfig(hidden_dim=16)),
+            Gemini(GeminiConfig(embedding_dim=16)),
+            n_pairs=20,
+        )
+        assert stats.asteria_s > 0
+        assert stats.gemini_s > 0
+        assert stats.diaphora_s > 0
+        assert stats.n_pairs == 20
+
+    def test_cdf(self):
+        from repro.evalsuite.timing import ast_size_cdf
+
+        sizes, fractions = ast_size_cdf([5, 3, 8, 1])
+        assert list(sizes) == [1, 3, 5, 8]
+        assert fractions[-1] == 1.0
+        assert all(np.diff(fractions) > 0)

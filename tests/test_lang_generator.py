@@ -1,0 +1,116 @@
+"""Tests for the random program generator."""
+
+import pytest
+
+from repro.lang.generator import (
+    GeneratorConfig,
+    LIBRARY_FUNCTIONS,
+    ProgramGenerator,
+    generate_corpus,
+)
+from repro.lang.interp import Interpreter
+from repro.lang.nodes import Ops
+from repro.compiler.pipeline import library_function_defs
+from repro.utils.rng import RNG
+
+
+class TestDeterminism:
+    def test_same_seed_same_package(self):
+        a = ProgramGenerator(seed=3).generate_package("p")
+        b = ProgramGenerator(seed=3).generate_package("p")
+        assert [f.name for f in a.functions] == [f.name for f in b.functions]
+        for fa, fb in zip(a.functions, b.functions):
+            assert fa.body == fb.body
+
+    def test_different_seeds_differ(self):
+        a = ProgramGenerator(seed=3).generate_package("p")
+        b = ProgramGenerator(seed=4).generate_package("p")
+        assert any(fa.body != fb.body for fa, fb in zip(a.functions, b.functions))
+
+    def test_package_name_independence(self):
+        """Generating p1 must not perturb a later p2 (child-seed isolation)."""
+        gen = ProgramGenerator(seed=5)
+        gen.generate_package("noise")
+        p2_after = gen.generate_package("p2")
+        p2_fresh = ProgramGenerator(seed=5).generate_package("p2")
+        assert [f.body for f in p2_after.functions] == [
+            f.body for f in p2_fresh.functions
+        ]
+
+
+class TestShape:
+    def test_function_count(self):
+        config = GeneratorConfig(functions_per_package=5)
+        package = ProgramGenerator(seed=1, config=config).generate_package("p")
+        assert len(package) == 5
+
+    def test_param_bounds(self):
+        config = GeneratorConfig(max_params=2)
+        package = ProgramGenerator(seed=1, config=config).generate_package("p")
+        assert all(1 <= len(f.params) <= 2 for f in package.functions)
+
+    def test_bodies_end_with_return(self):
+        package = ProgramGenerator(seed=2).generate_package("p")
+        for fn in package.functions:
+            assert fn.body.children[-1].op == Ops.RETURN
+
+    def test_call_arity_matches_callee(self):
+        package = ProgramGenerator(seed=6).generate_package("p")
+        arities = {name: arity for name, arity in LIBRARY_FUNCTIONS}
+        arities.update({f.name: len(f.params) for f in package.functions})
+        for fn in package.functions:
+            for node in fn.body.walk():
+                if node.op == Ops.CALL:
+                    assert len(node.children) == arities[node.value], node.value
+
+    def test_no_recursion(self):
+        """Call graph is a DAG: functions only call earlier ones."""
+        package = ProgramGenerator(seed=7).generate_package("p")
+        seen = {name for name, _arity in LIBRARY_FUNCTIONS}
+        for fn in package.functions:
+            for callee in fn.callee_names():
+                assert callee in seen, f"{fn.name} calls later/unknown {callee}"
+            seen.add(fn.name)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(min_statements=5, max_statements=2)
+        with pytest.raises(ValueError):
+            GeneratorConfig(max_depth=0)
+
+    def test_no_library_calls_option(self):
+        config = GeneratorConfig(include_library_calls=False)
+        package = ProgramGenerator(seed=8, config=config).generate_package("p")
+        for fn in package.functions:
+            for callee in fn.callee_names():
+                assert not callee.startswith("lib_")
+
+
+class TestExecutability:
+    """Every generated function must terminate and never read unset vars."""
+
+    @pytest.mark.parametrize("seed", [11, 22, 33])
+    def test_generated_functions_run(self, seed):
+        package = ProgramGenerator(seed=seed).generate_package("p")
+        interp = Interpreter(list(package.functions) + library_function_defs())
+        rng = RNG(seed)
+        for fn in package.functions:
+            for _ in range(3):
+                args = [rng.randint(0, 99) for _ in fn.params]
+                result = interp.run(fn, args)
+                assert isinstance(result, int)
+
+    def test_division_never_by_zero_expression(self):
+        """Generated divisions always have non-zero constant divisors."""
+        for pkg in generate_corpus(seed=13, n_packages=3):
+            for fn in pkg.functions:
+                for node in fn.body.walk():
+                    if node.op == Ops.DIV:
+                        divisor = node.children[1]
+                        assert divisor.op == Ops.NUM and divisor.value != 0
+
+
+class TestCorpus:
+    def test_generate_corpus_names(self):
+        corpus = generate_corpus(seed=1, n_packages=3, name_prefix="x")
+        assert [p.name for p in corpus] == ["x0", "x1", "x2"]

@@ -1,0 +1,132 @@
+"""Tests for the AST node model (Table-I vocabulary)."""
+
+import pytest
+
+from repro.lang import nodes as N
+from repro.lang.nodes import (
+    ALL_OPS,
+    ASSIGNMENT_OPS,
+    ARITHMETIC_OPS,
+    COMPARISON_OPS,
+    EXPRESSION_OPS,
+    FunctionDef,
+    NEGATED_COMPARISON,
+    Node,
+    Ops,
+    Package,
+    STATEMENT_OPS,
+    SWAPPED_COMPARISON,
+)
+
+
+class TestTaxonomy:
+    def test_statement_expression_partition(self):
+        assert not set(STATEMENT_OPS) & set(EXPRESSION_OPS)
+        assert set(ALL_OPS) == set(STATEMENT_OPS) | set(EXPRESSION_OPS)
+
+    def test_table_one_statement_rows_present(self):
+        for op in ("if", "block", "for", "while", "switch", "return",
+                   "goto", "continue", "break"):
+            assert op in STATEMENT_OPS
+
+    def test_eight_assignments_six_comparisons(self):
+        assert len(ASSIGNMENT_OPS) == 8
+        assert len(COMPARISON_OPS) == 6
+        assert len(ARITHMETIC_OPS) == 12
+
+    def test_negation_is_involution(self):
+        for op, negated in NEGATED_COMPARISON.items():
+            assert NEGATED_COMPARISON[negated] == op
+
+    def test_swap_is_involution(self):
+        for op, swapped in SWAPPED_COMPARISON.items():
+            assert SWAPPED_COMPARISON[swapped] == op
+
+
+class TestNode:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            Node("frobnicate")
+
+    def test_children_normalised_to_tuple(self):
+        node = Node(Ops.BLOCK, [N.num(1)])
+        assert isinstance(node.children, tuple)
+
+    def test_walk_preorder(self):
+        tree = N.asg(N.var("x"), N.binop(Ops.ADD, N.num(1), N.num(2)))
+        ops = [n.op for n in tree.walk()]
+        assert ops == [Ops.ASG, Ops.VAR, Ops.ADD, Ops.NUM, Ops.NUM]
+
+    def test_size_and_depth(self):
+        tree = N.if_(
+            N.binop(Ops.LT, N.var("a"), N.num(1)),
+            N.block(N.asg(N.var("b"), N.num(0))),
+        )
+        assert tree.size() == 8
+        assert tree.depth() == 4
+
+    def test_leaf_properties(self):
+        assert N.num(3).is_leaf()
+        assert not N.asg(N.var("x"), N.num(1)).is_leaf()
+
+    def test_statement_vs_expression(self):
+        assert N.block().is_statement()
+        assert N.num(1).is_expression()
+
+    def test_count_ops(self):
+        tree = N.block(N.asg(N.var("x"), N.num(1)), N.asg(N.var("y"), N.num(2)))
+        counts = tree.count_ops()
+        assert counts[Ops.ASG] == 2
+        assert counts[Ops.VAR] == 2
+        assert counts[Ops.NUM] == 2
+        assert counts[Ops.BLOCK] == 1
+
+    def test_replace_children(self):
+        original = N.block(N.num(1))
+        replaced = original.replace_children((N.num(2), N.num(3)))
+        assert replaced.size() == 3
+        assert original.size() == 2  # immutable
+
+    def test_constructors(self):
+        call = N.call("f", N.num(1), N.var("x"))
+        assert call.value == "f" and len(call.children) == 2
+        loop = N.for_(
+            N.asg(N.var("i"), N.num(0)),
+            N.binop(Ops.LT, N.var("i"), N.num(5)),
+            N.asg(N.var("i"), N.binop(Ops.ADD, N.var("i"), N.num(1))),
+            N.block(),
+        )
+        assert loop.op == Ops.FOR and len(loop.children) == 4
+        assert N.ret().children == ()
+        assert N.ret(N.num(1)).children[0].op == Ops.NUM
+
+
+class TestFunctionDef:
+    def _fn(self):
+        body = N.block(
+            N.asg(N.var("v0"), N.call("g", N.var("a0"))),
+            N.asg(N.var("v1"), N.call("g", N.num(3))),
+            N.ret(N.var("v0")),
+        )
+        return FunctionDef("f", ("a0",), ("v0", "v1"), body)
+
+    def test_callee_names_with_repeats(self):
+        assert self._fn().callee_names() == ("g", "g")
+
+    def test_variables(self):
+        assert self._fn().variables() == ("a0", "v0", "v1")
+
+    def test_ast_is_body(self):
+        fn = self._fn()
+        assert fn.ast() is fn.body
+
+
+class TestPackage:
+    def test_lookup(self):
+        fn = FunctionDef("f", (), (), N.block(N.ret(N.num(0))))
+        package = Package("p", [fn])
+        assert package.function("f") is fn
+        with pytest.raises(KeyError):
+            package.function("missing")
+        assert package.function_names() == ("f",)
+        assert len(package) == 1

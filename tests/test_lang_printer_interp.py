@@ -1,0 +1,172 @@
+"""Tests for the pretty printer and the interpreter."""
+
+import pytest
+
+from repro.lang import nodes as N
+from repro.lang.interp import Interpreter, InterpError, run_decompiled, string_value
+from repro.lang.nodes import FunctionDef, Node, Ops
+from repro.lang.printer import expr_to_source, to_source
+
+
+def _fn(body_stmts, params=("a0",), local_vars=("v0",)):
+    return FunctionDef("f", tuple(params), tuple(local_vars), N.block(*body_stmts))
+
+
+class TestPrinter:
+    def test_expression_rendering(self):
+        expr = N.binop(Ops.ADD, N.var("x"), N.binop(Ops.MUL, N.num(2), N.var("y")))
+        assert expr_to_source(expr) == "(x + (2 * y))"
+
+    def test_compound_assignment(self):
+        stmt = N.binop(Ops.ASG_ADD, N.var("x"), N.num(3))
+        assert expr_to_source(stmt) == "x += 3"
+
+    def test_call_and_string(self):
+        expr = N.call("printf", N.string("%d"), N.var("x"))
+        assert expr_to_source(expr) == 'printf("%d", x)'
+
+    def test_unary(self):
+        assert expr_to_source(Node(Ops.NEG, (N.var("x"),))) == "-(x)"
+        assert expr_to_source(Node(Ops.NOT, (N.var("x"),))) == "~(x)"
+        assert expr_to_source(Node(Ops.POST_INC, (N.var("x"),))) == "x++"
+
+    def test_full_function(self):
+        fn = _fn([
+            N.if_(N.binop(Ops.LT, N.var("a0"), N.num(1)),
+                  N.block(N.asg(N.var("v0"), N.num(1))),
+                  N.block(N.asg(N.var("v0"), N.var("a0")))),
+            N.ret(N.var("v0")),
+        ])
+        source = to_source(fn)
+        assert "int f(int a0)" in source
+        assert "if ((a0 < 1)) {" in source
+        assert "} else {" in source
+        assert "return v0;" in source
+
+    def test_loops_render(self):
+        fn = _fn([
+            N.for_(N.asg(N.var("v0"), N.num(0)),
+                   N.binop(Ops.LT, N.var("v0"), N.num(3)),
+                   N.asg(N.var("v0"), N.binop(Ops.ADD, N.var("v0"), N.num(1))),
+                   N.block(Node(Ops.BREAK))),
+            N.while_(N.binop(Ops.GT, N.var("a0"), N.num(0)),
+                     N.block(Node(Ops.CONTINUE))),
+            N.ret(N.num(0)),
+        ])
+        source = to_source(fn)
+        assert "for (" in source and "while (" in source
+        assert "break;" in source and "continue;" in source
+
+
+class TestInterpreter:
+    def test_arithmetic(self):
+        fn = _fn([N.ret(N.binop(Ops.ADD, N.var("a0"), N.num(5)))])
+        assert Interpreter().run(fn, [3]) == 8
+
+    def test_c_division_truncates_toward_zero(self):
+        fn = _fn([N.ret(N.binop(Ops.DIV, N.var("a0"), N.num(2)))])
+        interp = Interpreter()
+        assert interp.run(fn, [7]) == 3
+        assert interp.run(fn, [-7]) == -3  # not floor (-4)
+
+    def test_division_by_zero_raises(self):
+        fn = _fn([N.ret(N.binop(Ops.DIV, N.num(1), N.var("a0")))])
+        with pytest.raises(InterpError):
+            Interpreter().run(fn, [0])
+
+    def test_while_loop(self):
+        # v0 = 0; while (v0 < a0) v0 += 2; return v0
+        fn = _fn([
+            N.asg(N.var("v0"), N.num(0)),
+            N.while_(N.binop(Ops.LT, N.var("v0"), N.var("a0")),
+                     N.block(N.binop(Ops.ASG_ADD, N.var("v0"), N.num(2)))),
+            N.ret(N.var("v0")),
+        ])
+        assert Interpreter().run(fn, [5]) == 6
+
+    def test_for_loop_with_break(self):
+        fn = _fn([
+            N.asg(N.var("v0"), N.num(0)),
+            N.for_(
+                N.asg(N.var("t"), N.num(0)),
+                N.binop(Ops.LT, N.var("t"), N.num(100)),
+                N.asg(N.var("t"), N.binop(Ops.ADD, N.var("t"), N.num(1))),
+                N.block(
+                    N.binop(Ops.ASG_ADD, N.var("v0"), N.num(1)),
+                    N.if_(N.binop(Ops.GE, N.var("v0"), N.num(3)),
+                          N.block(Node(Ops.BREAK))),
+                ),
+            ),
+            N.ret(N.var("v0")),
+        ], local_vars=("v0", "t"))
+        assert Interpreter().run(fn, [0]) == 3
+
+    def test_continue_in_while(self):
+        # counts odd numbers below a0
+        fn = _fn([
+            N.asg(N.var("v0"), N.num(0)),
+            N.asg(N.var("t"), N.num(0)),
+            N.while_(
+                N.binop(Ops.LT, N.var("t"), N.var("a0")),
+                N.block(
+                    N.asg(N.var("t"), N.binop(Ops.ADD, N.var("t"), N.num(1))),
+                    N.if_(N.binop(Ops.EQ,
+                                  N.binop(Ops.AND, N.var("t"), N.num(1)),
+                                  N.num(0)),
+                          N.block(Node(Ops.CONTINUE))),
+                    N.binop(Ops.ASG_ADD, N.var("v0"), N.num(1)),
+                ),
+            ),
+            N.ret(N.var("v0")),
+        ], local_vars=("v0", "t"))
+        assert Interpreter().run(fn, [10]) == 5
+
+    def test_calls_resolve(self):
+        callee = FunctionDef("g", ("a0",), (),
+                             N.block(N.ret(N.binop(Ops.MUL, N.var("a0"), N.num(2)))))
+        caller = _fn([N.ret(N.call("g", N.var("a0")))])
+        interp = Interpreter([callee])
+        assert interp.run(caller, [21]) == 42
+
+    def test_undefined_function_raises(self):
+        fn = _fn([N.ret(N.call("nope", N.num(1)))])
+        with pytest.raises(InterpError):
+            Interpreter().run(fn, [0])
+
+    def test_unassigned_variable_raises(self):
+        fn = _fn([N.ret(N.var("v0"))])
+        with pytest.raises(InterpError):
+            Interpreter().run(fn, [0])
+
+    def test_wrong_arity_raises(self):
+        fn = _fn([N.ret(N.num(0))])
+        with pytest.raises(InterpError):
+            Interpreter().run(fn, [1, 2])
+
+    def test_step_budget(self):
+        fn = _fn([
+            N.asg(N.var("v0"), N.num(0)),
+            N.while_(N.binop(Ops.GE, N.var("v0"), N.num(0)),
+                     N.block(N.binop(Ops.ASG_ADD, N.var("v0"), N.num(1)))),
+            N.ret(N.num(0)),
+        ])
+        with pytest.raises(InterpError):
+            Interpreter(max_steps=1000).run(fn, [0])
+
+    def test_string_value_stable(self):
+        assert string_value("abc") == string_value("abc")
+        assert string_value("abc") != string_value("abd")
+
+    def test_unary_and_logical(self):
+        fn = _fn([N.ret(Node(Ops.LNOT, (N.var("a0"),)))])
+        interp = Interpreter()
+        assert interp.run(fn, [0]) == 1
+        assert interp.run(fn, [7]) == 0
+        fn2 = _fn([N.ret(Node(Ops.NOT, (N.var("a0"),)))])
+        assert interp.run(fn2, [0]) == -1
+
+    def test_run_decompiled_positional_params(self):
+        body = N.block(N.ret(N.binop(Ops.SUB, N.var("a0"), N.var("a1"))))
+        assert run_decompiled(Interpreter(), body, 2, [10, 4]) == 6
+        with pytest.raises(InterpError):
+            run_decompiled(Interpreter(), body, 2, [10])

@@ -1,0 +1,118 @@
+"""Tests for the mini type system and the ISA definitions."""
+
+import pytest
+
+from repro.compiler.isa import SUPPORTED_ARCHES, get_isa
+from repro.lang.types import ArrayType, FunctionType, IntType, PtrType, VoidType
+
+
+class TestTypes:
+    def test_int_widths(self):
+        assert str(IntType(32)) == "i32"
+        assert str(IntType(8)) == "i8"
+        with pytest.raises(ValueError):
+            IntType(12)
+
+    def test_pointer(self):
+        assert str(PtrType(IntType(32))) == "i32*"
+        assert str(PtrType(PtrType(IntType(8)))) == "i8**"
+
+    def test_void_array_function(self):
+        assert str(VoidType()) == "void"
+        assert str(ArrayType(IntType(32), 4)) == "i32[4]"
+        fn_type = FunctionType((IntType(32), PtrType()), IntType(64))
+        assert str(fn_type) == "i64(i32, i32*)"
+
+    def test_types_hashable(self):
+        assert len({IntType(32), IntType(32), IntType(64)}) == 2
+
+
+class TestISA:
+    def test_unknown_arch(self):
+        with pytest.raises(ValueError):
+            get_isa("mips")
+
+    @pytest.mark.parametrize("arch", SUPPORTED_ARCHES)
+    def test_opcode_table_bijective(self, arch):
+        isa = get_isa(arch)
+        opcodes = isa.opcode_table()
+        mnemonics = isa.mnemonic_table()
+        assert len(opcodes) == len(isa.mnemonics)
+        for mnemonic, opcode in opcodes.items():
+            assert mnemonics[opcode] == mnemonic
+        assert 0 not in mnemonics  # opcode 0 reserved
+
+    @pytest.mark.parametrize("arch", SUPPORTED_ARCHES)
+    def test_branch_condition_inverse(self, arch):
+        isa = get_isa(arch)
+        for kind, mnemonic in isa.branches.items():
+            assert isa.is_conditional_branch(mnemonic)
+            assert isa.branch_condition(mnemonic) == kind
+        with pytest.raises(KeyError):
+            isa.branch_condition(isa.jump)
+
+    @pytest.mark.parametrize("arch", SUPPORTED_ARCHES)
+    def test_alu_mnemonics_in_vocabulary(self, arch):
+        isa = get_isa(arch)
+        for mnemonic in isa.alu.values():
+            assert mnemonic in isa.mnemonics
+        for mnemonic in isa.branches.values():
+            assert mnemonic in isa.mnemonics
+        assert isa.jump in isa.mnemonics
+        assert isa.call in isa.mnemonics
+
+    def test_family_properties(self):
+        assert not get_isa("x86").three_operand
+        assert get_isa("arm").three_operand
+        assert get_isa("arm").supports_predication
+        assert not get_isa("ppc").supports_predication
+        assert get_isa("x86").arg_registers == ()  # stack args
+        assert get_isa("x64").arg_registers[0] == "rdi"
+        assert get_isa("x64").word_size == 8
+
+    @pytest.mark.parametrize("arch", SUPPORTED_ARCHES)
+    def test_var_scratch_disjoint_from_frame_regs(self, arch):
+        isa = get_isa(arch)
+        special = {isa.frame_pointer, isa.stack_pointer}
+        assert not special & set(isa.var_registers)
+
+
+class TestRegallocUnit:
+    def test_exhaustion_raises(self):
+        from repro.compiler.ir import IRFunction, Temp
+        from repro.compiler.regalloc import AllocationError, ScratchAllocator
+
+        ir = IRFunction("f", (), (), [])
+        alloc = ScratchAllocator(("r1",), ir)
+        alloc.define(Temp(0))
+        with pytest.raises(AllocationError):
+            alloc.define(Temp(1))
+
+    def test_release_recycles(self):
+        from repro.compiler.ir import IRFunction, Move, Temp, Var
+        from repro.compiler.regalloc import ScratchAllocator
+
+        ir = IRFunction("f", (), ("x",), [Move(Var("x"), Temp(0))])
+        alloc = ScratchAllocator(("r1",), ir)
+        register = alloc.define(Temp(0))
+        alloc.release_after_use(Temp(0), 0)
+        assert alloc.define(Temp(1)) == register
+
+    def test_double_define_rejected(self):
+        from repro.compiler.ir import IRFunction, Temp
+        from repro.compiler.regalloc import AllocationError, ScratchAllocator
+
+        ir = IRFunction("f", (), (), [])
+        alloc = ScratchAllocator(("r1", "r2"), ir)
+        alloc.define(Temp(0))
+        with pytest.raises(AllocationError):
+            alloc.define(Temp(0))
+
+    def test_use_before_define_rejected(self):
+        from repro.compiler.ir import IRFunction, Temp
+        from repro.compiler.regalloc import AllocationError, ScratchAllocator
+
+        ir = IRFunction("f", (), (), [])
+        alloc = ScratchAllocator(("r1",), ir)
+        with pytest.raises(AllocationError):
+            alloc.location(Temp(3))

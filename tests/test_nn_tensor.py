@@ -1,0 +1,168 @@
+"""Tests for the autograd engine, including numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, concat, no_grad
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar fn wrt x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        high = fn(x)
+        flat[i] = original - eps
+        low = fn(x)
+        flat[i] = original
+        grad_flat[i] = (high - low) / (2 * eps)
+    return grad
+
+
+def check_gradient(op, shape=(4,), seed=0):
+    """Compare autograd gradient against numeric differentiation."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape)
+    t = Tensor(data.copy(), requires_grad=True)
+    out = op(t)
+    out.backward()
+    numeric = numeric_grad(lambda x: float(op(Tensor(x)).data), data.copy())
+    np.testing.assert_allclose(t.grad, numeric, rtol=1e-5, atol=1e-7)
+
+
+class TestGradients:
+    def test_add(self):
+        check_gradient(lambda t: (t + 3.0).sum())
+
+    def test_sub(self):
+        check_gradient(lambda t: (5.0 - t).sum())
+
+    def test_mul(self):
+        check_gradient(lambda t: (t * t).sum())
+
+    def test_div(self):
+        check_gradient(lambda t: (1.0 / (t * t + 2.0)).sum(), seed=1)
+
+    def test_neg(self):
+        check_gradient(lambda t: (-t).sum())
+
+    def test_pow(self):
+        check_gradient(lambda t: (t * t).pow(1.5).sum(), seed=2)
+
+    def test_sigmoid(self):
+        check_gradient(lambda t: t.sigmoid().sum())
+
+    def test_tanh(self):
+        check_gradient(lambda t: t.tanh().sum())
+
+    def test_relu(self):
+        check_gradient(lambda t: t.relu().sum(), seed=3)
+
+    def test_exp_log(self):
+        check_gradient(lambda t: ((t * t + 1.0).log() + t.exp()).sum())
+
+    def test_abs(self):
+        check_gradient(lambda t: t.abs().sum(), seed=4)
+
+    def test_softmax(self):
+        check_gradient(lambda t: (t.softmax() * Tensor([1.0, 2.0, 3.0, 4.0])).sum())
+
+    def test_mean(self):
+        check_gradient(lambda t: (t * t).mean())
+
+    def test_matvec(self):
+        rng = np.random.default_rng(5)
+        w_data = rng.normal(size=(4, 3))
+        x = Tensor(rng.normal(size=4), requires_grad=True)
+        w = Tensor(w_data, requires_grad=True)
+        out = (x @ w).sum()
+        out.backward()
+        numeric_x = numeric_grad(
+            lambda d: float((Tensor(d) @ Tensor(w_data)).sum().data),
+            x.data.copy(),
+        )
+        np.testing.assert_allclose(x.grad, numeric_x, rtol=1e-5)
+        assert w.grad.shape == (4, 3)
+
+    def test_matmul_2d(self):
+        rng = np.random.default_rng(6)
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4, 2)
+
+    def test_concat(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0]), requires_grad=True)
+        out = (concat([a, b]) * Tensor([1.0, 10.0, 100.0])).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [1.0, 10.0])
+        np.testing.assert_allclose(b.grad, [100.0])
+
+    def test_getitem(self):
+        t = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        t[1].backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_broadcasting_backward(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones(4), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, [3.0] * 4)
+
+    def test_dot_and_norm(self):
+        check_gradient(lambda t: t.dot(Tensor([1.0, 2.0, 3.0, 4.0])))
+        check_gradient(lambda t: t.norm(), seed=7)
+
+    def test_diamond_reuse_accumulates(self):
+        """A value used twice receives the sum of both gradient paths."""
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        out = (t * 3.0 + t * 4.0).sum()
+        out.backward()
+        np.testing.assert_allclose(t.grad, [7.0])
+
+
+class TestMechanics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2.0).backward()
+
+    def test_no_grad_disables_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = (t * 2.0).sum()
+        assert not out.requires_grad
+        assert out._backward is None
+
+    def test_constant_tensors_track_nothing(self):
+        out = (Tensor([1.0]) * Tensor([2.0])).sum()
+        assert not out.requires_grad
+
+    def test_detach(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        d.data[0] = 99.0
+        assert t.data[0] == 1.0
+
+    def test_item_and_shape(self):
+        t = Tensor([[1.0, 2.0]])
+        assert t.shape == (1, 2)
+        assert t.ndim == 2
+        assert Tensor([3.5]).sum().item() == 3.5
+
+    def test_deep_chain_no_recursion_error(self):
+        """Backward is iterative; 5000-op chains must not overflow."""
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        out = t
+        for _ in range(5000):
+            out = out + 1.0
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0])

@@ -1,0 +1,93 @@
+"""Property-based tests over the full compile/decompile pipeline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.pipeline import (
+    CompilationOptions,
+    compile_function,
+    compile_package,
+    cross_compile,
+    library_function_defs,
+)
+from repro.compiler.isa import SUPPORTED_ARCHES
+from repro.decompiler import decompile_binary
+from repro.lang.generator import GeneratorConfig, ProgramGenerator
+from repro.lang.interp import Interpreter, run_decompiled
+from repro.lang.nodes import Package
+
+
+class TestCompilationOptions:
+    def test_explicit_threshold_overrides_default(self):
+        options = CompilationOptions(inline_threshold=0)
+        for arch in SUPPORTED_ARCHES:
+            assert options.effective_inline_threshold(arch) == 0
+
+    def test_no_inlining_keeps_all_calls(self, package):
+        plain = compile_package(package, "arm",
+                                CompilationOptions(inline_threshold=0))
+        inlined = compile_package(package, "arm")
+        plain_calls = sum(
+            len(f.callees) for f in decompile_binary(plain)
+        )
+        inlined_calls = sum(
+            len(f.callees) for f in decompile_binary(inlined)
+        )
+        assert plain_calls >= inlined_calls
+
+    def test_no_library_option(self, package):
+        with pytest.raises(Exception):
+            # call targets into the library cannot resolve
+            compile_package(package, "x86",
+                            CompilationOptions(include_library=False))
+
+    def test_unknown_arch_rejected(self, package):
+        with pytest.raises(ValueError):
+            compile_package(package, "mips")
+
+    def test_cross_compile_covers_arches(self, package):
+        binaries = cross_compile(package, arches=("x86", "arm"))
+        assert set(binaries) == {"x86", "arm"}
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10 ** 6),
+       arch=st.sampled_from(SUPPORTED_ARCHES))
+def test_roundtrip_property(seed, arch):
+    """Hypothesis: any generated function survives compile -> decompile with
+    identical behaviour on any architecture."""
+    config = GeneratorConfig(functions_per_package=2, max_statements=5)
+    generator = ProgramGenerator(seed=seed, config=config)
+    package = generator.generate_package("prop")
+    interp = Interpreter(list(package.functions) + library_function_defs())
+    binary = compile_package(package, arch)
+    decompiled = {f.name: f for f in decompile_binary(binary)}
+    from repro.utils.rng import RNG
+
+    rng = RNG(seed)
+    for fn in package.functions:
+        args = [rng.randint(0, 40) for _ in fn.params]
+        assert run_decompiled(
+            interp, decompiled[fn.name].ast, len(fn.params), args
+        ) == interp.run(fn, args)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_binary_serialisation_property(seed):
+    """Hypothesis: binary serialisation round-trips byte-identically."""
+    from repro.binformat.binary import BinaryFile
+
+    config = GeneratorConfig(functions_per_package=2, max_statements=4)
+    package = ProgramGenerator(seed=seed, config=config).generate_package("s")
+    binary = compile_package(package, "ppc")
+    blob = binary.to_bytes()
+    assert BinaryFile.from_bytes(blob).to_bytes() == blob
+
+
+class TestDeterministicBuilds:
+    @pytest.mark.parametrize("arch", SUPPORTED_ARCHES)
+    def test_bitwise_reproducible(self, package, arch):
+        a = compile_package(package, arch)
+        b = compile_package(package, arch)
+        assert a.to_bytes() == b.to_bytes()

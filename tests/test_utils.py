@@ -1,0 +1,77 @@
+"""Tests for repro.utils: deterministic RNG and seed derivation."""
+
+import pytest
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import RNG, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_differs_by_name(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_differs_by_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_not_concatenation(self):
+        # ("ab", "c") must differ from ("a", "bc")
+        assert derive_seed(7, "ab", "c") != derive_seed(7, "a", "bc")
+
+    def test_non_negative_63_bit(self):
+        for seed in (0, 1, 2 ** 62, 123456789):
+            value = derive_seed(seed, "x")
+            assert 0 <= value < 2 ** 63
+
+
+class TestRNG:
+    def test_same_seed_same_stream(self):
+        a, b = RNG(5), RNG(5)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_child_independent_of_parent_consumption(self):
+        a = RNG(5)
+        a.randint(0, 100)  # consume some parent state
+        b = RNG(5)
+        assert a.child("x").randint(0, 10 ** 6) == b.child("x").randint(0, 10 ** 6)
+
+    def test_randint_bounds_inclusive(self):
+        rng = RNG(0)
+        values = {rng.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_choice_weighted(self):
+        rng = RNG(1)
+        picks = [rng.choice(["a", "b"], weights=[0.0, 1.0]) for _ in range(20)]
+        assert set(picks) == {"b"}
+
+    def test_sample_distinct(self):
+        rng = RNG(2)
+        sample = rng.sample(range(10), 10)
+        assert sorted(sample) == list(range(10))
+
+    def test_sample_too_many_raises(self):
+        with pytest.raises(ValueError):
+            RNG(0).sample([1, 2], 3)
+
+    def test_shuffle_is_permutation(self):
+        rng = RNG(3)
+        items = list(range(50))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # overwhelmingly likely
+
+    def test_random_in_unit_interval(self):
+        rng = RNG(4)
+        assert all(0.0 <= rng.random() < 1.0 for _ in range(100))
+
+
+class TestLogging:
+    def test_namespaced(self):
+        assert get_logger("foo").name == "repro.foo"
+        assert get_logger("repro.bar").name == "repro.bar"
