@@ -1,0 +1,117 @@
+"""Embedding index: ingest throughput, query latency, and LSH recall.
+
+The index subsystem's claim is the paper's offline/online split at corpus
+scale: encode once into a persistent store, then answer top-k queries with
+one matrix-at-once pass instead of O(corpus) per-pair Python calls.  This
+bench measures all three legs on the firmware corpus:
+
+* **ingest** -- functions/second into the sharded store (offline phase);
+* **query** -- batched index query vs. the seed's exhaustive per-pair scan
+  (must be >= 5x faster);
+* **recall** -- LSH top-10 against the exact backend (must be >= 0.9);
+
+and verifies end-to-end that the index-backed vulnerability search confirms
+exactly the same CVE findings as the exhaustive reference path.
+"""
+
+import time
+
+import numpy as np
+
+from repro.evalsuite.vulnsearch import (
+    VulnerabilitySearch,
+    build_firmware_dataset,
+)
+from repro.index.ann import LSHIndex
+
+from benchmarks.conftest import scaled, write_result
+
+MIN_SPEEDUP = 5.0
+MIN_RECALL_AT_10 = 0.9
+
+
+def test_index_search(benchmark, trained_asteria):
+    dataset = build_firmware_dataset(
+        n_images=scaled(14), seed=5, vulnerable_fraction=0.55
+    )
+    search = VulnerabilitySearch(trained_asteria, threshold=0.8)
+
+    # -- offline phase: ingest throughput ---------------------------------
+    t0 = time.perf_counter()
+    service = search.build_index(dataset)
+    ingest_s = time.perf_counter() - t0
+    n_functions = len(service.store)
+    ingest_rate = n_functions / ingest_s
+
+    library = search.encode_library()
+    queries = [encoding for _cve, (_e, encoding) in sorted(library.items())]
+
+    # -- online phase: batched index query vs. per-pair exhaustive scan ---
+    store = service.store
+    corpus = [
+        store.metadata_at(row).encoding(store.vectors()[row])
+        for row in range(n_functions)
+    ]
+
+    t0 = time.perf_counter()
+    for query in queries:
+        for encoding in corpus:
+            trained_asteria.similarity(query, encoding)
+    exhaustive_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for query in queries:
+        service.query(query, top_k=10)
+    batched_s = time.perf_counter() - t0
+    speedup = exhaustive_s / batched_s
+
+    # -- LSH recall@10 against the exact backend --------------------------
+    exact_index = service.index()
+    lsh_index = LSHIndex(
+        trained_asteria, store.vectors(), store.callee_counts(), seed=9
+    )
+    recalls = []
+    for query in queries:
+        top_exact = {n.row for n in exact_index.top_k(query, k=10)}
+        top_lsh = {n.row for n in lsh_index.top_k(query, k=10)}
+        recalls.append(len(top_exact & top_lsh) / 10)
+    recall = float(np.mean(recalls))
+
+    # -- end-to-end equivalence with the exhaustive protocol --------------
+    report_ix, cands_ix = search.search(dataset, service=service)
+    report_ex, cands_ex = search.search_exhaustive(dataset)
+
+    def key(c):
+        return (c.entry.cve_id, c.image.identifier, c.binary_name,
+                c.function_name, c.confirmed)
+
+    assert {key(c) for c in cands_ix} == {key(c) for c in cands_ex}
+    assert report_ix.total_confirmed() == report_ex.total_confirmed()
+
+    lines = [
+        f"corpus: {n_functions} functions from "
+        f"{report_ix.n_unpacked}/{report_ix.n_images} unpackable images, "
+        f"{store.n_shards} shard(s)",
+        "",
+        f"ingest:      {ingest_s:8.3f} s total   "
+        f"{ingest_rate:10.1f} functions/s",
+        f"exhaustive:  {exhaustive_s:8.3f} s for {len(queries)} queries "
+        f"(per-pair Python calls)",
+        f"index:       {batched_s:8.3f} s for {len(queries)} queries "
+        f"(batched matrix scoring)",
+        f"speedup:     {speedup:8.1f} x  (required >= {MIN_SPEEDUP:.0f}x)",
+        f"LSH recall@10 vs exact: {recall:.3f}  "
+        f"(required >= {MIN_RECALL_AT_10})",
+        "",
+        f"confirmed CVE findings, index path:      "
+        f"{report_ix.total_confirmed()}",
+        f"confirmed CVE findings, exhaustive path: "
+        f"{report_ex.total_confirmed()}",
+    ]
+    write_result("index_search", "\n".join(lines))
+
+    assert speedup >= MIN_SPEEDUP
+    assert recall >= MIN_RECALL_AT_10
+
+    query = queries[0]
+    benchmark(lambda: service.query(query, top_k=10))

@@ -8,7 +8,11 @@ Subcommands mirror the workflows a user of the paper's tooling would run:
 * ``repro-cli decompile``    -- decompile a binary file to pseudocode;
 * ``repro-cli train``        -- train an Asteria model and save a checkpoint;
 * ``repro-cli compare``      -- score two functions of two binaries;
-* ``repro-cli search``       -- run the firmware vulnerability search.
+* ``repro-cli search``       -- run the firmware vulnerability search;
+* ``repro-cli index build``  -- encode a firmware corpus into a persistent
+  embedding index (the offline phase, run once);
+* ``repro-cli index search`` -- top-k CVE queries against a built index
+  (the online phase, no corpus re-encoding).
 
 Every command is deterministic given ``--seed``.
 """
@@ -121,7 +125,7 @@ def _cmd_search(args) -> int:
     model = Asteria.load(args.model)
     dataset = build_firmware_dataset(n_images=args.images, seed=args.seed)
     search = VulnerabilitySearch(model, threshold=args.threshold)
-    report, _candidates = search.search(dataset)
+    report, _candidates = search.search(dataset, top_k=args.top_k)
     print(f"unpacked {report.n_unpacked}/{report.n_images} images, "
           f"indexed {report.n_functions} functions")
     for row in report.rows:
@@ -129,6 +133,69 @@ def _cmd_search(args) -> int:
               f"confirmed={row.n_confirmed} "
               f"models={','.join(row.models) or '-'}")
     print(f"total confirmed: {report.total_confirmed()}")
+    return 0
+
+
+def _cmd_index_build(args) -> int:
+    from repro.evalsuite.vulnsearch import (
+        VulnerabilitySearch,
+        build_firmware_dataset,
+    )
+
+    from repro.index.store import StoreError
+
+    model = Asteria.load(args.model)
+    dataset = build_firmware_dataset(n_images=args.images, seed=args.seed)
+    search = VulnerabilitySearch(model)
+    try:
+        service = search.build_index(
+            dataset, root=args.output, shard_size=args.shard_size
+        )
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    store = service.store
+    print(f"ingested {len(store)} functions from "
+          f"{dataset.n_unpackable()}/{len(dataset.images)} unpackable images")
+    print(f"wrote {store.n_shards} shard(s) to {args.output}")
+    return 0
+
+
+def _cmd_index_search(args) -> int:
+    from repro.evalsuite.vulnsearch import VulnerabilitySearch
+    from repro.index.search import SearchService
+    from repro.index.store import EmbeddingStore, StoreError
+
+    model = Asteria.load(args.model)
+    try:
+        store = EmbeddingStore.open(args.index)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    options = {}
+    if args.backend == "lsh":
+        options = {"seed": args.seed}
+    service = SearchService(model, store, backend=args.backend, **options)
+    search = VulnerabilitySearch(model)
+    library = search.encode_library()
+    wanted = set(args.cve) if args.cve else None
+    if wanted:
+        unknown = wanted - set(library)
+        if unknown:
+            print(f"error: unknown CVE id(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 1
+    for cve_id, (entry, encoding) in sorted(library.items()):
+        if wanted is not None and cve_id not in wanted:
+            continue
+        hits = service.query(
+            encoding, top_k=args.top_k, threshold=args.threshold
+        )
+        print(f"{cve_id} ({entry.software} {entry.function_name}), "
+              f"top {len(hits)} of {len(store)} indexed functions:")
+        for rank, hit in enumerate(hits, start=1):
+            print(f"  {rank:>2}. score={hit.score:.4f} {hit.image_id} "
+                  f"{hit.binary_name} {hit.name} [{hit.arch}]")
     return 0
 
 
@@ -186,7 +253,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--images", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--threshold", type=float, default=0.8)
+    p.add_argument("--top-k", type=int, default=None,
+                   help="cap candidates per CVE (default: all above "
+                        "threshold)")
     p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser("index", help="persistent embedding index")
+    index_sub = p.add_subparsers(dest="index_command", required=True)
+
+    p = index_sub.add_parser(
+        "build", help="encode a firmware corpus into a persistent index"
+    )
+    p.add_argument("--model", required=True)
+    p.add_argument("--output", required=True,
+                   help="directory for the new index")
+    p.add_argument("--images", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shard-size", type=int, default=1024)
+    p.set_defaults(func=_cmd_index_build)
+
+    p = index_sub.add_parser(
+        "search", help="top-k CVE queries against a built index"
+    )
+    p.add_argument("--model", required=True)
+    p.add_argument("--index", required=True,
+                   help="directory of a built index")
+    p.add_argument("--top-k", type=int, default=10)
+    p.add_argument("--backend", choices=["exact", "lsh"], default="exact")
+    p.add_argument("--threshold", type=float, default=None,
+                   help="drop hits scoring below this (default: keep "
+                        "the full top-k)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cve", nargs="*", default=None,
+                   help="restrict to these CVE ids (default: whole library)")
+    p.set_defaults(func=_cmd_index_search)
 
     return parser
 

@@ -121,6 +121,28 @@ class Asteria:
             return m
         return calibrated_similarity(m, e1.callee_count, e2.callee_count)
 
+    def similarity_batch(
+        self,
+        query: FunctionEncoding,
+        vectors: np.ndarray,
+        callee_counts: Optional[np.ndarray] = None,
+        calibrate: bool = True,
+    ) -> np.ndarray:
+        """F(query, corpus) for a whole ``(n, h)`` encoding matrix at once.
+
+        The matrix-at-once analogue of :meth:`similarity`: one broadcasted
+        pass through the Siamese head plus a vectorised calibration term.
+        ``callee_counts`` must align row-for-row with ``vectors`` when
+        ``calibrate`` is set.
+        """
+        m = self.siamese.similarity_from_matrix(query.vector, vectors)
+        if not calibrate:
+            return m
+        if callee_counts is None:
+            raise ValueError("calibrate=True requires callee_counts")
+        counts = np.asarray(callee_counts, dtype=np.int64)
+        return m * np.exp(-np.abs(counts - query.callee_count))
+
     def compare_functions(
         self, f1: DecompiledFunction, f2: DecompiledFunction, calibrate: bool = True
     ) -> float:

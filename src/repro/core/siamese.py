@@ -76,6 +76,26 @@ class SiameseClassifier(Module):
         exps = np.exp(shifted)
         return float(exps[1] / exps.sum())
 
+    def similarity_from_matrix(
+        self, query: np.ndarray, vectors: np.ndarray
+    ) -> np.ndarray:
+        """Equation (8) for one query against a whole corpus at once.
+
+        ``vectors`` is an ``(n, h)`` matrix of cached encodings; the result
+        is the length-``n`` vector of similarity scores.  One broadcasted
+        subtract/multiply plus a single ``(n, 2h) @ (2h, 2)`` matmul replaces
+        ``n`` Python-level calls to :meth:`similarity_from_vectors`.
+        """
+        features = np.concatenate(
+            [np.abs(vectors - query), vectors * query], axis=1
+        )
+        logits = features @ self.w.data
+        if self.literal_sigmoid:
+            logits = 1.0 / (1.0 + np.exp(-logits))
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exps = np.exp(shifted)
+        return exps[:, 1] / exps.sum(axis=1)
+
 
 class SiameseRegression(Module):
     """Cosine-distance Siamese head (the Figure 9 'Regression' ablation)."""
@@ -100,3 +120,11 @@ class SiameseRegression(Module):
     def similarity_from_vectors(self, v1: np.ndarray, v2: np.ndarray) -> float:
         denom = (np.linalg.norm(v1) * np.linalg.norm(v2)) or 1e-12
         return float((v1 @ v2 / denom + 1.0) * 0.5)
+
+    def similarity_from_matrix(
+        self, query: np.ndarray, vectors: np.ndarray
+    ) -> np.ndarray:
+        """Batched cosine head: one query against ``(n, h)`` vectors."""
+        denom = np.linalg.norm(vectors, axis=1) * np.linalg.norm(query)
+        denom = np.where(denom == 0.0, 1e-12, denom)
+        return (vectors @ query / denom + 1.0) * 0.5

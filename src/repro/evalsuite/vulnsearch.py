@@ -245,11 +245,52 @@ class SearchReport:
 
 
 class VulnerabilitySearch:
-    """Runs the paper's end-to-end vulnerability search."""
+    """Runs the paper's end-to-end vulnerability search.
+
+    Two execution paths produce identical reports:
+
+    * :meth:`search` (default) -- the offline/online split: the corpus is
+      ingested once into an :class:`~repro.index.store.EmbeddingStore` and
+      each CVE queried through the batched
+      :class:`~repro.index.search.SearchService`;
+    * :meth:`search_exhaustive` -- the original protocol: re-encode the
+      corpus and score every (CVE, function) pair with per-pair Python
+      calls.  Kept as the reference the index path is validated against.
+    """
 
     def __init__(self, model: Asteria, threshold: float = 0.84):
         self.model = model
         self.threshold = threshold
+
+    def build_index(
+        self,
+        dataset: FirmwareDataset,
+        root=None,
+        backend: str = "exact",
+        shard_size: int = 1024,
+        **backend_options,
+    ):
+        """Offline phase: ingest the firmware corpus into a search service.
+
+        ``root=None`` keeps the store in memory; pass a directory to make
+        the index durable across runs (``repro-cli index build``).
+        """
+        from repro.index.search import SearchService
+        from repro.index.store import EmbeddingStore
+
+        dim = self.model.config.hidden_dim
+        if root is None:
+            store = EmbeddingStore.in_memory(dim=dim, shard_size=shard_size)
+        else:
+            store = EmbeddingStore.create(
+                root, dim=dim, shard_size=shard_size,
+                meta={"corpus": "firmware", "threshold": self.threshold},
+            )
+        service = SearchService(
+            self.model, store, backend=backend, **backend_options
+        )
+        service.ingest_firmware(dataset.images)
+        return service
 
     def encode_library(self) -> Dict[str, Tuple[CVEEntry, FunctionEncoding]]:
         """Compile + decompile + encode the 7 vulnerable functions (on x86,
@@ -297,8 +338,56 @@ class VulnerabilitySearch:
         self,
         dataset: FirmwareDataset,
         firmware_index: Optional[List] = None,
+        service=None,
+        top_k: Optional[int] = None,
     ) -> Tuple[SearchReport, List[Candidate]]:
-        """Run the full protocol and produce the Table-IV report."""
+        """Run the full protocol and produce the Table-IV report.
+
+        Runs through the embedding index by default (building an ephemeral
+        one unless ``service`` is given).  Passing ``firmware_index`` -- a
+        pre-built encoding list from :meth:`index_firmware` -- selects the
+        exhaustive per-pair path instead (back-compat).  ``top_k`` caps the
+        candidates considered per CVE (None keeps every above-threshold
+        match, the paper's protocol).
+        """
+        if firmware_index is not None:
+            return self.search_exhaustive(dataset, firmware_index)
+        if service is None:
+            service = self.build_index(dataset)
+        library = self.encode_library()
+        images_by_id = {image.identifier: image for image in dataset.images}
+        candidates: List[Candidate] = []
+        for _cve_id, (entry, vuln_encoding) in sorted(library.items()):
+            hits = service.query(
+                vuln_encoding, top_k=top_k, threshold=self.threshold
+            )
+            # store-row order mirrors the exhaustive scan's corpus order
+            for hit in sorted(hits, key=lambda h: h.row):
+                image = images_by_id.get(hit.image_id)
+                if image is None:
+                    raise ValueError(
+                        f"index row {hit.row} references image "
+                        f"{hit.image_id!r}, which is not in the dataset -- "
+                        f"was the index built from this corpus?"
+                    )
+                candidates.append(
+                    Candidate(
+                        entry=entry,
+                        image=image,
+                        binary_name=hit.binary_name,
+                        function_name=hit.name,
+                        score=hit.score,
+                    )
+                )
+        self._confirm(candidates, dataset)
+        return self._report(dataset, len(service.store), candidates), candidates
+
+    def search_exhaustive(
+        self,
+        dataset: FirmwareDataset,
+        firmware_index: Optional[List] = None,
+    ) -> Tuple[SearchReport, List[Candidate]]:
+        """The seed's per-pair O(corpus) scan (reference implementation)."""
         library = self.encode_library()
         index = firmware_index if firmware_index is not None \
             else self.index_firmware(dataset)
@@ -318,10 +407,18 @@ class VulnerabilitySearch:
                     )
                 )
         self._confirm(candidates, dataset)
+        return self._report(dataset, len(index), candidates), candidates
+
+    def _report(
+        self,
+        dataset: FirmwareDataset,
+        n_functions: int,
+        candidates: List[Candidate],
+    ) -> SearchReport:
         report = SearchReport(
             n_images=len(dataset.images),
             n_unpacked=dataset.n_unpackable(),
-            n_functions=len(index),
+            n_functions=n_functions,
             n_candidates=len(candidates),
         )
         for entry in CVE_LIBRARY:
@@ -337,7 +434,7 @@ class VulnerabilitySearch:
                     models=tuple(sorted({c.image.model for c in confirmed})),
                 )
             )
-        return report, candidates
+        return report
 
     def _confirm(self, candidates: List[Candidate], dataset: FirmwareDataset) -> None:
         """Apply criteria A and B, then 'manual analysis' via ground truth."""

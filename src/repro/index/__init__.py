@@ -1,0 +1,36 @@
+"""Persistent embedding index + top-k ANN search.
+
+The corpus-scale answer to the paper's §V workload: encode every corpus
+function once into a durable sharded store (:mod:`repro.index.store`),
+then answer similarity queries online through an approximate or exact
+top-k index (:mod:`repro.index.ann`) wrapped in a query service
+(:mod:`repro.index.search`).
+"""
+
+from repro.index.ann import (
+    AnnIndex,
+    BruteForceIndex,
+    LSHIndex,
+    Neighbor,
+    make_index,
+)
+from repro.index.search import IngestStats, SearchHit, SearchService
+from repro.index.store import (
+    EmbeddingStore,
+    StoreError,
+    StoredFunction,
+)
+
+__all__ = [
+    "AnnIndex",
+    "BruteForceIndex",
+    "LSHIndex",
+    "Neighbor",
+    "make_index",
+    "IngestStats",
+    "SearchHit",
+    "SearchService",
+    "EmbeddingStore",
+    "StoreError",
+    "StoredFunction",
+]

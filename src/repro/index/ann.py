@@ -1,0 +1,258 @@
+"""Top-k nearest-neighbour search over cached function encodings.
+
+Two backends share one interface (:class:`AnnIndex`):
+
+* :class:`BruteForceIndex` -- exact: every query scores the whole corpus
+  with one matrix-at-once pass through the Siamese head
+  (:meth:`repro.core.model.Asteria.similarity_batch`), replacing the seed's
+  O(corpus) per-pair Python calls;
+* :class:`LSHIndex` -- approximate: random-hyperplane locality-sensitive
+  hashing with multi-probe.  Vectors are bucketed by the sign pattern of
+  their projections onto random hyperplanes (a cosine-LSH family); a query
+  probes buckets in increasing Hamming distance from its own signature --
+  nearest buckets first, ties broken by the query's projection margins --
+  until it has gathered enough candidates, then *exact-reranks* only those
+  candidates with the batched Siamese score.
+
+Both backends therefore return candidates ranked by the true (calibrated)
+model score; the LSH backend merely restricts which rows get scored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import Asteria, FunctionEncoding
+from repro.utils.rng import RNG, derive_seed
+
+DEFAULT_OVERSAMPLE = 8
+DEFAULT_MIN_CANDIDATES = 64
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """One scored search result: a store row and its model score."""
+
+    row: int
+    score: float
+
+
+class AnnIndex:
+    """Common interface: candidate generation + batched exact rerank."""
+
+    def __init__(
+        self,
+        model: Asteria,
+        vectors: np.ndarray,
+        callee_counts: Optional[np.ndarray] = None,
+        calibrate: bool = True,
+    ):
+        vectors = np.asarray(vectors)
+        if vectors.ndim != 2:
+            raise ValueError(f"vectors must be 2-D, got shape {vectors.shape}")
+        if calibrate and callee_counts is None:
+            raise ValueError("calibrate=True requires callee_counts")
+        self.model = model
+        self.vectors = vectors
+        self.callee_counts = (
+            None
+            if callee_counts is None
+            else np.asarray(callee_counts, dtype=np.int64)
+        )
+        self.calibrate = calibrate
+
+    def __len__(self) -> int:
+        return int(self.vectors.shape[0])
+
+    # -- candidate generation (backend-specific) ---------------------------
+
+    def candidate_rows(
+        self, query_vector: np.ndarray, n: Optional[int]
+    ) -> Optional[np.ndarray]:
+        """Rows worth scoring for this query (ascending row order).
+
+        ``None`` means "the whole corpus" and lets :meth:`score_rows`
+        skip the fancy-indexing copy.
+        """
+        raise NotImplementedError
+
+    # -- batched scoring (shared) ------------------------------------------
+
+    def score_rows(
+        self, query: FunctionEncoding, rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Exact calibrated Siamese scores for ``rows``, matrix-at-once.
+
+        ``rows=None`` scores the whole corpus without copying it first.
+        """
+        if rows is None:
+            vectors, counts = self.vectors, self.callee_counts
+        else:
+            vectors = self.vectors[rows]
+            counts = (
+                None
+                if self.callee_counts is None
+                else self.callee_counts[rows]
+            )
+        return self.model.similarity_batch(
+            query, vectors, counts, calibrate=self.calibrate
+        )
+
+    def top_k(
+        self,
+        query: FunctionEncoding,
+        k: Optional[int] = 10,
+        threshold: Optional[float] = None,
+        oversample: int = DEFAULT_OVERSAMPLE,
+    ) -> List[Neighbor]:
+        """Top-``k`` neighbours by exact model score (highest first).
+
+        ``k=None`` returns every candidate; ``threshold`` drops results
+        scoring below it.  Ties are broken by row for determinism.
+        """
+        if len(self) == 0:
+            return []
+        wanted = None
+        if k is not None:
+            wanted = max(k * oversample, DEFAULT_MIN_CANDIDATES)
+        rows = self.candidate_rows(np.asarray(query.vector), wanted)
+        if rows is None:
+            rows = np.arange(len(self))
+            scores = self.score_rows(query)
+        elif rows.size == 0:
+            return []
+        else:
+            scores = self.score_rows(query, rows)
+        if threshold is not None:
+            keep = scores >= threshold
+            rows, scores = rows[keep], scores[keep]
+        order = np.lexsort((rows, -scores))
+        if k is not None:
+            order = order[:k]
+        return [
+            Neighbor(row=int(rows[i]), score=float(scores[i])) for i in order
+        ]
+
+
+class BruteForceIndex(AnnIndex):
+    """Exact backend: every row is a candidate (scored copy-free)."""
+
+    def candidate_rows(
+        self, query_vector: np.ndarray, n: Optional[int]
+    ) -> Optional[np.ndarray]:
+        return None
+
+
+class LSHIndex(AnnIndex):
+    """Random-hyperplane LSH with Hamming-ordered multi-probe."""
+
+    def __init__(
+        self,
+        model: Asteria,
+        vectors: np.ndarray,
+        callee_counts: Optional[np.ndarray] = None,
+        calibrate: bool = True,
+        n_planes: int = 8,
+        n_tables: int = 4,
+        seed: int = 0,
+        max_probe_distance: Optional[int] = None,
+    ):
+        super().__init__(model, vectors, callee_counts, calibrate)
+        if n_planes <= 0 or n_planes > 62:
+            raise ValueError(f"n_planes must be in [1, 62], got {n_planes}")
+        if n_tables <= 0:
+            raise ValueError(f"n_tables must be positive, got {n_tables}")
+        self.n_planes = n_planes
+        self.n_tables = n_tables
+        self.seed = seed
+        self.max_probe_distance = max_probe_distance
+        self._powers = 1 << np.arange(n_planes, dtype=np.int64)
+        self._planes: List[np.ndarray] = []
+        self._tables: List[Dict[int, np.ndarray]] = []
+        dim = self.vectors.shape[1]
+        for t in range(n_tables):
+            rng = RNG(derive_seed(seed, "lsh-table", t))
+            planes = rng.generator.normal(size=(n_planes, dim))
+            self._planes.append(planes)
+            self._tables.append(self._build_table(planes))
+
+    def _build_table(self, planes: np.ndarray) -> Dict[int, np.ndarray]:
+        keys = self._signatures(self.vectors @ planes.T)
+        table: Dict[int, List[int]] = {}
+        for row, key in enumerate(keys):
+            table.setdefault(int(key), []).append(row)
+        return {
+            key: np.array(rows, dtype=np.int64)
+            for key, rows in table.items()
+        }
+
+    def _signatures(self, projections: np.ndarray) -> np.ndarray:
+        """Pack sign patterns into integer bucket keys."""
+        return ((projections > 0).astype(np.int64) @ self._powers)
+
+    def candidate_rows(
+        self, query_vector: np.ndarray, n: Optional[int]
+    ) -> np.ndarray:
+        """Gather candidates by probing buckets nearest in Hamming space.
+
+        For every table, nonempty bucket keys are ranked by their Hamming
+        distance to the query's signature, with the query's own hyperplane
+        margins breaking ties (buckets across low-margin planes first --
+        classic multi-probe).  Buckets are then consumed in globally sorted
+        order until ``n`` candidates are collected (``n=None`` consumes
+        every reachable bucket).
+        """
+        wanted = len(self) if n is None else min(n, len(self))
+        probes: List[Tuple[int, float, int, int]] = []
+        for t, planes in enumerate(self._planes):
+            projections = planes @ query_vector
+            key = int(self._signatures(projections[None, :])[0])
+            margins = np.abs(projections)
+            for bucket_key in self._tables[t]:
+                flipped = bucket_key ^ key
+                distance = int(bin(flipped).count("1"))
+                if (
+                    self.max_probe_distance is not None
+                    and distance > self.max_probe_distance
+                ):
+                    continue
+                # margin cost: how far the query sits from the flipped planes
+                cost = float(
+                    margins[(flipped & self._powers) != 0].sum()
+                )
+                probes.append((distance, cost, t, bucket_key))
+        probes.sort()
+        seen: set = set()
+        for distance, _cost, t, bucket_key in probes:
+            if distance > 0 and len(seen) >= wanted:
+                break
+            seen.update(self._tables[t][bucket_key].tolist())
+        return np.array(sorted(seen), dtype=np.int64)
+
+
+_BACKENDS = {
+    "exact": BruteForceIndex,
+    "brute": BruteForceIndex,
+    "lsh": LSHIndex,
+}
+
+
+def make_index(
+    backend: str,
+    model: Asteria,
+    vectors: np.ndarray,
+    callee_counts: Optional[np.ndarray] = None,
+    **options,
+) -> AnnIndex:
+    """Instantiate a backend by name (``exact`` or ``lsh``)."""
+    try:
+        cls = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r} (choose from "
+            f"{sorted(set(_BACKENDS))})"
+        ) from None
+    return cls(model, vectors, callee_counts, **options)

@@ -1,0 +1,175 @@
+"""Query service over a persistent embedding store.
+
+:class:`SearchService` ties the index subsystem together into the paper's
+offline/online split:
+
+* **offline** -- :meth:`SearchService.ingest_firmware` /
+  :meth:`ingest_binary` unpack, decompile and encode corpus functions once,
+  appending them to an :class:`~repro.index.store.EmbeddingStore`;
+* **online** -- :meth:`SearchService.query` encodes nothing but the query:
+  the ANN backend proposes candidate rows, the batched Siamese head
+  exact-reranks them, and an optional threshold (e.g. the Youden-derived
+  cutoff from §IV) prunes the rest.
+
+The service is deliberately model-agnostic about where queries come from:
+pass a ready :class:`FunctionEncoding`, or use :meth:`encode_query` /
+:meth:`query_function` for a decompiled function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.binformat.binary import BinaryFile
+from repro.binformat.binwalk import UnpackError, unpack_firmware
+from repro.core.model import Asteria, FunctionEncoding
+from repro.decompiler.hexrays import DecompiledFunction, decompile_binary
+from repro.index.ann import AnnIndex, make_index
+from repro.index.store import EmbeddingStore, StoredFunction
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("index.search")
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One query result: score plus the stored function's metadata."""
+
+    row: int
+    score: float
+    name: str
+    binary_name: str
+    arch: str
+    callee_count: int
+    ast_size: int
+    image_id: str = ""
+
+
+@dataclass
+class IngestStats:
+    """What one offline ingest pass actually processed."""
+
+    n_images: int = 0
+    n_unpack_failures: int = 0
+    n_binaries: int = 0
+    n_functions: int = 0
+    n_skipped_small: int = 0
+
+
+class SearchService:
+    """Encode-once / query-fast search over an embedding store."""
+
+    def __init__(
+        self,
+        model: Asteria,
+        store: EmbeddingStore,
+        backend: str = "exact",
+        calibrate: bool = True,
+        **backend_options,
+    ):
+        self.model = model
+        self.store = store
+        self.backend = backend
+        self.calibrate = calibrate
+        self.backend_options = backend_options
+        self._index: Optional[AnnIndex] = None
+        self._index_rows = -1
+
+    # -- offline phase -----------------------------------------------------
+
+    def ingest_binary(self, binary: BinaryFile, image_id: str = "") -> int:
+        """Decompile + encode every function of one binary; returns count."""
+        n = 0
+        for fn in decompile_binary(binary, skip_errors=True):
+            if fn.ast_size() < self.model.config.min_ast_size:
+                continue
+            self.store.add(self.model.encode_function(fn), image_id=image_id)
+            n += 1
+        return n
+
+    def ingest_firmware(self, images: Iterable) -> IngestStats:
+        """Unpack + ingest a firmware corpus (the paper's offline phase)."""
+        stats = IngestStats()
+        for image in images:
+            stats.n_images += 1
+            try:
+                binaries = unpack_firmware(image)
+            except UnpackError:
+                stats.n_unpack_failures += 1
+                continue
+            for binary in binaries:
+                stats.n_binaries += 1
+                before = len(self.store)
+                self.ingest_binary(binary, image_id=image.identifier)
+                stats.n_functions += len(self.store) - before
+        self.store.flush()
+        _LOG.info(
+            "ingested %d functions from %d binaries "
+            "(%d images unidentifiable)",
+            stats.n_functions, stats.n_binaries, stats.n_unpack_failures,
+        )
+        return stats
+
+    def ingest_encodings(
+        self, encodings: Iterable[FunctionEncoding], image_id: str = ""
+    ) -> int:
+        """Ingest pre-computed encodings (no decompilation)."""
+        n = self.store.add_batch(encodings, image_id=image_id)
+        self.store.flush()
+        return n
+
+    # -- online phase ------------------------------------------------------
+
+    def index(self) -> AnnIndex:
+        """The ANN index over the store (rebuilt when the store grows)."""
+        if self._index is None or self._index_rows != self.store.n_flushed:
+            self._index = make_index(
+                self.backend,
+                self.model,
+                self.store.vectors(),
+                self.store.callee_counts(),
+                calibrate=self.calibrate,
+                **self.backend_options,
+            )
+            self._index_rows = self.store.n_flushed
+        return self._index
+
+    def encode_query(self, fn: DecompiledFunction) -> FunctionEncoding:
+        return self.model.encode_function(fn)
+
+    def query(
+        self,
+        encoding: FunctionEncoding,
+        top_k: Optional[int] = 10,
+        threshold: Optional[float] = None,
+    ) -> List[SearchHit]:
+        """Top-k (or all-above-threshold with ``top_k=None``) matches."""
+        hits = []
+        for neighbor in self.index().top_k(
+            encoding, k=top_k, threshold=threshold
+        ):
+            meta = self.store.metadata_at(neighbor.row)
+            hits.append(_hit(neighbor.row, neighbor.score, meta))
+        return hits
+
+    def query_function(
+        self,
+        fn: DecompiledFunction,
+        top_k: Optional[int] = 10,
+        threshold: Optional[float] = None,
+    ) -> List[SearchHit]:
+        return self.query(self.encode_query(fn), top_k, threshold)
+
+
+def _hit(row: int, score: float, meta: StoredFunction) -> SearchHit:
+    return SearchHit(
+        row=row,
+        score=score,
+        name=meta.name,
+        binary_name=meta.binary_name,
+        arch=meta.arch,
+        callee_count=meta.callee_count,
+        ast_size=meta.ast_size,
+        image_id=meta.image_id,
+    )

@@ -1,0 +1,377 @@
+"""Persistent, sharded embedding store for function encodings.
+
+The offline half of the paper's offline/online split (Fig. 10(b)/(c)):
+every corpus function is encoded *once* and the resulting
+:class:`~repro.core.model.FunctionEncoding` vectors -- plus the metadata
+needed for calibration and reporting (function name, binary, architecture,
+filtered callee count, AST size, owning firmware image) -- are serialised
+to disk so later query sessions never re-encode the corpus.
+
+Layout of a store directory::
+
+    <root>/manifest.json         versioned manifest (dim, shard table, count)
+    <root>/shard-00000.npz       vectors + metadata for rows [0, n0)
+    <root>/shard-00001.npz       rows [n0, n0+n1), and so on
+
+Shards reuse the :mod:`repro.nn.serialize` npz format: numeric columns are
+arrays, string columns travel in the JSON ``meta`` block.  Shards are loaded
+lazily on first access and cached, so opening a large store is O(manifest)
+and a query touches only the shards it reads.  ``root=None`` gives an
+ephemeral in-memory store with the same API (used by tests and by
+single-process pipelines that do not need persistence).
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.model import FunctionEncoding
+from repro.nn.serialize import load_state, save_state
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("index.store")
+
+MANIFEST_NAME = "manifest.json"
+FORMAT_VERSION = 1
+DEFAULT_SHARD_SIZE = 1024
+
+
+class StoreError(Exception):
+    """Raised on malformed stores or incompatible writes."""
+
+
+@dataclass(frozen=True)
+class StoredFunction:
+    """Metadata for one row of the store (everything but the vector)."""
+
+    row: int
+    name: str
+    binary_name: str
+    arch: str
+    callee_count: int
+    ast_size: int
+    image_id: str = ""
+
+    def encoding(self, vector: np.ndarray) -> FunctionEncoding:
+        """Rebuild the original :class:`FunctionEncoding` for this row."""
+        return FunctionEncoding(
+            name=self.name,
+            arch=self.arch,
+            binary_name=self.binary_name,
+            vector=vector,
+            callee_count=self.callee_count,
+            ast_size=self.ast_size,
+        )
+
+
+@dataclass
+class _Shard:
+    """In-memory form of one shard (column arrays + string columns)."""
+
+    vectors: np.ndarray
+    callee_counts: np.ndarray
+    ast_sizes: np.ndarray
+    names: List[str]
+    binary_names: List[str]
+    arches: List[str]
+    image_ids: List[str]
+
+    def __len__(self) -> int:
+        return int(self.vectors.shape[0])
+
+
+@dataclass
+class _ShardInfo:
+    name: str
+    n_rows: int
+
+
+@dataclass
+class _PendingRow:
+    encoding: FunctionEncoding
+    image_id: str = ""
+
+
+class EmbeddingStore:
+    """Append-only sharded store of function encodings.
+
+    Use :meth:`create` for a new store, :meth:`open` for an existing one,
+    and :meth:`in_memory` for an ephemeral store.  Rows are buffered by
+    :meth:`add` and become durable (and visible to readers) on
+    :meth:`flush`, which cuts the buffer into fixed-size shards and rewrites
+    the manifest last -- a crash mid-flush leaves the previous manifest
+    intact and at worst an orphaned shard file.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Path],
+        dim: int,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        shards: Optional[List[_ShardInfo]] = None,
+        meta: Optional[Dict] = None,
+    ):
+        if shard_size <= 0:
+            raise StoreError(f"shard_size must be positive, got {shard_size}")
+        self.root = Path(root) if root is not None else None
+        self.dim = int(dim)
+        self.shard_size = int(shard_size)
+        self.meta = dict(meta or {})
+        self._shards: List[_ShardInfo] = list(shards or [])
+        self._cache: Dict[int, _Shard] = {}
+        self._pending: List[_PendingRow] = []
+        self._offsets: List[int] = []
+        self._stacked: Optional[np.ndarray] = None
+        self._stacked_counts: Optional[np.ndarray] = None
+        self._rebuild_offsets()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root,
+        dim: int,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        meta: Optional[Dict] = None,
+    ) -> "EmbeddingStore":
+        """Create a new store at ``root`` (which must be empty or absent)."""
+        root = Path(root)
+        if (root / MANIFEST_NAME).exists():
+            raise StoreError(f"store already exists at {root}")
+        root.mkdir(parents=True, exist_ok=True)
+        store = cls(root, dim=dim, shard_size=shard_size, meta=meta)
+        store._write_manifest()
+        return store
+
+    @classmethod
+    def in_memory(
+        cls, dim: int, shard_size: int = DEFAULT_SHARD_SIZE
+    ) -> "EmbeddingStore":
+        """An ephemeral store: same API, nothing touches disk."""
+        return cls(None, dim=dim, shard_size=shard_size)
+
+    @classmethod
+    def open(cls, root) -> "EmbeddingStore":
+        """Open an existing store for reading or appending."""
+        root = Path(root)
+        manifest_path = root / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise StoreError(f"no manifest at {manifest_path}")
+        manifest = json.loads(manifest_path.read_text())
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise StoreError(
+                f"unsupported store format_version {version!r} "
+                f"(this reader supports {FORMAT_VERSION})"
+            )
+        shards = [
+            _ShardInfo(name=entry["name"], n_rows=int(entry["n_rows"]))
+            for entry in manifest["shards"]
+        ]
+        return cls(
+            root,
+            dim=int(manifest["dim"]),
+            shard_size=int(manifest["shard_size"]),
+            shards=shards,
+            meta=manifest.get("meta", {}),
+        )
+
+    # -- writes ------------------------------------------------------------
+
+    def add(self, encoding: FunctionEncoding, image_id: str = "") -> int:
+        """Buffer one encoding; returns its (future) global row index."""
+        vector = np.asarray(encoding.vector)
+        if vector.shape != (self.dim,):
+            raise StoreError(
+                f"vector shape {vector.shape} does not match store dim "
+                f"({self.dim},)"
+            )
+        self._pending.append(_PendingRow(encoding=encoding, image_id=image_id))
+        return len(self) - 1
+
+    def add_batch(
+        self, encodings: Iterable[FunctionEncoding], image_id: str = ""
+    ) -> int:
+        """Buffer many encodings; returns the number added."""
+        n = 0
+        for encoding in encodings:
+            self.add(encoding, image_id=image_id)
+            n += 1
+        return n
+
+    def flush(self) -> int:
+        """Persist buffered rows as new shards; returns rows written."""
+        written = 0
+        while self._pending:
+            batch = self._pending[: self.shard_size]
+            self._pending = self._pending[self.shard_size :]
+            shard = _Shard(
+                vectors=np.stack(
+                    [np.asarray(row.encoding.vector) for row in batch]
+                ),
+                callee_counts=np.array(
+                    [row.encoding.callee_count for row in batch], dtype=np.int64
+                ),
+                ast_sizes=np.array(
+                    [row.encoding.ast_size for row in batch], dtype=np.int64
+                ),
+                names=[row.encoding.name for row in batch],
+                binary_names=[row.encoding.binary_name for row in batch],
+                arches=[row.encoding.arch for row in batch],
+                image_ids=[row.image_id for row in batch],
+            )
+            index = len(self._shards)
+            info = _ShardInfo(name=f"shard-{index:05d}.npz", n_rows=len(shard))
+            if self.root is not None:
+                self._write_shard(info, shard)
+            self._shards.append(info)
+            self._cache[index] = shard
+            written += len(shard)
+        if written:
+            self._rebuild_offsets()
+            self._stacked = None
+            self._stacked_counts = None
+            if self.root is not None:
+                self._write_manifest()
+        return written
+
+    def _write_shard(self, info: _ShardInfo, shard: _Shard) -> None:
+        save_state(
+            self.root / info.name,
+            {
+                "vectors": shard.vectors,
+                "callee_counts": shard.callee_counts,
+                "ast_sizes": shard.ast_sizes,
+            },
+            meta={
+                "names": shard.names,
+                "binary_names": shard.binary_names,
+                "arches": shard.arches,
+                "image_ids": shard.image_ids,
+            },
+        )
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "dim": self.dim,
+            "shard_size": self.shard_size,
+            "n_rows": len(self),
+            "shards": [
+                {"name": info.name, "n_rows": info.n_rows}
+                for info in self._shards
+            ],
+            "meta": self.meta,
+        }
+        path = self.root / MANIFEST_NAME
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        tmp.replace(path)
+
+    # -- reads -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return (self._offsets[-1] if self._offsets else 0) + len(self._pending)
+
+    @property
+    def n_flushed(self) -> int:
+        return self._offsets[-1] if self._offsets else 0
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def _rebuild_offsets(self) -> None:
+        self._offsets = [0]
+        for info in self._shards:
+            self._offsets.append(self._offsets[-1] + info.n_rows)
+
+    def _load_shard(self, index: int) -> _Shard:
+        if index in self._cache:
+            return self._cache[index]
+        if self.root is None:
+            raise StoreError(f"shard {index} missing from in-memory store")
+        info = self._shards[index]
+        state, meta = load_state(self.root / info.name)
+        shard = _Shard(
+            vectors=state["vectors"],
+            callee_counts=state["callee_counts"],
+            ast_sizes=state["ast_sizes"],
+            names=list(meta["names"]),
+            binary_names=list(meta["binary_names"]),
+            arches=list(meta["arches"]),
+            image_ids=list(meta["image_ids"]),
+        )
+        if shard.vectors.shape != (info.n_rows, self.dim):
+            raise StoreError(
+                f"shard {info.name} has shape {shard.vectors.shape}, "
+                f"manifest says ({info.n_rows}, {self.dim})"
+            )
+        self._cache[index] = shard
+        return shard
+
+    def _locate(self, row: int) -> tuple:
+        if not 0 <= row < self.n_flushed:
+            raise IndexError(
+                f"row {row} out of range ({self.n_flushed} flushed rows)"
+            )
+        shard_index = bisect_right(self._offsets, row) - 1
+        return shard_index, row - self._offsets[shard_index]
+
+    def metadata_at(self, row: int) -> StoredFunction:
+        """Metadata for one flushed row."""
+        shard_index, local = self._locate(row)
+        shard = self._load_shard(shard_index)
+        return StoredFunction(
+            row=row,
+            name=shard.names[local],
+            binary_name=shard.binary_names[local],
+            arch=shard.arches[local],
+            callee_count=int(shard.callee_counts[local]),
+            ast_size=int(shard.ast_sizes[local]),
+            image_id=shard.image_ids[local],
+        )
+
+    def vector_at(self, row: int) -> np.ndarray:
+        shard_index, local = self._locate(row)
+        shard = self._load_shard(shard_index)
+        return shard.vectors[local]
+
+    def iter_metadata(self) -> Iterable[StoredFunction]:
+        for row in range(self.n_flushed):
+            yield self.metadata_at(row)
+
+    def vectors(self) -> np.ndarray:
+        """All flushed vectors stacked as one ``(n, dim)`` matrix (cached)."""
+        if self._stacked is None:
+            if self.n_flushed == 0:
+                self._stacked = np.zeros((0, self.dim))
+            else:
+                self._stacked = np.concatenate(
+                    [
+                        self._load_shard(i).vectors
+                        for i in range(len(self._shards))
+                    ]
+                )
+        return self._stacked
+
+    def callee_counts(self) -> np.ndarray:
+        """All flushed callee counts as one length-``n`` int array (cached)."""
+        if self._stacked_counts is None:
+            if self.n_flushed == 0:
+                self._stacked_counts = np.zeros(0, dtype=np.int64)
+            else:
+                self._stacked_counts = np.concatenate(
+                    [
+                        self._load_shard(i).callee_counts
+                        for i in range(len(self._shards))
+                    ]
+                )
+        return self._stacked_counts

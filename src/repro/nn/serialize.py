@@ -25,11 +25,15 @@ def save_state(path, state: Dict[str, np.ndarray], meta: Dict = None) -> None:
 
 
 def load_state(path) -> Tuple[Dict[str, np.ndarray], Dict]:
-    """Load ``(state_dict, meta)`` saved by :func:`save_state`."""
+    """Load ``(state_dict, meta)`` saved by :func:`save_state`.
+
+    Only plain ndarrays are accepted (``allow_pickle=False``): checkpoints
+    and embedding shards are data, never code.
+    """
     path = Path(path)
     if not path.exists() and path.with_suffix(".npz").exists():
         path = path.with_suffix(".npz")
-    with np.load(path) as archive:
+    with np.load(path, allow_pickle=False) as archive:
         meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
         state = {
             key: archive[key] for key in archive.files if key != _META_KEY

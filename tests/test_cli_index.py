@@ -1,0 +1,129 @@
+"""CLI coverage for ``index build`` / ``index search`` and ``search --top-k``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.index.store import MANIFEST_NAME
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory, trained_model):
+    path = tmp_path_factory.mktemp("model") / "asteria.npz"
+    trained_model.save(path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def index_dir(tmp_path_factory, model_path):
+    root = tmp_path_factory.mktemp("index") / "fw"
+    assert main([
+        "index", "build", "--model", model_path, "--output", str(root),
+        "--images", "3", "--seed", "4", "--shard-size", "16",
+    ]) == 0
+    return str(root)
+
+
+class TestIndexBuild:
+    def test_writes_manifest_and_shards(self, index_dir, capsys):
+        manifest = json.loads(
+            (__import__("pathlib").Path(index_dir) / MANIFEST_NAME).read_text()
+        )
+        assert manifest["n_rows"] > 0
+        assert manifest["shards"]
+
+    def test_existing_dir_is_clean_error(self, model_path, index_dir,
+                                         capsys):
+        assert main([
+            "index", "build", "--model", model_path, "--output", index_dir,
+            "--images", "2",
+        ]) == 1
+        assert "already exists" in capsys.readouterr().err
+
+    def test_reports_counts(self, model_path, tmp_path, capsys):
+        assert main([
+            "index", "build", "--model", model_path,
+            "--output", str(tmp_path / "idx"),
+            "--images", "2", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ingested" in out
+        assert "shard(s)" in out
+
+
+class TestIndexSearch:
+    def test_top_k_limits_results(self, model_path, index_dir, capsys):
+        assert main([
+            "index", "search", "--model", model_path, "--index", index_dir,
+            "--top-k", "3", "--seed", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "CVE-2016-2105" in out
+        # ranks never exceed top-k
+        assert "  3. score=" in out
+        assert "  4. score=" not in out
+
+    def test_deterministic_for_fixed_seed(self, model_path, index_dir,
+                                          capsys):
+        argv = [
+            "index", "search", "--model", model_path, "--index", index_dir,
+            "--top-k", "5", "--seed", "4",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert first.count("score=") > 0
+
+    def test_lsh_backend_runs(self, model_path, index_dir, capsys):
+        assert main([
+            "index", "search", "--model", model_path, "--index", index_dir,
+            "--top-k", "2", "--backend", "lsh", "--seed", "4",
+        ]) == 0
+        assert "score=" in capsys.readouterr().out
+
+    def test_missing_index_is_clean_error(self, model_path, tmp_path,
+                                          capsys):
+        assert main([
+            "index", "search", "--model", model_path,
+            "--index", str(tmp_path / "nope"),
+        ]) == 1
+        assert "no manifest" in capsys.readouterr().err
+
+    def test_cve_filter(self, model_path, index_dir, capsys):
+        assert main([
+            "index", "search", "--model", model_path, "--index", index_dir,
+            "--top-k", "2", "--cve", "CVE-2011-0762",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "CVE-2011-0762" in out
+        assert "CVE-2016-2105" not in out
+
+    def test_unknown_cve_is_clean_error(self, model_path, index_dir,
+                                        capsys):
+        assert main([
+            "index", "search", "--model", model_path, "--index", index_dir,
+            "--cve", "CVE-1999-0000",
+        ]) == 1
+        assert "CVE-1999-0000" in capsys.readouterr().err
+
+    def test_threshold_filters_hits(self, model_path, index_dir, capsys):
+        argv = ["index", "search", "--model", model_path,
+                "--index", index_dir, "--top-k", "5"]
+        assert main(argv) == 0
+        unfiltered = capsys.readouterr().out.count("score=")
+        assert main(argv + ["--threshold", "1.1"]) == 0
+        assert capsys.readouterr().out.count("score=") == 0
+        assert unfiltered > 0
+
+
+class TestSearchTopK:
+    def test_search_accepts_top_k(self, model_path, capsys):
+        assert main([
+            "search", "--model", model_path, "--images", "3",
+            "--seed", "4", "--top-k", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "total confirmed" in out

@@ -1,0 +1,357 @@
+"""Tests for the embedding index subsystem (store, ANN backends, service)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.model import Asteria, AsteriaConfig, FunctionEncoding
+from repro.evalsuite.vulnsearch import (
+    VulnerabilitySearch,
+    build_firmware_dataset,
+)
+from repro.index.ann import BruteForceIndex, LSHIndex, make_index
+from repro.index.search import SearchService
+from repro.index.store import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    EmbeddingStore,
+    StoreError,
+)
+
+
+def _encoding(i: int, dim: int = 8, arch: str = "x86") -> FunctionEncoding:
+    rng = np.random.default_rng(i)
+    return FunctionEncoding(
+        name=f"sub_{i:x}",
+        arch=arch,
+        binary_name=f"bin-{i % 3}",
+        vector=rng.normal(size=dim),
+        callee_count=i % 5,
+        ast_size=10 + i,
+    )
+
+
+def _fill(store: EmbeddingStore, n: int, dim: int = 8) -> None:
+    for i in range(n):
+        store.add(_encoding(i, dim), image_id=f"img/{i % 4}")
+    store.flush()
+
+
+class TestEmbeddingStore:
+    def test_create_flush_reopen_roundtrip(self, tmp_path):
+        root = tmp_path / "idx"
+        store = EmbeddingStore.create(root, dim=8, shard_size=4)
+        _fill(store, 10)
+        assert len(store) == 10
+        assert store.n_shards == 3  # 4 + 4 + 2
+
+        reopened = EmbeddingStore.open(root)
+        assert len(reopened) == 10
+        assert reopened.dim == 8
+        assert np.array_equal(reopened.vectors(), store.vectors())
+        assert reopened.vectors().dtype == store.vectors().dtype
+        for row in range(10):
+            assert reopened.metadata_at(row) == store.metadata_at(row)
+            assert np.array_equal(
+                reopened.vector_at(row), store.vector_at(row)
+            )
+
+    def test_manifest_is_versioned(self, tmp_path):
+        root = tmp_path / "idx"
+        store = EmbeddingStore.create(root, dim=4)
+        _fill(store, 3, dim=4)
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        assert manifest["format_version"] == FORMAT_VERSION
+        assert manifest["n_rows"] == 3
+        assert [s["n_rows"] for s in manifest["shards"]] == [3]
+
+    def test_future_version_rejected(self, tmp_path):
+        root = tmp_path / "idx"
+        EmbeddingStore.create(root, dim=4)
+        manifest_path = root / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(StoreError, match="format_version"):
+            EmbeddingStore.open(root)
+
+    def test_create_refuses_existing(self, tmp_path):
+        root = tmp_path / "idx"
+        EmbeddingStore.create(root, dim=4)
+        with pytest.raises(StoreError, match="already exists"):
+            EmbeddingStore.create(root, dim=4)
+
+    def test_append_after_reopen(self, tmp_path):
+        root = tmp_path / "idx"
+        store = EmbeddingStore.create(root, dim=8, shard_size=4)
+        _fill(store, 5)
+        store = EmbeddingStore.open(root)
+        store.add(_encoding(99))
+        store.flush()
+        assert len(store) == 6
+        assert EmbeddingStore.open(root).metadata_at(5).name == "sub_63"
+
+    def test_lazy_shard_loading(self, tmp_path):
+        root = tmp_path / "idx"
+        store = EmbeddingStore.create(root, dim=8, shard_size=2)
+        _fill(store, 6)
+        reopened = EmbeddingStore.open(root)
+        assert not reopened._cache
+        reopened.metadata_at(5)  # last shard only
+        assert set(reopened._cache) == {2}
+
+    def test_dim_mismatch_rejected(self, tmp_path):
+        store = EmbeddingStore.create(tmp_path / "idx", dim=8)
+        with pytest.raises(StoreError, match="shape"):
+            store.add(_encoding(0, dim=5))
+
+    def test_in_memory_store(self):
+        store = EmbeddingStore.in_memory(dim=8, shard_size=3)
+        _fill(store, 7)
+        assert len(store) == 7
+        assert store.vectors().shape == (7, 8)
+        assert store.metadata_at(3).image_id == "img/3"
+
+    def test_unflushed_rows_counted_not_visible(self):
+        store = EmbeddingStore.in_memory(dim=8)
+        store.add(_encoding(0))
+        assert len(store) == 1
+        assert store.n_flushed == 0
+        store.flush()
+        assert store.n_flushed == 1
+
+    def test_encoding_reconstruction(self):
+        store = EmbeddingStore.in_memory(dim=8)
+        original = _encoding(11)
+        store.add(original, image_id="img/x")
+        store.flush()
+        rebuilt = store.metadata_at(0).encoding(store.vector_at(0))
+        assert rebuilt.name == original.name
+        assert rebuilt.arch == original.arch
+        assert rebuilt.binary_name == original.binary_name
+        assert rebuilt.callee_count == original.callee_count
+        assert rebuilt.ast_size == original.ast_size
+        assert np.array_equal(rebuilt.vector, original.vector)
+
+
+@pytest.fixture(scope="module")
+def corpus_model():
+    return Asteria(AsteriaConfig(hidden_dim=16, seed=4))
+
+
+@pytest.fixture(scope="module")
+def corpus(corpus_model):
+    """Synthetic clustered vectors + callee counts + query encodings."""
+    rng = np.random.default_rng(7)
+    dim = corpus_model.config.hidden_dim
+    centers = rng.normal(size=(6, dim)) * 2.0
+    vectors = np.concatenate(
+        [center + rng.normal(scale=0.15, size=(30, dim)) for center in centers]
+    )
+    # callee counts track function identity (homologous functions call the
+    # same neighbours), i.e. they follow the clusters
+    counts = np.repeat(np.arange(6, dtype=np.int64), 30)
+    queries = [
+        FunctionEncoding(
+            name=f"q{i}", arch="x86", binary_name="query",
+            vector=centers[i] + rng.normal(scale=0.1, size=dim),
+            callee_count=i,
+        )
+        for i in range(len(centers))
+    ]
+    return vectors, counts, queries
+
+
+class TestBatchedScoring:
+    def test_classifier_matrix_matches_per_pair(self, corpus_model, corpus):
+        vectors, counts, queries = corpus
+        query = queries[0]
+        batched = corpus_model.similarity_batch(query, vectors, counts)
+        singles = np.array([
+            corpus_model.similarity(
+                query,
+                FunctionEncoding(
+                    name="f", arch="x86", binary_name="b",
+                    vector=vectors[i], callee_count=int(counts[i]),
+                ),
+            )
+            for i in range(len(vectors))
+        ])
+        np.testing.assert_allclose(batched, singles, atol=1e-12)
+
+    def test_uncalibrated_matches_woc(self, corpus_model, corpus):
+        vectors, _counts, queries = corpus
+        query = queries[1]
+        batched = corpus_model.similarity_batch(
+            query, vectors, calibrate=False
+        )
+        singles = np.array([
+            corpus_model.ast_similarity(query.vector, vectors[i])
+            for i in range(len(vectors))
+        ])
+        np.testing.assert_allclose(batched, singles, atol=1e-12)
+
+    def test_calibration_requires_counts(self, corpus_model, corpus):
+        vectors, _counts, queries = corpus
+        with pytest.raises(ValueError, match="callee_counts"):
+            corpus_model.similarity_batch(queries[0], vectors)
+
+    def test_regression_head_batched(self, corpus):
+        vectors, _counts, queries = corpus
+        model = Asteria(AsteriaConfig(hidden_dim=16, head="regression"))
+        query = queries[2]
+        batched = model.siamese.similarity_from_matrix(query.vector, vectors)
+        singles = np.array([
+            model.siamese.similarity_from_vectors(query.vector, vectors[i])
+            for i in range(len(vectors))
+        ])
+        np.testing.assert_allclose(batched, singles, atol=1e-12)
+
+
+class TestAnnBackends:
+    def test_brute_force_matches_sorted_scores(self, corpus_model, corpus):
+        vectors, counts, queries = corpus
+        index = BruteForceIndex(corpus_model, vectors, counts)
+        query = queries[0]
+        neighbors = index.top_k(query, k=5)
+        scores = corpus_model.similarity_batch(query, vectors, counts)
+        expected = sorted(
+            range(len(vectors)), key=lambda i: (-scores[i], i)
+        )[:5]
+        assert [n.row for n in neighbors] == expected
+        assert all(
+            n.score == pytest.approx(scores[n.row]) for n in neighbors
+        )
+
+    def test_threshold_filters(self, corpus_model, corpus):
+        vectors, counts, queries = corpus
+        index = BruteForceIndex(corpus_model, vectors, counts)
+        neighbors = index.top_k(queries[0], k=None, threshold=0.5)
+        scores = corpus_model.similarity_batch(queries[0], vectors, counts)
+        assert len(neighbors) == int((scores >= 0.5).sum())
+        assert all(n.score >= 0.5 for n in neighbors)
+
+    def test_lsh_recall_against_exact(self, corpus):
+        # the cosine head ranks by the geometry the hyperplane family
+        # approximates; the classification-head recall is covered on a
+        # real trained corpus in bench_index_search.py
+        vectors, counts, queries = corpus
+        model = Asteria(AsteriaConfig(hidden_dim=16, head="regression"))
+        exact = BruteForceIndex(model, vectors, counts)
+        lsh = LSHIndex(model, vectors, counts, seed=3)
+        recalls = []
+        for query in queries:
+            top_exact = {n.row for n in exact.top_k(query, k=10)}
+            top_lsh = {n.row for n in lsh.top_k(query, k=10)}
+            assert top_lsh <= set(range(len(vectors)))
+            recalls.append(len(top_exact & top_lsh) / 10)
+        assert np.mean(recalls) >= 0.9
+
+    def test_lsh_deterministic(self, corpus_model, corpus):
+        vectors, counts, queries = corpus
+        a = LSHIndex(corpus_model, vectors, counts, seed=5)
+        b = LSHIndex(corpus_model, vectors, counts, seed=5)
+        for query in queries:
+            assert [n.row for n in a.top_k(query, k=8)] == \
+                   [n.row for n in b.top_k(query, k=8)]
+
+    def test_lsh_candidate_pool_grows_to_n(self, corpus_model, corpus):
+        vectors, counts, queries = corpus
+        lsh = LSHIndex(corpus_model, vectors, counts, seed=1)
+        rows = lsh.candidate_rows(queries[0].vector, 100)
+        assert len(rows) >= 100
+        all_rows = lsh.candidate_rows(queries[0].vector, None)
+        assert len(all_rows) == len(vectors)
+
+    def test_make_index_unknown_backend(self, corpus_model, corpus):
+        vectors, counts, _queries = corpus
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_index("kdtree", corpus_model, vectors, counts)
+
+    def test_empty_index(self, corpus_model):
+        index = BruteForceIndex(
+            corpus_model, np.zeros((0, 16)), np.zeros(0, dtype=np.int64)
+        )
+        assert index.top_k(_encoding(0, dim=16), k=5) == []
+
+
+class TestSearchService:
+    @pytest.fixture(scope="class")
+    def firmware(self):
+        return build_firmware_dataset(n_images=4, seed=3)
+
+    @pytest.fixture(scope="class")
+    def vuln_search(self, trained_model):
+        return VulnerabilitySearch(trained_model, threshold=0.8)
+
+    @pytest.fixture(scope="class")
+    def service(self, vuln_search, firmware):
+        return vuln_search.build_index(firmware)
+
+    def test_ingest_counts(self, service, firmware):
+        # every decompiled function above the size floor is stored once
+        assert len(service.store) > 0
+        image_ids = {
+            meta.image_id for meta in service.store.iter_metadata()
+        }
+        unpackable = {
+            image.identifier
+            for image in firmware.images if not image.unknown_format
+        }
+        assert image_ids == unpackable
+
+    def test_query_returns_metadata(self, service, vuln_search):
+        library = vuln_search.encode_library()
+        _entry, encoding = sorted(library.items())[0][1]
+        hits = service.query(encoding, top_k=5)
+        assert len(hits) == 5
+        assert hits[0].score >= hits[-1].score
+        for hit in hits:
+            assert hit.name.startswith("sub_")
+            assert hit.image_id
+
+    def test_index_path_matches_exhaustive(
+        self, vuln_search, firmware, service
+    ):
+        report_ex, cands_ex = vuln_search.search_exhaustive(firmware)
+        report_ix, cands_ix = vuln_search.search(firmware, service=service)
+
+        def key(c):
+            return (c.entry.cve_id, c.image.identifier, c.binary_name,
+                    c.function_name, c.confirmed)
+
+        assert {key(c) for c in cands_ex} == {key(c) for c in cands_ix}
+        assert report_ex.total_confirmed() == report_ix.total_confirmed()
+        assert report_ex.n_functions == report_ix.n_functions
+        for row_ex, row_ix in zip(report_ex.rows, report_ix.rows):
+            assert row_ex.n_confirmed == row_ix.n_confirmed
+            assert row_ex.vendors == row_ix.vendors
+            assert row_ex.models == row_ix.models
+        scores_ex = sorted(round(c.score, 9) for c in cands_ex)
+        scores_ix = sorted(round(c.score, 9) for c in cands_ix)
+        assert scores_ex == pytest.approx(scores_ix)
+
+    def test_top_k_caps_candidates(self, vuln_search, firmware, service):
+        _report, cands = vuln_search.search(firmware, service=service,
+                                            top_k=1)
+        per_cve = {}
+        for c in cands:
+            per_cve[c.entry.cve_id] = per_cve.get(c.entry.cve_id, 0) + 1
+        assert all(count <= 1 for count in per_cve.values())
+
+    def test_persistent_index_same_results(
+        self, vuln_search, firmware, service, tmp_path, trained_model
+    ):
+        from repro.index.store import EmbeddingStore
+
+        root = tmp_path / "fw-index"
+        vuln_search.build_index(firmware, root=root)
+        reopened = SearchService(trained_model, EmbeddingStore.open(root))
+        library = vuln_search.encode_library()
+        _entry, encoding = sorted(library.items())[0][1]
+        fresh = [(h.row, h.name, round(h.score, 12))
+                 for h in service.query(encoding, top_k=5)]
+        durable = [(h.row, h.name, round(h.score, 12))
+                   for h in reopened.query(encoding, top_k=5)]
+        assert fresh == durable
