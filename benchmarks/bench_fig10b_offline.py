@@ -10,7 +10,7 @@ with AST size.
 
 import numpy as np
 
-from repro.evalsuite.timing import measure_offline
+from repro.evalsuite.timing import measure_encode_batched, measure_offline
 
 from benchmarks.conftest import scaled, write_result
 
@@ -34,9 +34,18 @@ def test_fig10b_offline_phase(benchmark, openssl, trained_asteria,
         "G-EX (acfg extract)": mean("gemini_extract_s"),
         "G-EN (acfg encode)": mean("gemini_encode_s"),
     }
+    batched = measure_encode_batched(
+        openssl, trained_asteria, batch_size=64,
+        max_functions=scaled(40), seed=3,
+    )
     lines = [f"{'Phase':<22} {'mean seconds':>13}"]
     for name, value in means.items():
         lines.append(f"{name:<22} {value:>13.6f}")
+    lines.append(
+        f"{'A-E (batched @64)':<22} {batched.batched_per_function_s:>13.6f}"
+        f"   ({batched.speedup:.1f}x over per-tree A-E on the same "
+        f"{batched.n_functions} fns)"
+    )
     lines.append("")
     lines.append("encode time by AST size bucket:")
     buckets = [(0, 50), (50, 100), (100, 200), (200, 10 ** 9)]

@@ -1,0 +1,126 @@
+"""Level-batched Tree-LSTM: encode throughput vs the sequential reference.
+
+The paper's offline phase is dominated by per-node Tree-LSTM encoding
+(Figure 10b, A-E); the level-batched engine stacks same-level nodes across
+many trees into fixed-block GEMMs.  This bench measures, on the synthetic
+buildroot corpus:
+
+* **throughput** -- trees/second sequential vs batched at batch sizes
+  {1, 8, 64, 256} (batch 64 must be >= ``MIN_SPEEDUP_AT_64`` faster);
+* **determinism** -- batched encodings must be bit-for-bit identical across
+  every batch size (the fixed-GEMM-block property);
+* **AST-size buckets** -- per-bucket speedup at batch 64, the batched
+  analogue of Figure 10b's encode-time-by-size curve;
+
+and cross-checks the batched vectors against the sequential reference.
+
+``TREELSTM_BENCH_MIN_SPEEDUP`` overrides the throughput floor (the CI
+perf-smoke step runs at reduced scale, where fixed per-call overheads eat
+into the ratio).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.evalsuite.timing import corpus_trees
+from repro.nn.tensor import no_grad
+
+from benchmarks.conftest import scaled, write_result
+
+BATCH_SIZES = (1, 8, 64, 256)
+MIN_SPEEDUP_AT_64 = float(os.environ.get("TREELSTM_BENCH_MIN_SPEEDUP", "5.0"))
+MIN_TREES = 512
+SIZE_BUCKETS = ((0, 50), (50, 100), (100, 200), (200, 10 ** 9))
+
+
+def _corpus_trees(dataset, model):
+    """Preprocessed trees from every corpus function, tiled to MIN_TREES."""
+    trees = corpus_trees(dataset, model.config.min_ast_size)
+    assert trees, "corpus produced no encodable functions"
+    base = len(trees)
+    while len(trees) < MIN_TREES:
+        trees.append(trees[len(trees) % base])
+    return trees
+
+
+def test_treelstm_batch_throughput(benchmark, buildroot, trained_asteria):
+    trees = _corpus_trees(buildroot, trained_asteria)
+    sizes = np.array([tree.size() for tree in trees])
+
+    started = time.perf_counter()
+    with no_grad():
+        sequential = np.stack(
+            [trained_asteria.encoder(tree).data for tree in trees]
+        )
+    sequential_s = time.perf_counter() - started
+    sequential_rate = len(trees) / sequential_s
+
+    lines = [
+        f"corpus: {len(trees)} trees "
+        f"(mean {sizes.mean():.0f} nodes, max {sizes.max()})",
+        "",
+        f"{'path':<16} {'trees/s':>10} {'speedup':>9}",
+        f"{'sequential':<16} {sequential_rate:>10.1f} {'1.0x':>9}",
+    ]
+    batched_results = {}
+    batched_rates = {}
+    for batch_size in BATCH_SIZES:
+        started = time.perf_counter()
+        vectors = trained_asteria.encode_batch(trees, batch_size=batch_size)
+        batched_s = time.perf_counter() - started
+        batched_results[batch_size] = vectors
+        batched_rates[batch_size] = len(trees) / batched_s
+        lines.append(
+            f"{'batched @' + str(batch_size):<16} "
+            f"{batched_rates[batch_size]:>10.1f} "
+            f"{sequential_s / batched_s:>8.1f}x"
+        )
+
+    lines.append("")
+    lines.append("speedup @64 by AST-size bucket:")
+    for low, high in SIZE_BUCKETS:
+        mask = (sizes >= low) & (sizes < high)
+        if not mask.any():
+            continue
+        bucket = [tree for tree, m in zip(trees, mask) if m]
+        with no_grad():
+            started = time.perf_counter()
+            for tree in bucket:
+                trained_asteria.encoder.encode_states(tree)
+            bucket_seq_s = time.perf_counter() - started
+        started = time.perf_counter()
+        trained_asteria.encode_batch(bucket, batch_size=64)
+        bucket_batched_s = time.perf_counter() - started
+        label = f"[{low}, {high if high < 10 ** 9 else 'inf'})"
+        lines.append(
+            f"  size {label:<12} {bucket_seq_s / bucket_batched_s:>6.1f}x "
+            f"over {len(bucket)} trees"
+        )
+
+    speedup_64 = batched_rates[64] / sequential_rate
+    lines.append("")
+    lines.append(
+        f"speedup @64: {speedup_64:.1f}x "
+        f"(required >= {MIN_SPEEDUP_AT_64:g}x)"
+    )
+    # write the diagnostic table before any assert so the CI artifact
+    # survives every failure class, not just the throughput one
+    write_result("treelstm_batch", "\n".join(lines))
+
+    # Bit-for-bit determinism: the fixed GEMM blocks make the encoding
+    # independent of how the corpus was chunked into batches.
+    reference = batched_results[BATCH_SIZES[0]]
+    for batch_size in BATCH_SIZES[1:]:
+        assert np.array_equal(reference, batched_results[batch_size]), (
+            f"batch size {batch_size} produced different bytes than "
+            f"batch size {BATCH_SIZES[0]}"
+        )
+    # ... and numerically equivalent to the sequential reference.
+    np.testing.assert_allclose(reference, sequential, atol=1e-10)
+
+    assert speedup_64 >= MIN_SPEEDUP_AT_64
+
+    chunk = trees[:scaled(64)]
+    benchmark(lambda: trained_asteria.encode_batch(chunk, batch_size=64))

@@ -95,7 +95,10 @@ def _cmd_train(args) -> int:
     train, dev = split_pairs(pairs, 0.8, seed=args.seed)
     print(f"{len(train)} training pairs, {len(dev)} dev pairs")
     model = Asteria(AsteriaConfig(embedding_dim=args.dim))
-    trainer = Trainer(model.siamese, TrainConfig(epochs=args.epochs))
+    trainer = Trainer(
+        model.siamese,
+        TrainConfig(epochs=args.epochs, batch_size=args.batch_size),
+    )
     history = trainer.train(train, dev)
     print(f"best dev AUC: {history.best_auc:.4f} "
           f"(epoch {history.best_epoch})")
@@ -149,7 +152,8 @@ def _cmd_index_build(args) -> int:
     search = VulnerabilitySearch(model)
     try:
         service = search.build_index(
-            dataset, root=args.output, shard_size=args.shard_size
+            dataset, root=args.output, shard_size=args.shard_size,
+            encode_batch_size=args.batch_size,
         )
     except StoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -199,6 +203,13 @@ def _cmd_index_search(args) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cli",
@@ -236,6 +247,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pairs", type=int, default=15)
     p.add_argument("--epochs", type=int, default=2)
     p.add_argument("--dim", type=int, default=16)
+    p.add_argument("--batch-size", type=_positive_int, default=1,
+                   help="pairs per optimiser step (1 = the paper's "
+                        "per-pair setting; >1 uses the level-batched "
+                        "Tree-LSTM engine)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", default="asteria.npz")
     p.set_defaults(func=_cmd_train)
@@ -270,6 +285,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--images", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--shard-size", type=int, default=1024)
+    p.add_argument("--batch-size", type=_positive_int, default=64,
+                   help="trees per level-batched encode pass during ingest")
     p.set_defaults(func=_cmd_index_build)
 
     p = index_sub.add_parser(

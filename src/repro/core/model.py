@@ -14,7 +14,7 @@ preprocessing settings and the calibration parameters behind one API:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -30,7 +30,13 @@ from repro.decompiler.hexrays import DecompiledFunction
 from repro.lang.nodes import Node
 from repro.nn.serialize import load_state, save_state
 from repro.nn.tensor import no_grad
+from repro.nn.treebatch import encode_batch as _encode_tree_batch
 from repro.nn.treelstm import BinaryTreeLSTM, BinaryTreeNode
+
+#: Default number of trees stacked per level-batched encode call.  Large
+#: enough to amortise per-level Python overhead into full GEMMs, small
+#: enough to keep the flattened state buffers cache-friendly.
+DEFAULT_ENCODE_BATCH_SIZE = 64
 
 
 @dataclass
@@ -102,6 +108,60 @@ class Asteria:
             callee_count=filtered_callee_count(fn.callees, self.config.beta),
             ast_size=fn.ast_size(),
         )
+
+    def encode_batch(
+        self,
+        trees: Sequence[BinaryTreeNode],
+        batch_size: int = DEFAULT_ENCODE_BATCH_SIZE,
+    ) -> np.ndarray:
+        """Encode preprocessed trees to a ``(n, h)`` matrix, level-batched.
+
+        Same-level nodes across all trees of a chunk are evaluated as
+        stacked GEMMs (:mod:`repro.nn.treebatch`), which is what makes
+        corpus-scale ingest throughput viable; per-tree
+        :meth:`encode_tree` remains as the sequential reference.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        out = np.empty((len(trees), self.config.hidden_dim))
+        for start in range(0, len(trees), batch_size):
+            chunk = trees[start:start + batch_size]
+            out[start:start + len(chunk)] = _encode_tree_batch(
+                self.encoder, chunk
+            )
+        return out
+
+    def encode_functions(
+        self,
+        fns: Sequence[DecompiledFunction],
+        batch_size: int = DEFAULT_ENCODE_BATCH_SIZE,
+    ) -> List[FunctionEncoding]:
+        """Offline phase for many functions through the batched encoder.
+
+        Trees are preprocessed and encoded one ``batch_size`` chunk at a
+        time, so peak memory stays bounded by the chunk, not the corpus.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        out: List[FunctionEncoding] = []
+        for start in range(0, len(fns), batch_size):
+            chunk = fns[start:start + batch_size]
+            trees = [self.preprocess(fn.ast) for fn in chunk]
+            vectors = _encode_tree_batch(self.encoder, trees)
+            out.extend(
+                FunctionEncoding(
+                    name=fn.name,
+                    arch=fn.arch,
+                    binary_name=fn.binary_name,
+                    vector=vectors[i].copy(),
+                    callee_count=filtered_callee_count(
+                        fn.callees, self.config.beta
+                    ),
+                    ast_size=fn.ast_size(),
+                )
+                for i, fn in enumerate(chunk)
+            )
+        return out
 
     # -- online phase ------------------------------------------------------------
 

@@ -5,6 +5,9 @@ Measures, per function:
 * offline phase -- decompilation (A-D), preprocessing (A-P) and Tree-LSTM
   encoding (A-E) for Asteria; AST hashing for Diaphora (D-H); ACFG
   extraction (G-EX) and graph encoding (G-EN) for Gemini;
+* batched offline encoding -- amortised per-function A-E through the
+  level-batched engine, reported alongside the per-tree number
+  (:func:`measure_encode_batched`);
 * online phase -- similarity computation on cached artefacts for all three
   approaches;
 * the AST size CDF (Figure 10a).
@@ -42,6 +45,28 @@ class OfflineRow:
     diaphora_hash_s: float  # D-H
     gemini_extract_s: float  # G-EX
     gemini_encode_s: float  # G-EN
+
+
+@dataclass
+class BatchedEncodeStats:
+    """Per-tree vs level-batched A-E over the same sampled functions."""
+
+    batch_size: int
+    n_functions: int
+    sequential_s: float  # total per-tree encode wall time
+    batched_s: float  # total level-batched encode wall time
+
+    @property
+    def sequential_per_function_s(self) -> float:
+        return self.sequential_s / max(1, self.n_functions)
+
+    @property
+    def batched_per_function_s(self) -> float:
+        return self.batched_s / max(1, self.n_functions)
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_s / self.batched_s if self.batched_s else 0.0
 
 
 @dataclass
@@ -124,6 +149,57 @@ def measure_offline(
             )
         )
     return rows
+
+
+def corpus_trees(dataset: Dataset, min_ast_size: int) -> list:
+    """Every corpus function's preprocessed tree (too-small ASTs dropped).
+
+    Shared by the batched-encode measurement here and the throughput
+    benchmark, so both always sample with identical eligibility rules.
+    """
+    trees = []
+    for arch in sorted(dataset.functions):
+        for fn in dataset.functions[arch]:
+            tree = try_preprocess_ast(fn.ast, min_ast_size)
+            if tree is not None:
+                trees.append(tree)
+    return trees
+
+
+def measure_encode_batched(
+    dataset: Dataset,
+    asteria: Asteria,
+    batch_size: int = 64,
+    max_functions: int = 200,
+    seed: int = 0,
+) -> BatchedEncodeStats:
+    """Amortised A-E through the level-batched engine vs per-tree encoding.
+
+    Both paths encode the same preprocessed trees, so the ratio isolates
+    exactly the gain of stacking same-level nodes into shared GEMMs.
+    """
+    trees = corpus_trees(dataset, asteria.config.min_ast_size)
+    if not trees:
+        raise ValueError("no encodable functions in the dataset")
+    rng = RNG(seed)
+    if len(trees) > max_functions:
+        trees = rng.sample(trees, max_functions)
+
+    started = time.perf_counter()
+    for tree in trees:
+        asteria.encode_tree(tree)
+    sequential_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    asteria.encode_batch(trees, batch_size=batch_size)
+    batched_s = time.perf_counter() - started
+
+    return BatchedEncodeStats(
+        batch_size=batch_size,
+        n_functions=len(trees),
+        sequential_s=sequential_s,
+        batched_s=batched_s,
+    )
 
 
 def measure_online(

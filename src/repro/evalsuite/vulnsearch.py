@@ -268,12 +268,15 @@ class VulnerabilitySearch:
         root=None,
         backend: str = "exact",
         shard_size: int = 1024,
+        encode_batch_size: Optional[int] = None,
         **backend_options,
     ):
         """Offline phase: ingest the firmware corpus into a search service.
 
         ``root=None`` keeps the store in memory; pass a directory to make
         the index durable across runs (``repro-cli index build``).
+        ``encode_batch_size`` sets how many trees the level-batched encoder
+        stacks per pass (None keeps the service default).
         """
         from repro.index.search import SearchService
         from repro.index.store import EmbeddingStore
@@ -286,6 +289,8 @@ class VulnerabilitySearch:
                 root, dim=dim, shard_size=shard_size,
                 meta={"corpus": "firmware", "threshold": self.threshold},
             )
+        if encode_batch_size is not None:
+            backend_options["encode_batch_size"] = encode_batch_size
         service = SearchService(
             self.model, store, backend=backend, **backend_options
         )

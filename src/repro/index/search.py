@@ -5,7 +5,10 @@ offline/online split:
 
 * **offline** -- :meth:`SearchService.ingest_firmware` /
   :meth:`ingest_binary` unpack, decompile and encode corpus functions once,
-  appending them to an :class:`~repro.index.store.EmbeddingStore`;
+  appending them to an :class:`~repro.index.store.EmbeddingStore`.
+  Encoding runs through the level-batched Tree-LSTM engine
+  (``encode_batch_size`` trees per stacked GEMM pass), the dominant cost of
+  corpus ingest;
 * **online** -- :meth:`SearchService.query` encodes nothing but the query:
   the ANN backend proposes candidate rows, the batched Siamese head
   exact-reranks them, and an optional threshold (e.g. the Youden-derived
@@ -19,11 +22,16 @@ pass a ready :class:`FunctionEncoding`, or use :meth:`encode_query` /
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import Iterable, List, Optional
 
 from repro.binformat.binary import BinaryFile
 from repro.binformat.binwalk import UnpackError, unpack_firmware
-from repro.core.model import Asteria, FunctionEncoding
+from repro.core.model import (
+    DEFAULT_ENCODE_BATCH_SIZE,
+    Asteria,
+    FunctionEncoding,
+)
 from repro.decompiler.hexrays import DecompiledFunction, decompile_binary
 from repro.index.ann import AnnIndex, make_index
 from repro.index.store import EmbeddingStore, StoredFunction
@@ -66,12 +74,14 @@ class SearchService:
         store: EmbeddingStore,
         backend: str = "exact",
         calibrate: bool = True,
+        encode_batch_size: int = DEFAULT_ENCODE_BATCH_SIZE,
         **backend_options,
     ):
         self.model = model
         self.store = store
         self.backend = backend
         self.calibrate = calibrate
+        self.encode_batch_size = encode_batch_size
         self.backend_options = backend_options
         self._index: Optional[AnnIndex] = None
         self._index_rows = -1
@@ -79,14 +89,27 @@ class SearchService:
     # -- offline phase -----------------------------------------------------
 
     def ingest_binary(self, binary: BinaryFile, image_id: str = "") -> int:
-        """Decompile + encode every function of one binary; returns count."""
+        """Decompile + encode every function of one binary; returns count.
+
+        Eligible functions are encoded through the level-batched Tree-LSTM,
+        ``encode_batch_size`` at a time -- the decompile stream is consumed
+        chunk by chunk, so peak memory stays bounded by one chunk even for
+        binaries with many functions.
+        """
+        eligible = (
+            fn for fn in decompile_binary(binary, skip_errors=True)
+            if fn.ast_size() >= self.model.config.min_ast_size
+        )
         n = 0
-        for fn in decompile_binary(binary, skip_errors=True):
-            if fn.ast_size() < self.model.config.min_ast_size:
-                continue
-            self.store.add(self.model.encode_function(fn), image_id=image_id)
-            n += 1
-        return n
+        while True:
+            chunk = list(islice(eligible, self.encode_batch_size))
+            if not chunk:
+                return n
+            for encoding in self.model.encode_functions(
+                chunk, batch_size=self.encode_batch_size
+            ):
+                self.store.add(encoding, image_id=image_id)
+            n += len(chunk)
 
     def ingest_firmware(self, images: Iterable) -> IngestStats:
         """Unpack + ingest a firmware corpus (the paper's offline phase)."""

@@ -3,15 +3,24 @@
 The environment has no PyTorch, so the paper's model stack (``nn.Embedding``,
 Binary Tree-LSTM, Siamese head, ``BCELoss``, AdaGrad) is implemented here
 from scratch: a :class:`Tensor` with reverse-mode automatic differentiation,
-:class:`Module` containers, layers, losses, and optimisers.  At the paper's
-model sizes (16-dim embeddings, batch size 1 -- Tree-LSTM shapes prevent
-batching, as the paper notes) numpy is entirely adequate.
+:class:`Module` containers, layers, losses, and optimisers.
+
+The paper claims Tree-LSTM shapes prevent batching; :mod:`repro.nn.treebatch`
+shows otherwise -- same-level nodes across many trees have no data
+dependencies, so whole batches evaluate as stacked per-level GEMMs (with a
+sequential per-tree reference path kept for verification).
 """
 
 from repro.nn.tensor import Tensor, concat, no_grad
 from repro.nn.module import Module, Parameter
 from repro.nn.layers import Embedding, Linear
 from repro.nn.treelstm import BinaryTreeLSTM, BinaryTreeNode
+from repro.nn.treebatch import (
+    CompiledBatch,
+    compile_trees,
+    encode_batch,
+    encode_batch_states,
+)
 from repro.nn.graphnet import Structure2Vec
 from repro.nn.loss import bce_loss, mse_loss, cosine_embedding_loss
 from repro.nn.optim import SGD, AdaGrad, Adam
@@ -21,6 +30,10 @@ __all__ = [
     "Tensor",
     "concat",
     "no_grad",
+    "CompiledBatch",
+    "compile_trees",
+    "encode_batch",
+    "encode_batch_states",
     "Module",
     "Parameter",
     "Embedding",

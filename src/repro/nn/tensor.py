@@ -20,6 +20,17 @@ import numpy as np
 _GRAD_ENABLED = [True]
 
 
+def stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Overflow-free logistic function.
+
+    ``1/(1+exp(-x))`` overflows (with a RuntimeWarning) for large negative
+    pre-activations; computing ``exp(-|x|)`` keeps the exponent non-positive
+    so both branches of the sign split stay in ``(0, 1]``.
+    """
+    ex = np.exp(-np.abs(x))
+    return np.where(np.asarray(x) >= 0, 1.0 / (1.0 + ex), ex / (1.0 + ex))
+
+
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling graph construction (inference mode)."""
@@ -211,7 +222,7 @@ class Tensor:
     # -- nonlinearities --------------------------------------------------------------
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        out_data = stable_sigmoid(self.data)
 
         def backward(grad):
             if self.requires_grad:

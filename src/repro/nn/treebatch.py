@@ -1,0 +1,467 @@
+"""Level-batched Tree-LSTM evaluation.
+
+The per-tree path in :mod:`repro.nn.treelstm` issues one Python-level cell
+call per node, each doing tiny ``(1, d) @ (d, h)`` matmuls -- the dominant
+cost of the paper's offline phase.  The paper claims batching is impossible
+because "Tree-LSTM computation depends on each AST's shape"; that is only
+true *within a path from leaf to root*.  Nodes at the same **level**
+(distance from their deepest descendant) have no data dependencies, across
+subtrees and across *different trees alike*, so a whole batch of trees can
+be evaluated as one set of stacked GEMMs per level -- the standard
+SPINN-style batching trick.
+
+Three pieces:
+
+* :func:`compile_trees` -- flattens a batch of :class:`BinaryTreeNode`\\ s
+  into level-indexed numpy arrays (per level: label ids, child row indices
+  with a leaf sentinel, contiguous output rows);
+* :func:`encode_batch` -- the inference fast path: pure-numpy level loops
+  over preallocated ``(n_nodes + 1, h)`` state buffers, zero autograd
+  bookkeeping;
+* :func:`encode_batch_states` -- the training path: the same level
+  schedule through autograd ops whose backward generalises the fused
+  cell's analytic gradients from vectors to matrices (``np.outer(x, dz)``
+  becomes ``X.T @ dz``, bias gradients become row sums, child-state
+  gradients scatter-add back to the producing level).
+
+Both paths are asserted numerically equivalent to the sequential
+:meth:`BinaryTreeLSTM.encode_states` reference by the test suite,
+mirroring the existing ``fused=True/False`` pattern.
+
+Like the sequential path, shared-subtree DAGs are rejected; the *same tree
+object* may however appear multiple times in one batch (it is simply
+re-encoded per occurrence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.nn.treelstm import BinaryTreeLSTM, BinaryTreeNode, _sigmoid
+
+LEAF = -1  # sentinel level for an absent child
+
+
+def _check_labels(compiled: "CompiledBatch", num_labels: int) -> None:
+    """Match the sequential Embedding.forward range check (batched once)."""
+    for level in compiled.levels:
+        if level.labels.size and not (
+            0 <= level.labels.min() and level.labels.max() < num_labels
+        ):
+            bad = level.labels[
+                (level.labels < 0) | (level.labels >= num_labels)
+            ][0]
+            raise IndexError(
+                f"embedding index {bad} out of range [0, {num_labels})"
+            )
+
+
+@dataclass
+class LevelPlan:
+    """All same-level nodes of a compiled batch: one GEMM set's inputs.
+
+    ``left_level``/``left_index`` address the left child's state as (level,
+    row within that level), with ``left_level == LEAF`` for absent children;
+    ``left_global``/``right_global`` are the same addresses flattened into
+    rows of one contiguous state buffer whose *last* row holds the leaf
+    state.  ``offset`` is the level's first row in that buffer.
+    """
+
+    labels: np.ndarray
+    left_level: np.ndarray
+    left_index: np.ndarray
+    right_level: np.ndarray
+    right_index: np.ndarray
+    left_global: np.ndarray
+    right_global: np.ndarray
+    offset: int
+
+    @property
+    def size(self) -> int:
+        return len(self.labels)
+
+
+@dataclass
+class CompiledBatch:
+    """A batch of trees flattened into a level-parallel schedule."""
+
+    levels: List[LevelPlan]
+    root_level: np.ndarray
+    root_index: np.ndarray
+    root_global: np.ndarray
+    n_nodes: int
+
+    @property
+    def n_trees(self) -> int:
+        return len(self.root_global)
+
+
+def compile_trees(trees: Sequence[BinaryTreeNode]) -> CompiledBatch:
+    """Flatten a batch of trees into level-indexed arrays.
+
+    A node's level is the height of its subtree (single nodes are level 0),
+    so every node's children live at strictly lower levels and each level
+    can be evaluated as one stacked cell application.
+    """
+    labels: List[List[int]] = []
+    left_refs: List[List[Tuple[int, int]]] = []
+    right_refs: List[List[Tuple[int, int]]] = []
+    root_refs: List[Tuple[int, int]] = []
+    for tree in trees:
+        ref_of: Dict[int, Tuple[int, int]] = {}
+        for node in tree.postorder():
+            if id(node) in ref_of:
+                raise ValueError(
+                    "compile_trees requires trees, but a node is reachable "
+                    "through more than one parent (shared-subtree DAGs are "
+                    "unsupported; deep-copy the shared subtree first)"
+                )
+            left = ref_of[id(node.left)] if node.left is not None else (LEAF, 0)
+            right = ref_of[id(node.right)] if node.right is not None else (LEAF, 0)
+            level = 1 + max(left[0], right[0])
+            if level == len(labels):
+                labels.append([])
+                left_refs.append([])
+                right_refs.append([])
+            ref_of[id(node)] = (level, len(labels[level]))
+            labels[level].append(node.label)
+            left_refs[level].append(left)
+            right_refs[level].append(right)
+        root_refs.append(ref_of[id(tree)])
+
+    offsets = np.concatenate(
+        [[0], np.cumsum([len(level) for level in labels])]
+    ).astype(np.int64)
+    n_nodes = int(offsets[-1])
+
+    def to_global(refs: Sequence[Tuple[int, int]]) -> np.ndarray:
+        # Absent children address the leaf sentinel stored in the buffer's
+        # last row (index n_nodes).
+        return np.array(
+            [offsets[lvl] + idx if lvl != LEAF else n_nodes
+             for lvl, idx in refs],
+            dtype=np.int64,
+        )
+
+    levels = []
+    for lvl, level_labels in enumerate(labels):
+        levels.append(
+            LevelPlan(
+                labels=np.array(level_labels, dtype=np.int64),
+                left_level=np.array([r[0] for r in left_refs[lvl]], dtype=np.int64),
+                left_index=np.array([r[1] for r in left_refs[lvl]], dtype=np.int64),
+                right_level=np.array([r[0] for r in right_refs[lvl]], dtype=np.int64),
+                right_index=np.array([r[1] for r in right_refs[lvl]], dtype=np.int64),
+                left_global=to_global(left_refs[lvl]),
+                right_global=to_global(right_refs[lvl]),
+                offset=int(offsets[lvl]),
+            )
+        )
+    return CompiledBatch(
+        levels=levels,
+        root_level=np.array([r[0] for r in root_refs], dtype=np.int64),
+        root_index=np.array([r[1] for r in root_refs], dtype=np.int64,),
+        root_global=to_global(root_refs),
+        n_nodes=n_nodes,
+    )
+
+
+# -- inference fast path -----------------------------------------------------
+
+# Row-block size for the inference GEMMs.  Every matmul is issued at exactly
+# this many rows (the final block zero-padded), so BLAS always selects the
+# same kernel and each output row is bit-for-bit identical no matter how the
+# batch is composed -- encode at batch size 8 or 256 and get the same bytes.
+# Variable-row GEMMs do not have that property: BLAS falls back to different
+# (differently-rounded) kernels for small row counts.
+GEMM_BLOCK = 64
+
+
+def _blocked_mm(a: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """``a @ w`` computed in fixed ``(GEMM_BLOCK, k)`` row blocks."""
+    n, k = a.shape
+    pad = (-n) % GEMM_BLOCK
+    if pad:
+        a = np.concatenate([a, np.zeros((pad, k))])
+    out = np.empty((n + pad, w.shape[1]))
+    for start in range(0, n + pad, GEMM_BLOCK):
+        np.matmul(a[start:start + GEMM_BLOCK], w,
+                  out=out[start:start + GEMM_BLOCK])
+    return out[:n]
+
+
+def encode_batch(
+    lstm: BinaryTreeLSTM,
+    trees: Sequence[BinaryTreeNode],
+    compiled: CompiledBatch = None,
+) -> np.ndarray:
+    """Encode a batch of trees to a ``(n_trees, h)`` root-h matrix.
+
+    Pure numpy: per level, one gather from the preallocated state buffers,
+    three fused-weight gate GEMMs (embedding / left child / right child),
+    one contiguous write-back.  No autograd graph is built, so this is the
+    path for corpus ingest and evaluation.  Results are bit-for-bit
+    identical regardless of batch composition (see :data:`GEMM_BLOCK`).
+    """
+    if compiled is None:
+        compiled = compile_trees(trees)
+    h = lstm.hidden_dim
+    if compiled.n_trees == 0:
+        return np.zeros((0, h))
+    _check_labels(compiled, lstm.num_labels)
+    H = np.empty((compiled.n_nodes + 1, h))
+    C = np.empty_like(H)
+    H[-1] = C[-1] = lstm._leaf_state().data
+
+    emb = lstm.embedding.weight.data
+    # One (d, 4h) / (h, 5h) / (h, 5h) weight stack per source instead of 13
+    # separate gate matmuls; column blocks are [f_l, f_r, i, o, u] (the
+    # embedding shares one W_f column block between both forget gates).
+    w_all = np.hstack([lstm.w_f.data, lstm.w_i.data, lstm.w_o.data, lstm.w_u.data])
+    u_left = np.hstack([
+        lstm.u_f_ll.data, lstm.u_f_rl.data, lstm.u_i_l.data,
+        lstm.u_o_l.data, lstm.u_u_l.data,
+    ])
+    u_right = np.hstack([
+        lstm.u_f_lr.data, lstm.u_f_rr.data, lstm.u_i_r.data,
+        lstm.u_o_r.data, lstm.u_u_r.data,
+    ])
+    b_f, b_i, b_o, b_u = (p.data for p in (lstm.b_f, lstm.b_i, lstm.b_o, lstm.b_u))
+
+    for level in compiled.levels:
+        E = emb[level.labels]
+        HL, HR = H[level.left_global], H[level.right_global]
+        CL, CR = C[level.left_global], C[level.right_global]
+        z_e = _blocked_mm(E, w_all)
+        z_l = _blocked_mm(HL, u_left)
+        z_r = _blocked_mm(HR, u_right)
+        e_wf = z_e[:, :h]
+        f_l = _sigmoid(e_wf + z_l[:, :h] + z_r[:, :h] + b_f)
+        f_r = _sigmoid(e_wf + z_l[:, h:2 * h] + z_r[:, h:2 * h] + b_f)
+        i = _sigmoid(z_e[:, h:2 * h] + z_l[:, 2 * h:3 * h]
+                     + z_r[:, 2 * h:3 * h] + b_i)
+        o = _sigmoid(z_e[:, 2 * h:3 * h] + z_l[:, 3 * h:4 * h]
+                     + z_r[:, 3 * h:4 * h] + b_o)
+        u = np.tanh(z_e[:, 3 * h:] + z_l[:, 4 * h:] + z_r[:, 4 * h:] + b_u)
+        c = i * u + CL * f_l + CR * f_r
+        end = level.offset + level.size
+        C[level.offset:end] = c
+        H[level.offset:end] = o * np.tanh(c)
+    return H[compiled.root_global].copy()
+
+
+# -- training path -----------------------------------------------------------
+
+
+def _embed_rows(weight, labels: np.ndarray) -> Tensor:
+    """Batched embedding lookup: ``(n,)`` label ids -> ``(n, d)`` rows."""
+    out_data = weight.data[labels]
+
+    def backward(grad):
+        if weight.requires_grad:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, labels, grad)
+            weight._accumulate(full)
+
+    return Tensor._op(out_data, (weight,), backward)
+
+
+def _gather_states(
+    level_outputs: List[Tensor],
+    src_level: np.ndarray,
+    src_index: np.ndarray,
+    leaf: np.ndarray,
+) -> Tensor:
+    """Gather one child side's ``(2, n, h)`` stacked (h, c) states.
+
+    Sources are the already-computed per-level stacked outputs (row 0 = h,
+    row 1 = c); ``src_level == LEAF`` rows take the constant leaf state.
+    Backward scatter-adds the incoming gradient back into each producing
+    level tensor.
+    """
+    n = len(src_level)
+    out = np.empty((2, n, leaf.shape[0]))
+    leaf_rows = src_level == LEAF
+    if leaf_rows.any():
+        out[:, leaf_rows, :] = leaf
+    groups = []
+    # children concentrate on few distinct levels (a deep spine has one),
+    # so group by the levels actually present, not every prior level
+    for m in np.unique(src_level):
+        if m == LEAF:
+            continue
+        tensor = level_outputs[m]
+        rows = np.nonzero(src_level == m)[0]
+        out[:, rows, :] = tensor.data[:, src_index[rows], :]
+        groups.append((tensor, rows, src_index[rows]))
+
+    def backward(grad):
+        for tensor, out_rows, src_rows in groups:
+            if not tensor.requires_grad:
+                continue
+            full = np.zeros_like(tensor.data)
+            for part in (0, 1):
+                np.add.at(full[part], src_rows, grad[part, out_rows])
+            tensor._accumulate(full)
+
+    return Tensor._op(out, tuple(t for t, _r, _s in groups), backward)
+
+
+def _gather_roots(
+    level_outputs: List[Tensor],
+    root_level: np.ndarray,
+    root_index: np.ndarray,
+    h_dim: int,
+) -> Tensor:
+    """Collect each tree's root hidden state into one ``(n_trees, h)``."""
+    n = len(root_level)
+    out = np.empty((n, h_dim))
+    groups = []
+    for m in np.unique(root_level):
+        tensor = level_outputs[m]
+        rows = np.nonzero(root_level == m)[0]
+        out[rows] = tensor.data[0, root_index[rows]]
+        groups.append((tensor, rows, root_index[rows]))
+
+    def backward(grad):
+        for tensor, out_rows, src_rows in groups:
+            if not tensor.requires_grad:
+                continue
+            full = np.zeros_like(tensor.data)
+            np.add.at(full[0], src_rows, grad[out_rows])
+            tensor._accumulate(full)
+
+    return Tensor._op(out, tuple(t for t, _r, _s in groups), backward)
+
+
+def batch_cell_forward(
+    lstm: BinaryTreeLSTM,
+    e: Tensor,
+    h_l: Tensor,
+    h_r: Tensor,
+    c_l: Tensor,
+    c_r: Tensor,
+) -> Tensor:
+    """The fused Tree-LSTM cell generalised from vectors to ``(n, h)``.
+
+    Same math as :meth:`BinaryTreeLSTM.node_forward_fused`, applied to all
+    same-level nodes at once; returns a stacked ``(2, n, h)`` tensor (row 0
+    = h, row 1 = c).  The analytic backward generalises accordingly: weight
+    gradients become ``X.T @ dZ``, bias gradients row sums, and child-state
+    gradients stay elementwise per row.
+    """
+    params = (
+        lstm.w_f, lstm.u_f_ll, lstm.u_f_lr, lstm.u_f_rl, lstm.u_f_rr,
+        lstm.b_f, lstm.w_i, lstm.u_i_l, lstm.u_i_r, lstm.b_i,
+        lstm.w_o, lstm.u_o_l, lstm.u_o_r, lstm.b_o,
+        lstm.w_u, lstm.u_u_l, lstm.u_u_r, lstm.b_u,
+    )
+    (w_f, u_f_ll, u_f_lr, u_f_rl, u_f_rr, b_f,
+     w_i, u_i_l, u_i_r, b_i,
+     w_o, u_o_l, u_o_r, b_o,
+     w_u, u_u_l, u_u_r, b_u) = params
+    ev, hl, hr, cl, cr = (t.data for t in (e, h_l, h_r, c_l, c_r))
+
+    e_wf = ev @ w_f.data
+    f_l = _sigmoid(e_wf + hl @ u_f_ll.data + hr @ u_f_lr.data + b_f.data)
+    f_r = _sigmoid(e_wf + hl @ u_f_rl.data + hr @ u_f_rr.data + b_f.data)
+    i = _sigmoid(ev @ w_i.data + hl @ u_i_l.data + hr @ u_i_r.data + b_i.data)
+    o = _sigmoid(ev @ w_o.data + hl @ u_o_l.data + hr @ u_o_r.data + b_o.data)
+    u = np.tanh(ev @ w_u.data + hl @ u_u_l.data + hr @ u_u_r.data + b_u.data)
+    c = i * u + cl * f_l + cr * f_r
+    tanh_c = np.tanh(c)
+    h = o * tanh_c
+    out_data = np.stack([h, c])
+
+    inputs = (e, h_l, h_r, c_l, c_r)
+
+    def backward(grad):
+        dh, dc_out = grad[0], grad[1]
+        do = dh * tanh_c
+        dc = dc_out + dh * o * (1.0 - tanh_c ** 2)
+        di = dc * u
+        du = dc * i
+        df_l = dc * cl
+        df_r = dc * cr
+        if c_l.requires_grad:
+            c_l._accumulate(dc * f_l)
+        if c_r.requires_grad:
+            c_r._accumulate(dc * f_r)
+        dz_o = do * o * (1.0 - o)
+        dz_i = di * i * (1.0 - i)
+        dz_fl = df_l * f_l * (1.0 - f_l)
+        dz_fr = df_r * f_r * (1.0 - f_r)
+        dz_u = du * (1.0 - u ** 2)
+        dz_f = dz_fl + dz_fr
+        if e.requires_grad:
+            e._accumulate(
+                dz_f @ w_f.data.T + dz_i @ w_i.data.T
+                + dz_o @ w_o.data.T + dz_u @ w_u.data.T
+            )
+        if h_l.requires_grad:
+            h_l._accumulate(
+                dz_fl @ u_f_ll.data.T + dz_fr @ u_f_rl.data.T
+                + dz_i @ u_i_l.data.T + dz_o @ u_o_l.data.T
+                + dz_u @ u_u_l.data.T
+            )
+        if h_r.requires_grad:
+            h_r._accumulate(
+                dz_fl @ u_f_lr.data.T + dz_fr @ u_f_rr.data.T
+                + dz_i @ u_i_r.data.T + dz_o @ u_o_r.data.T
+                + dz_u @ u_u_r.data.T
+            )
+        w_f._accumulate(ev.T @ dz_f)
+        b_f._accumulate(dz_f.sum(axis=0))
+        u_f_ll._accumulate(hl.T @ dz_fl)
+        u_f_lr._accumulate(hr.T @ dz_fl)
+        u_f_rl._accumulate(hl.T @ dz_fr)
+        u_f_rr._accumulate(hr.T @ dz_fr)
+        w_i._accumulate(ev.T @ dz_i)
+        u_i_l._accumulate(hl.T @ dz_i)
+        u_i_r._accumulate(hr.T @ dz_i)
+        b_i._accumulate(dz_i.sum(axis=0))
+        w_o._accumulate(ev.T @ dz_o)
+        u_o_l._accumulate(hl.T @ dz_o)
+        u_o_r._accumulate(hr.T @ dz_o)
+        b_o._accumulate(dz_o.sum(axis=0))
+        w_u._accumulate(ev.T @ dz_u)
+        u_u_l._accumulate(hl.T @ dz_u)
+        u_u_r._accumulate(hr.T @ dz_u)
+        b_u._accumulate(dz_u.sum(axis=0))
+
+    return Tensor._op(out_data, inputs + params, backward)
+
+
+def encode_batch_states(
+    lstm: BinaryTreeLSTM,
+    trees: Sequence[BinaryTreeNode],
+    compiled: CompiledBatch = None,
+) -> Tensor:
+    """Differentiable batch encoding: ``(n_trees, h)`` root hidden states.
+
+    The training-path twin of :func:`encode_batch`: the same level schedule,
+    but each level runs through :func:`batch_cell_forward` so gradients flow
+    back to every parameter and minibatched training works through one
+    stacked graph instead of per-node cell calls.
+    """
+    if compiled is None:
+        compiled = compile_trees(trees)
+    if compiled.n_trees == 0:
+        return Tensor(np.zeros((0, lstm.hidden_dim)))
+    _check_labels(compiled, lstm.num_labels)
+    leaf = lstm._leaf_state().data
+    outputs: List[Tensor] = []
+    for level in compiled.levels:
+        e = _embed_rows(lstm.embedding.weight, level.labels)
+        left = _gather_states(outputs, level.left_level, level.left_index, leaf)
+        right = _gather_states(outputs, level.right_level, level.right_index, leaf)
+        outputs.append(
+            batch_cell_forward(lstm, e, left[0], right[0], left[1], right[1])
+        )
+    return _gather_roots(
+        outputs, compiled.root_level, compiled.root_index, lstm.hidden_dim
+    )

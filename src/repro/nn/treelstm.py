@@ -27,12 +27,12 @@ import numpy as np
 
 from repro.nn.layers import Embedding
 from repro.nn.module import Module, Parameter, glorot
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, stable_sigmoid
 from repro.utils.rng import RNG
 
-
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-x))
+# Overflow-free logistic (sign-split form); the naive 1/(1+exp(-x)) emits
+# RuntimeWarnings for strongly negative pre-activations.
+_sigmoid = stable_sigmoid
 
 
 @dataclass
@@ -258,11 +258,26 @@ class BinaryTreeLSTM(Module):
         return h_root
 
     def encode_states(self, tree: BinaryTreeNode) -> Tuple[Tensor, Tensor]:
-        """Encode bottom-up, returning the root ``(h, c)``."""
+        """Encode bottom-up, returning the root ``(h, c)``.
+
+        ``tree`` must be a tree proper: child states are keyed by node
+        identity and popped when consumed, so a node reachable through two
+        parents (a shared-subtree DAG) would silently reuse stale or missing
+        state.  Such inputs are rejected with a :class:`ValueError` instead;
+        deep-copy shared subtrees before encoding.
+        """
         cell = self.node_forward_fused if self.fused else self.node_forward
         leaf = (self._leaf_state(), self._leaf_state())
         states: Dict[int, Tuple[Tensor, Tensor]] = {}
+        seen = set()
         for node in tree.postorder():
+            if id(node) in seen:
+                raise ValueError(
+                    "encode_states requires a tree, but a node is reachable "
+                    "through more than one parent (shared-subtree DAGs are "
+                    "unsupported; deep-copy the shared subtree first)"
+                )
+            seen.add(id(node))
             e = self.embedding(node.label)
             if node.left is not None:
                 h_l, c_l = states.pop(id(node.left))

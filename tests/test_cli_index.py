@@ -51,6 +51,25 @@ class TestIndexBuild:
         assert "ingested" in out
         assert "shard(s)" in out
 
+    def test_batch_size_does_not_change_index(self, model_path, tmp_path,
+                                              capsys):
+        """The level-batched encoder is bit-for-bit identical across batch
+        sizes, so any --batch-size builds byte-identical vectors."""
+        import numpy as np
+
+        from repro.index.store import EmbeddingStore
+
+        for batch_size in ("1", "32"):
+            assert main([
+                "index", "build", "--model", model_path,
+                "--output", str(tmp_path / f"idx{batch_size}"),
+                "--images", "2", "--seed", "1", "--batch-size", batch_size,
+            ]) == 0
+        capsys.readouterr()
+        single = EmbeddingStore.open(str(tmp_path / "idx1")).vectors()
+        batched = EmbeddingStore.open(str(tmp_path / "idx32")).vectors()
+        assert np.array_equal(single, batched)
+
 
 class TestIndexSearch:
     def test_top_k_limits_results(self, model_path, index_dir, capsys):

@@ -330,6 +330,67 @@ class TestTraining:
         with pytest.raises(ValueError):
             Trainer(model.siamese, TrainConfig(optimizer="rmsprop"))
 
+    def test_invalid_batch_size_rejected(self):
+        model = Asteria(AsteriaConfig(hidden_dim=16))
+        trainer = Trainer(model.siamese, TrainConfig(batch_size=0))
+        with pytest.raises(ValueError):
+            trainer.train([])
+
+    def test_batched_training_loss_decreases(self, buildroot_small):
+        pairs = to_tree_pairs(
+            build_cross_arch_pairs(buildroot_small.functions, 6, seed=5)
+        )[:32]
+        model = Asteria(AsteriaConfig(hidden_dim=16))
+        trainer = Trainer(
+            model.siamese, TrainConfig(epochs=2, lr=0.05, batch_size=8)
+        )
+        history = trainer.train(pairs)
+        assert history.epochs[-1].mean_loss < history.epochs[0].mean_loss
+
+    def test_batched_training_same_auc_ballpark(self, buildroot_small):
+        """Minibatching through the level-batched engine converges to the
+        same AUC ballpark as the paper's batch-size-1 setting."""
+        from repro.core.pairs import split_pairs
+
+        pairs = to_tree_pairs(
+            build_cross_arch_pairs(buildroot_small.functions, 10, seed=12)
+        )
+        train, dev = split_pairs(pairs, 0.8, seed=3)
+
+        def best_auc(batch_size):
+            model = Asteria(AsteriaConfig(hidden_dim=16))
+            trainer = Trainer(
+                model.siamese,
+                TrainConfig(epochs=2, lr=0.05, batch_size=batch_size),
+            )
+            return trainer.train(train, dev).best_auc
+
+        auc_single = best_auc(1)
+        auc_batched = best_auc(4)
+        assert auc_batched >= 0.6
+        assert abs(auc_batched - auc_single) <= 0.2
+
+    def test_score_batch_matches_per_pair(self, buildroot_small, trained_model):
+        pairs = to_tree_pairs(
+            build_cross_arch_pairs(buildroot_small.functions, 6, seed=14)
+        )[:16]
+        trainer = Trainer(
+            trained_model.siamese, TrainConfig(epochs=1, batch_size=4)
+        )
+        batched = trainer.score_batch(pairs)
+        singles = [trainer.score(p) for p in pairs]
+        np.testing.assert_allclose(batched, singles, atol=1e-10)
+
+    def test_batched_training_regression_head(self, buildroot_small):
+        pairs = to_tree_pairs(
+            build_cross_arch_pairs(buildroot_small.functions, 4, seed=13)
+        )[:12]
+        model = Asteria(AsteriaConfig(hidden_dim=16, head="regression"))
+        trainer = Trainer(model.siamese, TrainConfig(epochs=1, batch_size=4))
+        history = trainer.train(pairs)
+        assert len(history.epochs) == 1
+        assert np.isfinite(history.epochs[0].mean_loss)
+
     def test_regression_head_trainable(self, buildroot_small):
         pairs = to_tree_pairs(
             build_cross_arch_pairs(buildroot_small.functions, 4, seed=9)

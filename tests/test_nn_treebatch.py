@@ -1,0 +1,259 @@
+"""Tests for the level-batched Tree-LSTM engine.
+
+The batched paths (numpy inference + autograd training) are verified
+numerically equivalent to the sequential per-tree reference -- forward to
+1e-10, full parameter gradients to 1e-8 -- on randomized trees, plus the
+edge cases: empty batch, single-node trees, deep spines, duplicated tree
+objects, and the shared-subtree DAG guard.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.tensor import no_grad, stable_sigmoid
+from repro.nn.treebatch import (
+    compile_trees,
+    encode_batch,
+    encode_batch_states,
+)
+from repro.nn.treelstm import BinaryTreeLSTM, BinaryTreeNode
+from repro.utils.rng import RNG
+
+
+def _chain(length, label=1):
+    root = BinaryTreeNode(label)
+    node = root
+    for _ in range(length - 1):
+        node.right = BinaryTreeNode(label)
+        node = node.right
+    return root
+
+
+def _random_tree(rng: RNG, depth: int = 5) -> BinaryTreeNode:
+    node = BinaryTreeNode(rng.randint(1, 40))
+    if depth > 0 and rng.random() < 0.6:
+        node.left = _random_tree(rng.child("l"), depth - 1)
+    if depth > 0 and rng.random() < 0.6:
+        node.right = _random_tree(rng.child("r"), depth - 1)
+    return node
+
+
+def _random_batch(seed: int, n: int = 12):
+    rng = RNG(seed)
+    return [_random_tree(rng.child("tree", i)) for i in range(n)]
+
+
+@st.composite
+def binary_trees(draw, max_depth=4):
+    label = draw(st.integers(min_value=1, max_value=40))
+    node = BinaryTreeNode(label)
+    if max_depth > 0 and draw(st.booleans()):
+        node.left = draw(binary_trees(max_depth=max_depth - 1))
+    if max_depth > 0 and draw(st.booleans()):
+        node.right = draw(binary_trees(max_depth=max_depth - 1))
+    return node
+
+
+class TestCompiler:
+    def test_levels_partition_nodes(self):
+        trees = _random_batch(0)
+        compiled = compile_trees(trees)
+        assert compiled.n_nodes == sum(tree.size() for tree in trees)
+        assert sum(level.size for level in compiled.levels) == compiled.n_nodes
+        assert compiled.n_trees == len(trees)
+
+    def test_children_at_lower_levels(self):
+        compiled = compile_trees(_random_batch(1))
+        for lvl, level in enumerate(compiled.levels):
+            for side in ("left", "right"):
+                src = getattr(level, f"{side}_level")
+                assert np.all(src < lvl)
+
+    def test_single_node_tree(self):
+        compiled = compile_trees([BinaryTreeNode(7)])
+        assert compiled.n_nodes == 1
+        assert len(compiled.levels) == 1
+        assert np.all(compiled.levels[0].left_level == -1)
+
+    def test_empty_batch(self):
+        compiled = compile_trees([])
+        assert compiled.n_trees == 0
+        assert compiled.n_nodes == 0
+        assert compiled.levels == []
+
+    def test_shared_subtree_rejected(self):
+        shared = BinaryTreeNode(2)
+        root = BinaryTreeNode(1, left=shared, right=shared)
+        with pytest.raises(ValueError, match="shared-subtree"):
+            compile_trees([root])
+
+    def test_duplicate_tree_objects_allowed(self):
+        """The same tree *object* twice in a batch is just encoded twice."""
+        tree = _random_tree(RNG(3))
+        model = BinaryTreeLSTM(49, 8, 16, seed=0)
+        out = encode_batch(model, [tree, tree])
+        np.testing.assert_array_equal(out[0], out[1])
+
+
+class TestForwardEquivalence:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return BinaryTreeLSTM(49, 8, 16, seed=5)
+
+    def _sequential(self, model, trees):
+        with no_grad():
+            return np.stack([model(tree).data for tree in trees])
+
+    def test_batched_matches_sequential(self, model):
+        trees = _random_batch(7, n=20) + [BinaryTreeNode(3), _chain(40)]
+        expected = self._sequential(model, trees)
+        np.testing.assert_allclose(
+            encode_batch(model, trees), expected, atol=1e-10
+        )
+        np.testing.assert_allclose(
+            encode_batch_states(model, trees).data, expected, atol=1e-10
+        )
+
+    def test_empty_batch(self, model):
+        assert encode_batch(model, []).shape == (0, 16)
+        assert encode_batch_states(model, []).shape == (0, 16)
+
+    def test_single_node_trees(self, model):
+        trees = [BinaryTreeNode(i) for i in range(1, 6)]
+        np.testing.assert_allclose(
+            encode_batch(model, trees), self._sequential(model, trees),
+            atol=1e-10,
+        )
+
+    def test_deep_spine_no_recursion_error(self):
+        model = BinaryTreeLSTM(49, 4, 8, seed=0)
+        out = encode_batch(model, [_chain(3000), BinaryTreeNode(1)])
+        assert np.all(np.isfinite(out))
+
+    def test_out_of_range_label_rejected(self, model):
+        """Batched paths enforce the same range check as Embedding.forward."""
+        for bad in (-1, 49):
+            trees = [_chain(3), BinaryTreeNode(bad)]
+            with pytest.raises(IndexError, match="out of range"):
+                encode_batch(model, trees)
+            with pytest.raises(IndexError, match="out of range"):
+                encode_batch_states(model, trees)
+
+    def test_leaf_init_one_supported(self):
+        model = BinaryTreeLSTM(49, 8, 16, seed=2, leaf_init="one")
+        trees = _random_batch(9, n=6)
+        np.testing.assert_allclose(
+            encode_batch(model, trees), self._sequential(model, trees),
+            atol=1e-10,
+        )
+
+    def test_bitwise_consistent_across_batch_sizes(self, model):
+        trees = _random_batch(11, n=50)
+        full = encode_batch(model, trees)
+        for batch_size in (1, 7, 16):
+            chunked = np.concatenate([
+                encode_batch(model, trees[i:i + batch_size])
+                for i in range(0, len(trees), batch_size)
+            ])
+            np.testing.assert_array_equal(full, chunked)
+
+    @settings(max_examples=15, deadline=None)
+    @given(binary_trees())
+    def test_property_single_tree_equivalence(self, tree):
+        model = BinaryTreeLSTM(49, 6, 10, seed=9)
+        expected = self._sequential(model, [tree])
+        np.testing.assert_allclose(
+            encode_batch(model, [tree]), expected, atol=1e-10
+        )
+
+
+class TestGradientEquivalence:
+    def _grads(self, model):
+        return {name: p.grad.copy() for name, p in model.named_parameters()}
+
+    def test_full_parameter_gradients_match(self):
+        """Batched backward == accumulated per-tree sequential backward."""
+        trees = _random_batch(13, n=16) + [BinaryTreeNode(2), _chain(30)]
+        model = BinaryTreeLSTM(49, 8, 16, seed=4)
+        model.zero_grad()
+        for tree in trees:
+            model(tree).sum().backward()
+        expected = self._grads(model)
+        model.zero_grad()
+        encode_batch_states(model, trees).sum().backward()
+        for name, parameter in model.named_parameters():
+            np.testing.assert_allclose(
+                parameter.grad, expected[name], atol=1e-8, err_msg=name
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(binary_trees())
+    def test_property_gradients_match(self, tree):
+        model = BinaryTreeLSTM(49, 6, 10, seed=9)
+        model.zero_grad()
+        model(tree).sum().backward()
+        expected = self._grads(model)
+        model.zero_grad()
+        encode_batch_states(model, [tree]).sum().backward()
+        for name, parameter in model.named_parameters():
+            np.testing.assert_allclose(
+                parameter.grad, expected[name], atol=1e-8, err_msg=name
+            )
+
+    def test_weighted_roots_gradients_match(self):
+        """Non-uniform downstream gradients route to the right trees."""
+        trees = _random_batch(17, n=6)
+        weights = np.linspace(0.5, 2.5, len(trees))
+        model = BinaryTreeLSTM(49, 8, 16, seed=6)
+        model.zero_grad()
+        for w, tree in zip(weights, trees):
+            (model(tree).sum() * float(w)).backward()
+        expected = self._grads(model)
+        model.zero_grad()
+        roots = encode_batch_states(model, trees)
+        total = None
+        for j, w in enumerate(weights):
+            term = roots[j].sum() * float(w)
+            total = term if total is None else total + term
+        total.backward()
+        for name, parameter in model.named_parameters():
+            np.testing.assert_allclose(
+                parameter.grad, expected[name], atol=1e-8, err_msg=name
+            )
+
+
+class TestDagGuard:
+    def test_encode_states_rejects_shared_subtree(self):
+        shared = BinaryTreeNode(2, left=BinaryTreeNode(3))
+        root = BinaryTreeNode(1, left=shared, right=shared)
+        model = BinaryTreeLSTM(49, 8, 16, seed=0)
+        with pytest.raises(ValueError, match="shared-subtree"):
+            model.encode_states(root)
+
+    def test_deeper_shared_node_rejected(self):
+        shared = BinaryTreeNode(5)
+        root = BinaryTreeNode(
+            1,
+            left=BinaryTreeNode(2, left=shared),
+            right=BinaryTreeNode(3, right=shared),
+        )
+        model = BinaryTreeLSTM(49, 8, 16, seed=0)
+        with pytest.raises(ValueError, match="shared-subtree"):
+            model.encode_states(root)
+
+
+class TestStableSigmoid:
+    def test_no_overflow_warning(self):
+        with np.errstate(over="raise"):
+            out = stable_sigmoid(np.array([-1e4, -100.0, 0.0, 100.0, 1e4]))
+        np.testing.assert_allclose(out, [0.0, 0.0, 0.5, 1.0, 1.0], atol=1e-40)
+
+    def test_matches_naive_in_safe_range(self):
+        x = np.linspace(-30, 30, 301)
+        np.testing.assert_allclose(
+            stable_sigmoid(x), 1.0 / (1.0 + np.exp(-x)), rtol=1e-15
+        )
+
+    def test_scalar_input(self):
+        assert float(stable_sigmoid(np.float64(0.0))) == 0.5
