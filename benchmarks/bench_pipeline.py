@@ -1,0 +1,128 @@
+"""Staged corpus pipeline: cold vs warm vs parallel offline runs.
+
+Regenerates the pipeline overhead table over a firmware corpus:
+
+* **per-function reference** -- the seed's inline loop (per-tree
+  ``encode_function``, no cache), which the pipeline replaced;
+* **cold** -- the staged pipeline on an empty on-disk artifact cache
+  (decompile + preprocess + level-batched encode everything);
+* **warm** -- the same corpus over the now-populated cache: must skip
+  decompile and encode entirely (asserted via the instrumentation);
+* **parallel** -- a cold ``jobs=2`` run, asserted bit-for-bit identical
+  to the serial cold run.
+
+``PIPELINE_BENCH_MIN_WARM_SPEEDUP`` (default 1.5) sets the warm-over-cold
+floor; CI runs at a reduced scale with the same floor.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.evalsuite.vulnsearch import build_firmware_dataset
+from repro.pipeline import ArtifactCache, CorpusPipeline
+
+from benchmarks.conftest import scaled, write_result
+
+MIN_WARM_SPEEDUP = float(
+    os.environ.get("PIPELINE_BENCH_MIN_WARM_SPEEDUP", "1.5")
+)
+
+
+def test_pipeline_cold_warm_parallel(benchmark, tmp_path, trained_asteria):
+    dataset = build_firmware_dataset(n_images=scaled(12), seed=11)
+    model = trained_asteria
+
+    # The seed's per-function loop: unpack/decompile inline, per-tree encode.
+    from repro.binformat.binwalk import UnpackError, unpack_firmware
+    from repro.decompiler.hexrays import decompile_binary
+
+    started = time.perf_counter()
+    n_reference = 0
+    for image in dataset.images:
+        try:
+            binaries = unpack_firmware(image)
+        except UnpackError:
+            continue
+        for binary in binaries:
+            for fn in decompile_binary(binary, skip_errors=True):
+                if fn.ast_size() < model.config.min_ast_size:
+                    continue
+                model.encode_function(fn)
+                n_reference += 1
+    per_function_s = time.perf_counter() - started
+
+    root = tmp_path / "cache"
+    started = time.perf_counter()
+    cold = CorpusPipeline(model, cache=ArtifactCache(root)).run_images(
+        dataset.images
+    )
+    cold_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = CorpusPipeline(model, cache=ArtifactCache(root)).run_images(
+        dataset.images
+    )
+    warm_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = CorpusPipeline(
+        model, jobs=2, cache=ArtifactCache(tmp_path / "cache2")
+    ).run_images(dataset.images)
+    parallel_s = time.perf_counter() - started
+
+    stats = cold.stats
+    lines = [
+        f"corpus: {stats.n_images} images, {stats.n_binaries} binaries "
+        f"({stats.n_unique_binaries} unique), "
+        f"{stats.n_functions} functions",
+        "",
+        f"{'run':<28} {'seconds':>9}   notes",
+        f"{'per-function (seed loop)':<28} {per_function_s:>9.3f}   "
+        f"per-tree encode, no cache",
+        f"{'pipeline cold':<28} {cold_s:>9.3f}   "
+        f"{per_function_s / cold_s:.1f}x over per-function "
+        f"(batched encode)",
+        f"{'pipeline warm':<28} {warm_s:>9.3f}   "
+        f"{cold_s / warm_s:.1f}x over cold (cache hits: "
+        f"{warm.stats.cache.encoding_hits}, extracted 0, encoded 0)",
+        f"{'pipeline cold --jobs 2':<28} {parallel_s:>9.3f}   "
+        f"bit-for-bit identical to serial",
+        "",
+        "cold stage split: "
+        f"decompile {stats.times.decompile_s:.3f}s, "
+        f"preprocess {stats.times.preprocess_s:.3f}s, "
+        f"encode {stats.times.encode_s:.3f}s",
+    ]
+    write_result("pipeline", "\n".join(lines))
+
+    # Warm runs touch neither the decompiler nor the encoder.
+    assert warm.stats.n_extracted == 0
+    assert warm.stats.n_encoded == 0
+    assert warm.stats.cache.misses == 0
+    assert warm.stats.cache.encoding_hits == warm.stats.n_unique_binaries
+
+    # All three pipeline runs agree; the reference counted the same corpus.
+    assert n_reference == cold.stats.n_functions
+    cold_vectors = np.stack([e.vector for _i, e in cold.encodings])
+    assert np.array_equal(
+        cold_vectors, np.stack([e.vector for _i, e in warm.encodings])
+    )
+    assert np.array_equal(
+        cold_vectors, np.stack([e.vector for _i, e in parallel.encodings])
+    )
+    assert [(i, e.name) for i, e in cold.encodings] \
+        == [(i, e.name) for i, e in parallel.encodings]
+
+    assert warm_s * MIN_WARM_SPEEDUP < cold_s, (
+        f"warm run only {cold_s / warm_s:.2f}x faster than cold "
+        f"(floor {MIN_WARM_SPEEDUP}x)"
+    )
+
+    # benchmark the steady state: a fully warm offline pass
+    benchmark(
+        lambda: CorpusPipeline(
+            model, cache=ArtifactCache(root)
+        ).run_images(dataset.images)
+    )

@@ -9,10 +9,17 @@ Subcommands mirror the workflows a user of the paper's tooling would run:
 * ``repro-cli train``        -- train an Asteria model and save a checkpoint;
 * ``repro-cli compare``      -- score two functions of two binaries;
 * ``repro-cli search``       -- run the firmware vulnerability search;
+* ``repro-cli pipeline run`` -- run the staged offline pipeline
+  (unpack -> decompile -> preprocess -> encode -> index) over a firmware
+  corpus, printing per-stage times and cache hit/miss accounting;
 * ``repro-cli index build``  -- encode a firmware corpus into a persistent
   embedding index (the offline phase, run once);
 * ``repro-cli index search`` -- top-k CVE queries against a built index
   (the online phase, no corpus re-encoding).
+
+``search``, ``pipeline run`` and ``index build`` accept ``--jobs N``
+(worker-pool decompile/preprocess) and ``--cache-dir DIR`` (persistent
+artifact cache: warm re-runs skip decompile + encode).
 
 Every command is deterministic given ``--seed``.
 """
@@ -119,6 +126,12 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _make_cache(cache_dir):
+    from repro.pipeline import ArtifactCache
+
+    return ArtifactCache(cache_dir) if cache_dir else ArtifactCache.in_memory()
+
+
 def _cmd_search(args) -> int:
     from repro.evalsuite.vulnsearch import (
         VulnerabilitySearch,
@@ -127,7 +140,10 @@ def _cmd_search(args) -> int:
 
     model = Asteria.load(args.model)
     dataset = build_firmware_dataset(n_images=args.images, seed=args.seed)
-    search = VulnerabilitySearch(model, threshold=args.threshold)
+    search = VulnerabilitySearch(
+        model, threshold=args.threshold,
+        cache=_make_cache(args.cache_dir), jobs=args.jobs,
+    )
     report, _candidates = search.search(dataset, top_k=args.top_k)
     print(f"unpacked {report.n_unpacked}/{report.n_images} images, "
           f"indexed {report.n_functions} functions")
@@ -136,6 +152,34 @@ def _cmd_search(args) -> int:
               f"confirmed={row.n_confirmed} "
               f"models={','.join(row.models) or '-'}")
     print(f"total confirmed: {report.total_confirmed()}")
+    return 0
+
+
+def _cmd_pipeline_run(args) -> int:
+    from repro.evalsuite.vulnsearch import build_firmware_dataset
+    from repro.index.store import EmbeddingStore, StoreError
+    from repro.pipeline import CorpusPipeline
+
+    model = Asteria.load(args.model)
+    dataset = build_firmware_dataset(n_images=args.images, seed=args.seed)
+    pipeline = CorpusPipeline(
+        model, jobs=args.jobs, cache=_make_cache(args.cache_dir),
+        encode_batch_size=args.batch_size,
+    )
+    sink = None
+    if args.output:
+        try:
+            sink = EmbeddingStore.create(
+                args.output, dim=model.config.hidden_dim,
+                shard_size=args.shard_size,
+            )
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    result = pipeline.run_images(dataset.images, sink=sink)
+    print(result.stats.summary())
+    if sink is not None:
+        print(f"wrote {sink.n_shards} shard(s) to {args.output}")
     return 0
 
 
@@ -149,7 +193,9 @@ def _cmd_index_build(args) -> int:
 
     model = Asteria.load(args.model)
     dataset = build_firmware_dataset(n_images=args.images, seed=args.seed)
-    search = VulnerabilitySearch(model)
+    search = VulnerabilitySearch(
+        model, cache=_make_cache(args.cache_dir), jobs=args.jobs
+    )
     try:
         service = search.build_index(
             dataset, root=args.output, shard_size=args.shard_size,
@@ -208,6 +254,17 @@ def _positive_int(value: str) -> int:
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
     return number
+
+
+def _add_pipeline_options(parser) -> None:
+    """The offline-pipeline knobs shared by corpus-encoding commands."""
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes for the decompile/"
+                             "preprocess stages (results are identical "
+                             "to --jobs 1)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent artifact cache: warm re-runs "
+                             "skip decompile + encode")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,7 +328,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top-k", type=int, default=None,
                    help="cap candidates per CVE (default: all above "
                         "threshold)")
+    _add_pipeline_options(p)
     p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser(
+        "pipeline", help="staged offline corpus pipeline"
+    )
+    pipeline_sub = p.add_subparsers(dest="pipeline_command", required=True)
+
+    p = pipeline_sub.add_parser(
+        "run",
+        help="run unpack -> decompile -> preprocess -> encode -> index "
+             "over a firmware corpus, reporting per-stage times and "
+             "cache hits",
+    )
+    p.add_argument("--model", required=True)
+    p.add_argument("--images", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--batch-size", type=_positive_int, default=64,
+                   help="trees per level-batched encode pass")
+    p.add_argument("--output", default=None,
+                   help="also index the encodings into a new embedding "
+                        "store at this directory")
+    p.add_argument("--shard-size", type=int, default=1024)
+    _add_pipeline_options(p)
+    p.set_defaults(func=_cmd_pipeline_run)
 
     p = sub.add_parser("index", help="persistent embedding index")
     index_sub = p.add_subparsers(dest="index_command", required=True)
@@ -287,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-size", type=int, default=1024)
     p.add_argument("--batch-size", type=_positive_int, default=64,
                    help="trees per level-batched encode pass during ingest")
+    _add_pipeline_options(p)
     p.set_defaults(func=_cmd_index_build)
 
     p = index_sub.add_parser(

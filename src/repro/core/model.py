@@ -13,6 +13,8 @@ preprocessing settings and the calibration parameters behind one API:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass
 from typing import List, Optional, Sequence
 
@@ -210,6 +212,28 @@ class Asteria:
         return self.similarity(
             self.encode_function(f1), self.encode_function(f2), calibrate
         )
+
+    # -- identity ----------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Hex digest of this model's config and trained weights.
+
+        The artifact cache keys encodings by it, so any weight update or
+        hyperparameter change invalidates cached encodings (but not the
+        model-independent cached ASTs).
+        """
+        hasher = hashlib.sha256()
+        hasher.update(
+            json.dumps(asdict(self.config), sort_keys=True).encode("utf-8")
+        )
+        state = self.siamese.state_dict()
+        for name in sorted(state):
+            array = np.ascontiguousarray(state[name])
+            hasher.update(name.encode("utf-8"))
+            hasher.update(str(array.dtype).encode("utf-8"))
+            hasher.update(str(array.shape).encode("utf-8"))
+            hasher.update(array.tobytes())
+        return hasher.hexdigest()
 
     # -- checkpointing ----------------------------------------------------------------
 

@@ -22,8 +22,9 @@ from repro.baselines.gemini.acfg import ACFG, extract_acfg
 from repro.binformat.binary import BinaryFile
 from repro.compiler.isa import SUPPORTED_ARCHES
 from repro.compiler.pipeline import CompilationOptions, compile_package
-from repro.decompiler.hexrays import DecompiledFunction, decompile_binary
+from repro.decompiler.hexrays import DecompiledFunction
 from repro.lang.generator import GeneratorConfig, ProgramGenerator
+from repro.pipeline.stages import decompile_stage
 from repro.lang.nodes import Package
 from repro.utils.logging import get_logger
 
@@ -92,10 +93,11 @@ class Dataset:
         return self._acfg_cache[key]
 
     def add_binary(self, binary: BinaryFile) -> None:
+        """Register a binary and its functions (pipeline Decompile stage)."""
         self.binaries.setdefault(binary.arch, []).append(binary)
         self._binary_index[(binary.arch, binary.name)] = binary
         self.functions.setdefault(binary.arch, []).extend(
-            decompile_binary(binary, skip_errors=True)
+            decompile_stage(binary)
         )
 
 

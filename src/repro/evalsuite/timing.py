@@ -1,10 +1,16 @@
 """Computational-overhead measurements (paper §IV-F, Figure 10).
 
-Measures, per function:
+Asteria's offline stages are the corpus pipeline's stage functions
+(:mod:`repro.pipeline.stages`) -- timed per function here, and in
+aggregate through the instrumented :class:`~repro.pipeline.corpus.CorpusPipeline`
+by :func:`measure_offline_pipeline`.  Measured:
 
-* offline phase -- decompilation (A-D), preprocessing (A-P) and Tree-LSTM
-  encoding (A-E) for Asteria; AST hashing for Diaphora (D-H); ACFG
-  extraction (G-EX) and graph encoding (G-EN) for Gemini;
+* offline phase, per function -- decompilation (A-D), preprocessing (A-P)
+  and Tree-LSTM encoding (A-E) for Asteria; AST hashing for Diaphora
+  (D-H); ACFG extraction (G-EX) and graph encoding (G-EN) for Gemini;
+* offline phase, per stage -- the staged pipeline's own instrumentation
+  (stage totals, worker wall time, cache hit/miss accounting), cold or
+  warm (:func:`measure_offline_pipeline`);
 * batched offline encoding -- amortised per-function A-E through the
   level-batched engine, reported alongside the per-tree number
   (:func:`measure_encode_batched`);
@@ -17,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,8 +32,10 @@ from repro.baselines.gemini.acfg import extract_acfg
 from repro.baselines.gemini.model import Gemini
 from repro.core.model import Asteria
 from repro.core.preprocess import try_preprocess_ast
-from repro.decompiler.hexrays import DecompilationError, decompile_function
+from repro.decompiler.hexrays import DecompilationError
 from repro.evalsuite.datasets import Dataset
+from repro.pipeline import ArtifactCache, CorpusPipeline, PipelineStats
+from repro.pipeline.stages import decompile_one, preprocess_one
 from repro.utils.rng import RNG
 
 
@@ -107,13 +115,13 @@ def measure_offline(
     for binary, record in candidates:
         started = time.perf_counter()
         try:
-            decompiled = decompile_function(binary, record)
+            decompiled = decompile_one(binary, record)
         except DecompilationError:
             continue
         decompile_s = time.perf_counter() - started
 
         started = time.perf_counter()
-        tree = try_preprocess_ast(decompiled.ast, asteria.config.min_ast_size)
+        tree = preprocess_one(decompiled, asteria.config.min_ast_size)
         preprocess_s = time.perf_counter() - started
         if tree is None:
             continue
@@ -149,6 +157,32 @@ def measure_offline(
             )
         )
     return rows
+
+
+def measure_offline_pipeline(
+    dataset: Dataset,
+    asteria: Asteria,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    encode_batch_size: int = 64,
+) -> PipelineStats:
+    """Aggregate per-stage offline times through the staged corpus pipeline.
+
+    Complements :func:`measure_offline`'s per-function rows: every binary
+    of the dataset runs through :class:`~repro.pipeline.corpus.CorpusPipeline`,
+    whose instrumentation reports stage totals plus cache hit/miss
+    accounting.  Passing a warm ``cache`` shows the offline phase
+    collapsing to cache reads (near-zero decompile/encode seconds).
+    """
+    binaries = [
+        binary
+        for arch in sorted(dataset.binaries)
+        for binary in dataset.binaries[arch]
+    ]
+    pipeline = CorpusPipeline(
+        asteria, jobs=jobs, cache=cache, encode_batch_size=encode_batch_size
+    )
+    return pipeline.run_binaries(binaries).stats
 
 
 def corpus_trees(dataset: Dataset, min_ast_size: int) -> list:

@@ -4,11 +4,15 @@ Builds a firmware corpus with *implanted* vulnerable functions -- the
 substitute for the paper's 5,979 downloaded vendor images -- and runs the
 paper's search protocol:
 
-1. unpack every image with binwalk (unknown formats are skipped);
-2. decompile and encode every function of every (stripped) binary;
-3. encode the CVE library's 7 vulnerable functions;
-4. flag candidates whose similarity clears the Youden-derived threshold;
-5. confirm candidates via criterion A (same software and vulnerable
+1. run the corpus through the staged offline pipeline
+   (:class:`~repro.pipeline.corpus.CorpusPipeline`): unpack every image
+   with binwalk (unknown formats are skipped), decompile, preprocess and
+   encode every function of every (stripped) binary, reusing cached
+   artifacts on warm runs;
+2. encode the CVE library's 7 vulnerable functions (query-side encodings
+   go through the same artifact cache);
+3. flag candidates whose similarity clears the Youden-derived threshold;
+4. confirm candidates via criterion A (same software and vulnerable
    version) and criterion B (similarity ≈ 1), escalating the rest to
    "manual analysis" (simulated with generation-time ground truth).
 """
@@ -18,14 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.binformat.binwalk import UnpackError, unpack_firmware
 from repro.binformat.firmware import FirmwareImage, pack_firmware
 from repro.compiler.pipeline import compile_package
 from repro.core.model import Asteria, FunctionEncoding
-from repro.decompiler.hexrays import decompile_binary
 from repro.lang import nodes as N
 from repro.lang.generator import GeneratorConfig, ProgramGenerator
 from repro.lang.nodes import FunctionDef, Ops, Package
+from repro.pipeline import ArtifactCache, CorpusPipeline
 from repro.utils.logging import get_logger
 from repro.utils.rng import RNG, derive_seed
 
@@ -253,14 +256,29 @@ class VulnerabilitySearch:
       ingested once into an :class:`~repro.index.store.EmbeddingStore` and
       each CVE queried through the batched
       :class:`~repro.index.search.SearchService`;
-    * :meth:`search_exhaustive` -- the original protocol: re-encode the
-      corpus and score every (CVE, function) pair with per-pair Python
-      calls.  Kept as the reference the index path is validated against.
+    * :meth:`search_exhaustive` -- the original protocol: score every
+      (CVE, function) pair with per-pair Python calls.  Kept as the
+      reference the index path is validated against.
+
+    Corpus and query-side encodings both run through one
+    :class:`~repro.pipeline.corpus.CorpusPipeline`: pass ``cache`` (an
+    :class:`~repro.pipeline.cache.ArtifactCache`, e.g. on-disk via
+    ``--cache-dir``) to make warm re-runs skip decompile + encode, and
+    ``jobs`` to extract with a worker pool.
     """
 
-    def __init__(self, model: Asteria, threshold: float = 0.84):
+    def __init__(
+        self,
+        model: Asteria,
+        threshold: float = 0.84,
+        cache: Optional[ArtifactCache] = None,
+        jobs: int = 1,
+    ):
         self.model = model
         self.threshold = threshold
+        self.cache = cache if cache is not None else ArtifactCache.in_memory()
+        self.jobs = max(1, int(jobs))
+        self.pipeline = CorpusPipeline(model, jobs=self.jobs, cache=self.cache)
 
     def build_index(
         self,
@@ -292,14 +310,20 @@ class VulnerabilitySearch:
         if encode_batch_size is not None:
             backend_options["encode_batch_size"] = encode_batch_size
         service = SearchService(
-            self.model, store, backend=backend, **backend_options
+            self.model, store, backend=backend,
+            jobs=self.jobs, cache=self.cache, **backend_options
         )
         service.ingest_firmware(dataset.images)
         return service
 
     def encode_library(self) -> Dict[str, Tuple[CVEEntry, FunctionEncoding]]:
         """Compile + decompile + encode the 7 vulnerable functions (on x86,
-        the architecture the reference CVE builds use)."""
+        the architecture the reference CVE builds use).
+
+        Query-side encodings run through the same artifact cache as the
+        corpus, so repeat searches skip re-decompiling and re-encoding
+        the library.
+        """
         library = {}
         for entry in CVE_LIBRARY:
             package = Package(
@@ -307,37 +331,38 @@ class VulnerabilitySearch:
                 functions=[vulnerable_function(entry)],
             )
             binary = compile_package(package, "x86")
-            record = binary.function_named(entry.function_name)
-            from repro.decompiler.hexrays import decompile_function
-
-            decompiled = decompile_function(binary, record)
-            library[entry.cve_id] = (entry, self.model.encode_function(decompiled))
+            by_name = {
+                encoding.name: encoding
+                for encoding in self.pipeline.encode_binary(binary)
+            }
+            encoding = by_name.get(entry.function_name)
+            if encoding is None:
+                raise ValueError(
+                    f"CVE function {entry.function_name!r} did not survive "
+                    f"decompilation/preprocessing"
+                )
+            library[entry.cve_id] = (entry, encoding)
         return library
 
     def index_firmware(
         self, dataset: FirmwareDataset
     ) -> List[Tuple[FirmwareImage, str, FunctionEncoding]]:
-        """Unpack, decompile and encode every firmware function."""
-        encodings = []
-        skipped = 0
-        for image in dataset.images:
-            try:
-                binaries = unpack_firmware(image)
-            except UnpackError:
-                skipped += 1
-                continue
-            for binary in binaries:
-                for fn in decompile_binary(binary, skip_errors=True):
-                    if fn.ast_size() < self.model.config.min_ast_size:
-                        continue
-                    encodings.append(
-                        (image, binary.name, self.model.encode_function(fn))
-                    )
+        """Unpack, decompile and encode every firmware function.
+
+        Runs the staged pipeline (cached, optionally parallel); the
+        returned list keeps the seed's ``(image, binary name, encoding)``
+        shape for :meth:`search_exhaustive`.
+        """
+        result = self.pipeline.run_images(dataset.images)
+        images_by_id = {image.identifier: image for image in dataset.images}
         _LOG.info(
             "indexed %d functions (%d images unidentifiable)",
-            len(encodings), skipped,
+            result.stats.n_functions, result.stats.n_unpack_failures,
         )
-        return encodings
+        return [
+            (images_by_id[image_id], encoding.binary_name, encoding)
+            for image_id, encoding in result.encodings
+        ]
 
     def search(
         self,

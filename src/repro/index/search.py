@@ -4,11 +4,12 @@
 offline/online split:
 
 * **offline** -- :meth:`SearchService.ingest_firmware` /
-  :meth:`ingest_binary` unpack, decompile and encode corpus functions once,
-  appending them to an :class:`~repro.index.store.EmbeddingStore`.
-  Encoding runs through the level-batched Tree-LSTM engine
-  (``encode_batch_size`` trees per stacked GEMM pass), the dominant cost of
-  corpus ingest;
+  :meth:`ingest_binary` run the corpus through the staged pipeline
+  (:class:`~repro.pipeline.corpus.CorpusPipeline`: unpack, decompile,
+  preprocess, level-batched encode), appending the encodings to an
+  :class:`~repro.index.store.EmbeddingStore`.  The pipeline's artifact
+  cache makes warm re-ingests skip decompile + encode, and ``jobs``
+  extracts with a worker pool;
 * **online** -- :meth:`SearchService.query` encodes nothing but the query:
   the ANN backend proposes candidate rows, the batched Siamese head
   exact-reranks them, and an optional threshold (e.g. the Youden-derived
@@ -21,20 +22,19 @@ pass a ready :class:`FunctionEncoding`, or use :meth:`encode_query` /
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from itertools import islice
+from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
 from repro.binformat.binary import BinaryFile
-from repro.binformat.binwalk import UnpackError, unpack_firmware
 from repro.core.model import (
     DEFAULT_ENCODE_BATCH_SIZE,
     Asteria,
     FunctionEncoding,
 )
-from repro.decompiler.hexrays import DecompiledFunction, decompile_binary
+from repro.decompiler.hexrays import DecompiledFunction
 from repro.index.ann import AnnIndex, make_index
 from repro.index.store import EmbeddingStore, StoredFunction
+from repro.pipeline import ArtifactCache, CorpusPipeline, PipelineStats
 from repro.utils.logging import get_logger
 
 _LOG = get_logger("index.search")
@@ -56,13 +56,19 @@ class SearchHit:
 
 @dataclass
 class IngestStats:
-    """What one offline ingest pass actually processed."""
+    """What one offline ingest pass actually processed.
+
+    ``pipeline`` carries the underlying
+    :class:`~repro.pipeline.corpus.PipelineStats` (per-stage times, cache
+    hit/miss accounting) for callers that report them.
+    """
 
     n_images: int = 0
     n_unpack_failures: int = 0
     n_binaries: int = 0
     n_functions: int = 0
     n_skipped_small: int = 0
+    pipeline: PipelineStats = field(default_factory=PipelineStats)
 
 
 class SearchService:
@@ -75,6 +81,9 @@ class SearchService:
         backend: str = "exact",
         calibrate: bool = True,
         encode_batch_size: int = DEFAULT_ENCODE_BATCH_SIZE,
+        jobs: int = 1,
+        cache: Optional[ArtifactCache] = None,
+        pipeline: Optional[CorpusPipeline] = None,
         **backend_options,
     ):
         self.model = model
@@ -83,6 +92,9 @@ class SearchService:
         self.calibrate = calibrate
         self.encode_batch_size = encode_batch_size
         self.backend_options = backend_options
+        self.pipeline = pipeline if pipeline is not None else CorpusPipeline(
+            model, jobs=jobs, cache=cache, encode_batch_size=encode_batch_size
+        )
         self._index: Optional[AnnIndex] = None
         self._index_rows = -1
 
@@ -91,42 +103,32 @@ class SearchService:
     def ingest_binary(self, binary: BinaryFile, image_id: str = "") -> int:
         """Decompile + encode every function of one binary; returns count.
 
-        Eligible functions are encoded through the level-batched Tree-LSTM,
-        ``encode_batch_size`` at a time -- the decompile stream is consumed
-        chunk by chunk, so peak memory stays bounded by one chunk even for
-        binaries with many functions.
+        Runs the binary through the staged pipeline: cached artifacts are
+        reused and eligible functions are encoded through the
+        level-batched Tree-LSTM, ``encode_batch_size`` trees per stacked
+        GEMM pass.
         """
-        eligible = (
-            fn for fn in decompile_binary(binary, skip_errors=True)
-            if fn.ast_size() >= self.model.config.min_ast_size
-        )
-        n = 0
-        while True:
-            chunk = list(islice(eligible, self.encode_batch_size))
-            if not chunk:
-                return n
-            for encoding in self.model.encode_functions(
-                chunk, batch_size=self.encode_batch_size
-            ):
-                self.store.add(encoding, image_id=image_id)
-            n += len(chunk)
+        encodings = self.pipeline.encode_binary(binary)
+        for encoding in encodings:
+            self.store.add(encoding, image_id=image_id)
+        return len(encodings)
 
     def ingest_firmware(self, images: Iterable) -> IngestStats:
-        """Unpack + ingest a firmware corpus (the paper's offline phase)."""
-        stats = IngestStats()
-        for image in images:
-            stats.n_images += 1
-            try:
-                binaries = unpack_firmware(image)
-            except UnpackError:
-                stats.n_unpack_failures += 1
-                continue
-            for binary in binaries:
-                stats.n_binaries += 1
-                before = len(self.store)
-                self.ingest_binary(binary, image_id=image.identifier)
-                stats.n_functions += len(self.store) - before
-        self.store.flush()
+        """Unpack + ingest a firmware corpus (the paper's offline phase).
+
+        The pipeline's Index stage appends straight into (and flushes)
+        this service's store.
+        """
+        result = self.pipeline.run_images(images, sink=self.store)
+        s = result.stats
+        stats = IngestStats(
+            n_images=s.n_images,
+            n_unpack_failures=s.n_unpack_failures,
+            n_binaries=s.n_binaries,
+            n_functions=s.n_functions,
+            n_skipped_small=s.n_skipped_small,
+            pipeline=s,
+        )
         _LOG.info(
             "ingested %d functions from %d binaries "
             "(%d images unidentifiable)",

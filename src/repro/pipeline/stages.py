@@ -1,0 +1,253 @@
+"""Single-binary stage functions shared by the corpus pipeline.
+
+Each stage of the paper's offline phase is a pure function over one
+binary (or one function), so the same code serves every consumer:
+
+* :class:`~repro.pipeline.corpus.CorpusPipeline` composes the stages over
+  whole corpora with artifact caching and worker pools;
+* the per-function instrumentation in :mod:`repro.evalsuite.timing` times
+  :func:`decompile_one` / :func:`preprocess_one` individually;
+* ad hoc callers (datasets, CLI, tests) that need one stage in isolation.
+
+:class:`ExtractedBinary` -- the combined Decompile + Preprocess output --
+is a columnar, ndarray-backed value object: cheap to pickle across worker
+process boundaries and directly serialisable into the artifact cache.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.binformat.binary import BinaryFile, FunctionRecord
+from repro.binformat.binwalk import unpack_firmware
+from repro.core.model import (
+    DEFAULT_ENCODE_BATCH_SIZE,
+    Asteria,
+    FunctionEncoding,
+)
+from repro.core.preprocess import try_preprocess_ast
+from repro.decompiler.hexrays import (
+    DecompiledFunction,
+    decompile_binary,
+    decompile_function,
+)
+from repro.nn.treelstm import BinaryTreeNode
+
+
+# -- per-function building blocks --------------------------------------------------
+
+
+def decompile_one(
+    binary: BinaryFile, record: FunctionRecord
+) -> DecompiledFunction:
+    """Decompile stage for one function (raises :class:`DecompilationError`)."""
+    return decompile_function(binary, record)
+
+
+def preprocess_one(
+    fn: DecompiledFunction, min_ast_size: int
+) -> Optional[BinaryTreeNode]:
+    """Preprocess stage for one function; None when the AST is too small."""
+    return try_preprocess_ast(fn.ast, min_ast_size)
+
+
+# -- whole-binary / whole-image stages ----------------------------------------------
+
+
+def unpack_stage(image) -> List[BinaryFile]:
+    """Unpack stage: firmware image -> embedded binaries.
+
+    Raises :class:`~repro.binformat.binwalk.UnpackError` on unidentifiable
+    formats, which the pipeline counts and skips.
+    """
+    return unpack_firmware(image)
+
+
+def decompile_stage(
+    binary: BinaryFile, skip_errors: bool = True
+) -> List[DecompiledFunction]:
+    """Decompile stage: every function of one binary."""
+    return list(decompile_binary(binary, skip_errors=skip_errors))
+
+
+# -- tree (de)serialisation ---------------------------------------------------------
+
+
+def flatten_tree(
+    root: BinaryTreeNode,
+) -> Tuple[List[int], List[int], List[int]]:
+    """Flatten a binarised tree into parallel label/left/right arrays.
+
+    Children are referenced by array index, -1 meaning absent, so the
+    representation is free of object graphs: storable in an npz artifact
+    and picklable without recursion limits.
+    """
+    nodes: List[BinaryTreeNode] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        if node.right is not None:
+            stack.append(node.right)
+        if node.left is not None:
+            stack.append(node.left)
+    index = {id(node): i for i, node in enumerate(nodes)}
+    labels = [node.label for node in nodes]
+    lefts = [
+        index[id(node.left)] if node.left is not None else -1 for node in nodes
+    ]
+    rights = [
+        index[id(node.right)] if node.right is not None else -1
+        for node in nodes
+    ]
+    return labels, lefts, rights
+
+
+def unflatten_tree(
+    labels: Sequence[int], lefts: Sequence[int], rights: Sequence[int]
+) -> BinaryTreeNode:
+    """Rebuild a tree from :func:`flatten_tree` arrays (root is index 0)."""
+    nodes = [BinaryTreeNode(label=int(label)) for label in labels]
+    for i, node in enumerate(nodes):
+        left, right = int(lefts[i]), int(rights[i])
+        if left >= 0:
+            node.left = nodes[left]
+        if right >= 0:
+            node.right = nodes[right]
+    return nodes[0]
+
+
+# -- the extracted artifact ---------------------------------------------------------
+
+
+@dataclass
+class ExtractedBinary:
+    """Decompile + Preprocess output for one binary, in columnar form.
+
+    Everything the Encode stage needs and nothing model-specific: the
+    preprocessed trees (flattened, concatenated), per-function metadata,
+    and the raw callee instruction counts so the calibration filter can be
+    applied for any β at encode time.
+    """
+
+    binary_name: str
+    arch: str
+    names: List[str]
+    ast_sizes: np.ndarray  # (n,) source-AST node counts
+    callee_sizes: np.ndarray  # flattened callee instruction counts
+    callee_offsets: np.ndarray  # (n + 1,) offsets into callee_sizes
+    labels: np.ndarray  # flattened per-tree node labels
+    lefts: np.ndarray  # tree-local child indices, -1 = absent
+    rights: np.ndarray
+    tree_offsets: np.ndarray  # (n + 1,) offsets into labels/lefts/rights
+    n_decompiled: int = 0  # functions decompiled (pre size filter)
+    n_skipped_small: int = 0
+    decompile_s: float = 0.0
+    preprocess_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def trees(self) -> List[BinaryTreeNode]:
+        out = []
+        for i in range(len(self.names)):
+            lo = int(self.tree_offsets[i])
+            hi = int(self.tree_offsets[i + 1])
+            out.append(
+                unflatten_tree(
+                    self.labels[lo:hi], self.lefts[lo:hi], self.rights[lo:hi]
+                )
+            )
+        return out
+
+    def filtered_callee_count(self, i: int, beta: int) -> int:
+        """Size of function ``i``'s callee set after the inline filter."""
+        lo = int(self.callee_offsets[i])
+        hi = int(self.callee_offsets[i + 1])
+        return int(np.count_nonzero(self.callee_sizes[lo:hi] >= beta))
+
+
+def extract_binary(binary: BinaryFile, min_ast_size: int) -> ExtractedBinary:
+    """Decompile + Preprocess one binary (the pipeline's CPU-bound stages).
+
+    Deterministic: function order follows the binary's function table, so
+    serial and worker-pool executions produce identical artifacts.
+    """
+    started = time.perf_counter()
+    fns = decompile_stage(binary)
+    decompile_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    names: List[str] = []
+    ast_sizes: List[int] = []
+    callee_sizes: List[int] = []
+    callee_offsets: List[int] = [0]
+    labels: List[int] = []
+    lefts: List[int] = []
+    rights: List[int] = []
+    tree_offsets: List[int] = [0]
+    n_skipped = 0
+    for fn in fns:
+        tree = preprocess_one(fn, min_ast_size)
+        if tree is None:
+            n_skipped += 1
+            continue
+        tree_labels, tree_lefts, tree_rights = flatten_tree(tree)
+        names.append(fn.name)
+        ast_sizes.append(fn.ast_size())
+        callee_sizes.extend(size for _name, size in fn.callees)
+        callee_offsets.append(len(callee_sizes))
+        labels.extend(tree_labels)
+        lefts.extend(tree_lefts)
+        rights.extend(tree_rights)
+        tree_offsets.append(len(labels))
+    preprocess_s = time.perf_counter() - started
+
+    return ExtractedBinary(
+        binary_name=binary.name,
+        arch=binary.arch,
+        names=names,
+        ast_sizes=np.asarray(ast_sizes, dtype=np.int64),
+        callee_sizes=np.asarray(callee_sizes, dtype=np.int64),
+        callee_offsets=np.asarray(callee_offsets, dtype=np.int64),
+        labels=np.asarray(labels, dtype=np.int64),
+        lefts=np.asarray(lefts, dtype=np.int64),
+        rights=np.asarray(rights, dtype=np.int64),
+        tree_offsets=np.asarray(tree_offsets, dtype=np.int64),
+        n_decompiled=len(fns),
+        n_skipped_small=n_skipped,
+        decompile_s=decompile_s,
+        preprocess_s=preprocess_s,
+    )
+
+
+def encode_stage(
+    model: Asteria,
+    extracted: ExtractedBinary,
+    batch_size: int = DEFAULT_ENCODE_BATCH_SIZE,
+) -> List[FunctionEncoding]:
+    """Encode stage: cached trees -> encodings via the level-batched engine.
+
+    Bit-for-bit identical to encoding the same trees in any other chunking
+    (the engine issues fixed-size GEMM blocks), which is what lets warm
+    cache hits, serial runs and worker-pool runs interchange freely.
+    """
+    if not len(extracted):
+        return []
+    vectors = model.encode_batch(extracted.trees(), batch_size=batch_size)
+    beta = model.config.beta
+    return [
+        FunctionEncoding(
+            name=extracted.names[i],
+            arch=extracted.arch,
+            binary_name=extracted.binary_name,
+            vector=vectors[i].copy(),
+            callee_count=extracted.filtered_callee_count(i, beta),
+            ast_size=int(extracted.ast_sizes[i]),
+        )
+        for i in range(len(extracted))
+    ]

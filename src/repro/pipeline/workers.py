@@ -1,0 +1,51 @@
+"""Worker-pool execution of the CPU-bound extract stages.
+
+Decompilation and preprocessing dominate a cold offline run and are pure
+Python (no GEMMs), so they parallelise across processes.  Binaries travel
+to workers as serialised ``RBIN`` bytes -- the same canonical form the
+cache digests -- and come back as columnar
+:class:`~repro.pipeline.stages.ExtractedBinary` artifacts.
+
+Ordering is preserved (``Pool.map`` over the input order) and extraction
+is deterministic per binary, so a ``jobs=N`` run produces bit-for-bit the
+same artifacts, in the same order, as ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.binformat.binary import BinaryFile
+from repro.pipeline.stages import ExtractedBinary, extract_binary
+
+
+def _extract_payload(payload: Tuple[bytes, int]) -> ExtractedBinary:
+    blob, min_ast_size = payload
+    return extract_binary(BinaryFile.from_bytes(blob), min_ast_size)
+
+
+def extract_stream(
+    binaries: Sequence[BinaryFile], min_ast_size: int, jobs: int = 1
+) -> Iterator[ExtractedBinary]:
+    """Decompile + preprocess each binary, yielding results in input order.
+
+    Streaming keeps only in-flight artifacts in memory: the consumer can
+    encode-and-release each binary while workers extract the next ones.
+    """
+    if jobs <= 1 or len(binaries) <= 1:
+        for binary in binaries:
+            yield extract_binary(binary, min_ast_size)
+        return
+    payloads = ((binary.to_bytes(), min_ast_size) for binary in binaries)
+    processes = min(int(jobs), len(binaries))
+    with multiprocessing.get_context().Pool(processes=processes) as pool:
+        for extracted in pool.imap(_extract_payload, payloads):
+            yield extracted
+
+
+def extract_all(
+    binaries: Sequence[BinaryFile], min_ast_size: int, jobs: int = 1
+) -> List[ExtractedBinary]:
+    """Decompile + preprocess each binary, optionally across processes."""
+    return list(extract_stream(binaries, min_ast_size, jobs=jobs))

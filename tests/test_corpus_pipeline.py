@@ -1,0 +1,389 @@
+"""Staged corpus pipeline: artifact cache, worker-pool determinism, call sites."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import Asteria, AsteriaConfig
+from repro.evalsuite.vulnsearch import (
+    CVE_LIBRARY,
+    VulnerabilitySearch,
+    build_firmware_dataset,
+)
+from repro.pipeline import (
+    ArtifactCache,
+    CorpusPipeline,
+    flatten_tree,
+    unflatten_tree,
+)
+from repro.pipeline.cache import MANIFEST_NAME, OBJECTS_DIR
+
+
+@pytest.fixture(scope="module")
+def firmware():
+    return build_firmware_dataset(n_images=4, seed=6)
+
+
+@pytest.fixture(scope="module")
+def cold_run(trained_model, firmware):
+    """One cold serial run over an in-memory cache (the reference)."""
+    pipeline = CorpusPipeline(trained_model)
+    return pipeline, pipeline.run_images(firmware.images)
+
+
+def _vectors(result):
+    return np.stack([e.vector for _image_id, e in result.encodings])
+
+
+def _rows(result):
+    return [
+        (image_id, e.binary_name, e.name, e.callee_count, e.ast_size)
+        for image_id, e in result.encodings
+    ]
+
+
+class TestTreeRoundTrip:
+    def test_real_trees_survive(self, trained_model, firmware):
+        from repro.binformat.binwalk import unpack_firmware
+        from repro.pipeline.stages import decompile_stage, preprocess_one
+
+        image = next(i for i in firmware.images if not i.unknown_format)
+        binary = unpack_firmware(image)[0]
+        n_checked = 0
+        for fn in decompile_stage(binary):
+            tree = preprocess_one(fn, trained_model.config.min_ast_size)
+            if tree is None:
+                continue
+            rebuilt = unflatten_tree(*flatten_tree(tree))
+            assert [n.label for n in rebuilt.postorder()] == [
+                n.label for n in tree.postorder()
+            ]
+            n_checked += 1
+        assert n_checked > 0
+
+    def test_single_node(self):
+        from repro.nn.treelstm import BinaryTreeNode
+
+        rebuilt = unflatten_tree(*flatten_tree(BinaryTreeNode(label=7)))
+        assert rebuilt.label == 7
+        assert rebuilt.left is None and rebuilt.right is None
+
+
+class TestArtifactCacheAccounting:
+    def test_cold_run_misses_once_per_unique_binary(self, cold_run):
+        _pipeline, cold = cold_run
+        stats = cold.stats
+        assert stats.n_functions > 0
+        assert stats.n_unique_binaries > 0
+        assert stats.cache.encoding_misses == stats.n_unique_binaries
+        assert stats.cache.tree_misses == stats.n_unique_binaries
+        assert stats.cache.hits == 0
+        assert stats.n_extracted == stats.n_unique_binaries
+        assert stats.n_encoded == stats.n_unique_binaries
+
+    def test_warm_run_skips_decompile_and_encode(self, cold_run, firmware):
+        pipeline, cold = cold_run
+        warm = pipeline.run_images(firmware.images)
+        stats = warm.stats
+        assert stats.n_extracted == 0
+        assert stats.n_encoded == 0
+        assert stats.cache.encoding_hits == stats.n_unique_binaries
+        assert stats.cache.misses == 0
+        # the trees cache is never even consulted on a full encoding hit
+        assert stats.cache.tree_hits == 0
+        assert np.array_equal(_vectors(cold), _vectors(warm))
+        assert _rows(cold) == _rows(warm)
+
+    def test_on_disk_warm_across_instances(
+        self, tmp_path, trained_model, firmware, cold_run
+    ):
+        _pipeline, reference = cold_run
+        root = tmp_path / "cache"
+        CorpusPipeline(
+            trained_model, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+        assert (root / MANIFEST_NAME).exists()
+        assert list((root / OBJECTS_DIR).glob("*.npz"))
+
+        warm = CorpusPipeline(
+            trained_model, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+        assert warm.stats.n_extracted == 0
+        assert warm.stats.n_encoded == 0
+        assert np.array_equal(_vectors(reference), _vectors(warm))
+        assert _rows(reference) == _rows(warm)
+
+
+class TestArtifactCacheInvalidation:
+    def test_weight_change_invalidates_encodings_not_trees(
+        self, tmp_path, trained_model, firmware
+    ):
+        root = tmp_path / "cache"
+        CorpusPipeline(
+            trained_model, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+
+        # untrained model, identical config: only the weights differ
+        fresh = Asteria(AsteriaConfig(hidden_dim=32))
+        assert fresh.fingerprint() != trained_model.fingerprint()
+        run = CorpusPipeline(
+            fresh, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+        stats = run.stats
+        assert stats.cache.encoding_hits == 0
+        assert stats.cache.encoding_misses == stats.n_unique_binaries
+        assert stats.cache.tree_hits == stats.n_unique_binaries
+        assert stats.n_extracted == 0  # cached trees reused
+        assert stats.n_encoded == stats.n_unique_binaries  # encode re-ran
+
+    def test_min_ast_size_change_invalidates_trees(
+        self, tmp_path, trained_model, firmware
+    ):
+        root = tmp_path / "cache"
+        CorpusPipeline(
+            trained_model, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+
+        strict = Asteria(AsteriaConfig(hidden_dim=32, min_ast_size=9))
+        run = CorpusPipeline(
+            strict, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+        stats = run.stats
+        assert stats.cache.tree_hits == 0
+        assert stats.cache.tree_misses == stats.n_unique_binaries
+        assert stats.n_extracted == stats.n_unique_binaries
+
+
+class TestArtifactCacheRecovery:
+    def test_corrupt_manifest_is_rebuilt_from_objects(
+        self, tmp_path, trained_model, firmware
+    ):
+        root = tmp_path / "cache"
+        cold = CorpusPipeline(
+            trained_model, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+        (root / MANIFEST_NAME).write_text("{not json")
+
+        warm = CorpusPipeline(
+            trained_model, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+        assert warm.stats.n_extracted == 0
+        assert warm.stats.n_encoded == 0
+        assert np.array_equal(_vectors(cold), _vectors(warm))
+        # the recovered manifest is valid again
+        assert CorpusPipeline(
+            trained_model, cache=ArtifactCache(root)
+        ).run_images(firmware.images).stats.cache.misses == 0
+
+    def test_missing_manifest_is_rebuilt_from_objects(
+        self, tmp_path, trained_model, firmware
+    ):
+        root = tmp_path / "cache"
+        CorpusPipeline(
+            trained_model, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+        (root / MANIFEST_NAME).unlink()
+
+        warm = CorpusPipeline(
+            trained_model, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+        assert warm.stats.cache.misses == 0
+
+    def test_corrupt_object_is_a_miss_and_rewritten(
+        self, tmp_path, trained_model, firmware
+    ):
+        root = tmp_path / "cache"
+        cold = CorpusPipeline(
+            trained_model, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+        victim = sorted((root / OBJECTS_DIR).glob("enc-*.npz"))[0]
+        victim.write_bytes(b"garbage")
+
+        warm = CorpusPipeline(
+            trained_model, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+        stats = warm.stats
+        assert stats.cache.encoding_misses == 1
+        assert stats.cache.tree_hits == 1  # fell back to the cached trees
+        assert stats.n_extracted == 0
+        assert stats.n_encoded == 1
+        assert np.array_equal(_vectors(cold), _vectors(warm))
+        # the re-encode restored the object: fully warm again
+        again = CorpusPipeline(
+            trained_model, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+        assert again.stats.cache.misses == 0
+
+
+class TestParallelDeterminism:
+    def test_jobs_output_identical_to_serial(
+        self, trained_model, firmware, cold_run
+    ):
+        _pipeline, serial = cold_run
+        parallel = CorpusPipeline(trained_model, jobs=2).run_images(
+            firmware.images
+        )
+        assert _rows(serial) == _rows(parallel)
+        assert np.array_equal(_vectors(serial), _vectors(parallel))
+        assert serial.stats.n_functions == parallel.stats.n_functions
+        assert serial.stats.n_skipped_small == parallel.stats.n_skipped_small
+
+    def test_extract_all_preserves_order(self, trained_model, firmware):
+        from repro.binformat.binwalk import unpack_firmware
+        from repro.pipeline import extract_all
+
+        binaries = [
+            binary
+            for image in firmware.images
+            if not image.unknown_format
+            for binary in unpack_firmware(image)
+        ]
+        min_size = trained_model.config.min_ast_size
+        serial = extract_all(binaries, min_size, jobs=1)
+        pooled = extract_all(binaries, min_size, jobs=2)
+        assert len(serial) == len(pooled) == len(binaries)
+        for a, b in zip(serial, pooled):
+            assert a.names == b.names
+            assert np.array_equal(a.labels, b.labels)
+            assert np.array_equal(a.lefts, b.lefts)
+            assert np.array_equal(a.rights, b.rights)
+            assert np.array_equal(a.callee_sizes, b.callee_sizes)
+            assert a.n_skipped_small == b.n_skipped_small
+
+
+class TestCallSites:
+    def test_index_firmware_matches_seed_loop(self, trained_model, firmware):
+        from repro.binformat.binwalk import UnpackError, unpack_firmware
+        from repro.decompiler.hexrays import decompile_binary
+
+        reference = []
+        for image in firmware.images:
+            try:
+                binaries = unpack_firmware(image)
+            except UnpackError:
+                continue
+            for binary in binaries:
+                for fn in decompile_binary(binary, skip_errors=True):
+                    if fn.ast_size() < trained_model.config.min_ast_size:
+                        continue
+                    reference.append(
+                        (image, binary.name, trained_model.encode_function(fn))
+                    )
+
+        search = VulnerabilitySearch(trained_model)
+        indexed = search.index_firmware(firmware)
+        assert [(im.identifier, bn, e.name) for im, bn, e in reference] == [
+            (im.identifier, bn, e.name) for im, bn, e in indexed
+        ]
+        assert np.allclose(
+            np.stack([e.vector for _im, _bn, e in reference]),
+            np.stack([e.vector for _im, _bn, e in indexed]),
+            atol=1e-10,
+        )
+        assert [e.callee_count for _im, _bn, e in reference] == [
+            e.callee_count for _im, _bn, e in indexed
+        ]
+
+    def test_encode_library_is_cached(self, trained_model):
+        search = VulnerabilitySearch(trained_model)
+        first = search.encode_library()
+        hits_before = search.cache.stats.encoding_hits
+        second = search.encode_library()
+        assert search.cache.stats.encoding_hits \
+            >= hits_before + len(CVE_LIBRARY)
+        assert set(first) == {entry.cve_id for entry in CVE_LIBRARY}
+        for cve_id, (entry, encoding) in first.items():
+            assert encoding.name == entry.function_name
+            _entry2, encoding2 = second[cve_id]
+            assert np.array_equal(encoding.vector, encoding2.vector)
+            assert encoding.callee_count == encoding2.callee_count
+
+    def test_ingest_stats_carry_pipeline_stats(self, trained_model, firmware):
+        from repro.index.search import SearchService
+        from repro.index.store import EmbeddingStore
+
+        store = EmbeddingStore.in_memory(dim=trained_model.config.hidden_dim)
+        service = SearchService(trained_model, store)
+        stats = service.ingest_firmware(firmware.images)
+        assert stats.n_functions == len(store) > 0
+        assert stats.pipeline.n_unique_binaries > 0
+        assert stats.pipeline.cache.encoding_misses \
+            == stats.pipeline.n_unique_binaries
+        assert stats.n_skipped_small == stats.pipeline.n_skipped_small
+
+    def test_measure_offline_pipeline(self, trained_model, buildroot_small):
+        from repro.evalsuite.timing import measure_offline_pipeline
+
+        cache = ArtifactCache.in_memory()
+        cold = measure_offline_pipeline(
+            buildroot_small, trained_model, cache=cache
+        )
+        assert cold.n_functions > 0
+        assert cold.times.decompile_s > 0
+        warm = measure_offline_pipeline(
+            buildroot_small, trained_model, cache=cache
+        )
+        assert warm.n_extracted == 0
+        assert warm.n_encoded == 0
+        assert warm.n_functions == cold.n_functions
+
+
+class TestPipelineCLI:
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory, trained_model):
+        path = tmp_path_factory.mktemp("model") / "asteria.npz"
+        trained_model.save(path)
+        return str(path)
+
+    def test_run_cold_then_warm(self, model_path, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = [
+            "pipeline", "run", "--model", model_path, "--images", "3",
+            "--seed", "4", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold_out = capsys.readouterr().out
+        assert "stage  decompile" in cold_out
+        assert "encodings: 0 hits" in cold_out
+
+        assert main(argv) == 0
+        warm_out = capsys.readouterr().out
+        assert "extracted 0 of" in warm_out
+        assert "encoded 0 binaries" in warm_out
+        assert "/ 0 misses" in warm_out
+
+    def test_run_with_output_writes_index(self, model_path, tmp_path, capsys):
+        from repro.cli import main
+        from repro.index.store import EmbeddingStore
+
+        root = tmp_path / "idx"
+        assert main([
+            "pipeline", "run", "--model", model_path, "--images", "3",
+            "--seed", "4", "--output", str(root),
+        ]) == 0
+        assert "shard(s)" in capsys.readouterr().out
+        assert len(EmbeddingStore.open(root)) > 0
+
+    def test_index_build_jobs_and_cache_identical(
+        self, model_path, tmp_path, capsys
+    ):
+        from repro.cli import main
+        from repro.index.store import EmbeddingStore
+
+        assert main([
+            "index", "build", "--model", model_path,
+            "--output", str(tmp_path / "serial"),
+            "--images", "3", "--seed", "4",
+        ]) == 0
+        assert main([
+            "index", "build", "--model", model_path,
+            "--output", str(tmp_path / "parallel"),
+            "--images", "3", "--seed", "4",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        capsys.readouterr()
+        serial = EmbeddingStore.open(str(tmp_path / "serial"))
+        parallel = EmbeddingStore.open(str(tmp_path / "parallel"))
+        assert np.array_equal(serial.vectors(), parallel.vectors())
+        assert [m.name for m in serial.iter_metadata()] \
+            == [m.name for m in parallel.iter_metadata()]
