@@ -1,67 +1,84 @@
-"""Quickstart: train Asteria and compare binary functions across architectures.
+"""Quickstart: the whole paper workflow through one `AsteriaEngine`.
 
-Walks the full paper pipeline at miniature scale:
+Walks the full pipeline at miniature scale, entirely over the unified
+facade (`repro.api`):
 
-1. generate a source corpus and cross-compile it (x86/x64/ARM/PPC);
-2. decompile every binary back to ASTs;
-3. build labelled cross-architecture function pairs;
-4. train the Tree-LSTM Siamese model;
-5. score homologous and non-homologous pairs.
+1. train the Tree-LSTM Siamese model (`engine.train`);
+2. ingest a cross-compiled corpus into the embedding index
+   (`engine.ingest`);
+3. run top-k similarity queries (`engine.query`);
+4. compare one function across architectures (`engine.compare`);
+5. save the checkpoint and reload it through `EngineConfig.model_path`.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Asteria, AsteriaConfig, TrainConfig, Trainer
-from repro.core import build_cross_arch_pairs, to_tree_pairs
-from repro.core.pairs import split_pairs
+from repro.api import (
+    AsteriaEngine,
+    CompareRequest,
+    EncodeRequest,
+    EngineConfig,
+    IngestRequest,
+    QueryRequest,
+    TrainRequest,
+)
 from repro.evalsuite.datasets import build_buildroot_dataset
-from repro.evalsuite.metrics import roc_auc, youden_threshold
 
 
 def main():
-    print("1) building corpus (generate -> cross-compile -> decompile)...")
-    dataset = build_buildroot_dataset(n_packages=4, seed=7)
-    for stat in dataset.stats():
-        print(f"   {stat.arch}: {stat.n_binaries} binaries, "
-              f"{stat.n_functions} functions")
+    engine = AsteriaEngine(EngineConfig())
 
-    print("2) constructing labelled cross-architecture pairs...")
-    pairs = to_tree_pairs(build_cross_arch_pairs(dataset.functions, 15, seed=1))
-    train, test = split_pairs(pairs, 0.8, seed=2)
-    print(f"   {len(train)} training pairs, {len(test)} test pairs")
-
-    print("3) training the Tree-LSTM Siamese model (paper defaults)...")
-    model = Asteria(AsteriaConfig())
-    trainer = Trainer(model.siamese, TrainConfig(epochs=2, lr=0.05))
-    history = trainer.train(train, test)
-    for epoch in history.epochs:
+    print("1) training the Tree-LSTM Siamese model (paper defaults)...")
+    result = engine.train(TrainRequest(
+        packages=4, pairs=15, epochs=2, seed=7,
+        output_path="/tmp/asteria_quickstart.npz",
+    ))
+    print(f"   {result.n_train} training pairs, {result.n_dev} dev pairs")
+    for epoch in result.history.epochs:
         print(f"   epoch {epoch.epoch}: loss={epoch.mean_loss:.4f} "
               f"auc={epoch.auc:.4f} ({epoch.seconds:.1f}s)")
 
-    print("4) scoring pairs (offline encode, online compare)...")
-    scores, labels = [], []
-    for pair in test:
-        e1 = model.encode_function(pair.first)
-        e2 = model.encode_function(pair.second)
-        scores.append(model.similarity(e1, e2))
-        labels.append(1 if pair.label > 0 else 0)
-    auc = roc_auc(labels, scores)
-    threshold, j = youden_threshold(labels, scores)
-    print(f"   test AUC = {auc:.4f}; Youden threshold = {threshold:.3f} "
-          f"(J = {j:.3f})")
+    print("2) ingesting a cross-compiled corpus into the embedding index...")
+    dataset = build_buildroot_dataset(n_packages=4, seed=7)
+    binaries = [b for arch in sorted(dataset.binaries)
+                for b in dataset.binaries[arch]]
+    ingest = engine.ingest(IngestRequest(binaries=binaries))
+    print(f"   {ingest.n_rows_total} functions indexed from "
+          f"{ingest.n_binaries} binaries")
 
-    sample = test[0]
-    e1, e2 = model.encode_function(sample.first), model.encode_function(sample.second)
-    kind = "homologous" if sample.label > 0 else "non-homologous"
-    print(f"   example: {sample.first.name}({sample.first.arch}) vs "
-          f"{sample.second.name}({sample.second.arch}) [{kind}] -> "
-          f"F = {model.similarity(e1, e2):.4f}")
+    print("3) querying: top-5 most similar corpus functions...")
+    query_binary = dataset.binaries["x86"][0]
+    fn = engine.encode(EncodeRequest(binary=query_binary)).encodings[0]
+    result = engine.query(QueryRequest(
+        binary=query_binary, function=fn.name, top_k=5,
+    ))
+    print(f"   query {result.query} over {result.n_rows} rows:")
+    for rank, hit in enumerate(result.hits, start=1):
+        print(f"   {rank}. score={hit.score:.4f} "
+              f"{hit.binary_name} {hit.name} [{hit.arch}]")
 
-    print("5) saving the model to /tmp/asteria_quickstart.npz")
-    model.save("/tmp/asteria_quickstart.npz")
-    restored = Asteria.load("/tmp/asteria_quickstart.npz")
-    print(f"   reloaded model reproduces the score: "
-          f"{restored.similarity(e1, e2):.4f}")
+    print("4) comparing the same function across architectures...")
+    cmp = engine.compare(CompareRequest(
+        binary1=dataset.binaries["x86"][0], function1=fn.name,
+        binary2=dataset.binaries["arm"][0], function2=fn.name,
+    ))
+    print(f"   M (AST similarity)        = {cmp.ast_similarity:.4f}")
+    print(f"   F (calibrated similarity) = {cmp.similarity:.4f}")
+
+    print("5) reloading the checkpoint through EngineConfig...")
+    restored = AsteriaEngine(
+        EngineConfig(model_path="/tmp/asteria_quickstart.npz")
+    )
+    again = restored.compare(CompareRequest(
+        binary1=dataset.binaries["x86"][0], function1=fn.name,
+        binary2=dataset.binaries["arm"][0], function2=fn.name,
+    ))
+    print(f"   reloaded model reproduces the score: {again.similarity:.4f}")
+
+    stats = engine.stats()
+    print(f"engine stats: {stats.n_queries} queries, "
+          f"{stats.index_rows} indexed rows, "
+          f"cache {stats.cache_hits} hits / {stats.cache_misses} misses")
 
 
 if __name__ == "__main__":

@@ -29,6 +29,8 @@ Quickstart::
                                  pairs[int(len(pairs) * 0.8):])
 """
 
+from repro.api.config import EngineConfig
+from repro.api.engine import AsteriaEngine
 from repro.core.model import Asteria, AsteriaConfig, FunctionEncoding
 from repro.core.training import TrainConfig, Trainer
 
@@ -37,6 +39,8 @@ __version__ = "1.0.0"
 __all__ = [
     "Asteria",
     "AsteriaConfig",
+    "AsteriaEngine",
+    "EngineConfig",
     "FunctionEncoding",
     "TrainConfig",
     "Trainer",

@@ -1,0 +1,138 @@
+"""Dynamic micro-batching for concurrent query encodes.
+
+The serving layer's hot path is "encode one query AST, then score it":
+with N concurrent clients the naive implementation performs N sequential
+tree walks.  :class:`MicroBatcher` coalesces in-flight encode requests
+into single level-batched :meth:`~repro.core.model.Asteria.encode_batch`
+calls (PR 2's stacked-GEMM fast path), so concurrency turns into batch
+width instead of queueing delay.
+
+The protocol is leader/follower: a calling thread appends its tree to
+the pending queue; whichever thread finds no batch in flight elects
+itself leader, drains up to ``max_batch_size`` pending items, grants a
+short ``max_wait_s`` accumulation window for late arrivals, then runs
+one batched encode and publishes each result.  Followers block on their
+item's event.  Exactly one batch runs at a time, which also keeps the
+(single) model's encode path effectively single-threaded -- callers need
+no extra locking.
+
+Because the level-batched engine issues fixed-size GEMM blocks, the
+encoding of a tree is bit-for-bit independent of which other trees
+happen to share its batch: a coalesced encode returns exactly the bytes
+a serial encode would.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class BatcherStats:
+    """Coalescing counters (exposed via ``AsteriaEngine.stats()``)."""
+
+    n_batches: int = 0
+    n_items: int = 0
+    max_batch_size: int = 0
+
+    def record(self, size: int) -> None:
+        self.n_batches += 1
+        self.n_items += size
+        self.max_batch_size = max(self.max_batch_size, size)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.n_items / self.n_batches if self.n_batches else 0.0
+
+    def coalesced(self) -> bool:
+        """Did any batch actually carry more than one request?"""
+        return self.max_batch_size > 1
+
+
+class _Item:
+    __slots__ = ("tree", "done", "result", "error")
+
+    def __init__(self, tree):
+        self.tree = tree
+        self.done = threading.Event()
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+
+class MicroBatcher:
+    """Coalesce concurrent ``encode(tree)`` calls into batched encodes.
+
+    ``encode_batch_fn`` maps a sequence of trees to an ``(n, h)`` matrix.
+    ``max_batch_size=1`` degenerates to serialized per-tree encoding --
+    the baseline the serving throughput benchmark compares against.
+    """
+
+    def __init__(
+        self,
+        encode_batch_fn: Callable[[Sequence], np.ndarray],
+        max_batch_size: int = 64,
+        max_wait_s: float = 0.002,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self._encode_batch = encode_batch_fn
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self._cond = threading.Condition()
+        self._pending: List[_Item] = []
+        self._busy = False
+        self.stats = BatcherStats()
+
+    def encode(self, tree) -> np.ndarray:
+        """Encode one tree, riding whatever batch is forming."""
+        item = _Item(tree)
+        with self._cond:
+            self._pending.append(item)
+        while True:
+            run: Optional[List[_Item]] = None
+            with self._cond:
+                if item.done.is_set():
+                    break
+                if not self._busy and self._pending:
+                    self._busy = True
+                    run = self._pending[: self.max_batch_size]
+                    del self._pending[: len(run)]
+                else:
+                    # a leader is encoding (maybe our item); it notifies
+                    # when it finishes, the timeout is only a safety net
+                    self._cond.wait(timeout=0.05)
+                    continue
+            self._run_batch(run)
+        if item.error is not None:
+            raise item.error
+        return item.result
+
+    def _run_batch(self, run: List[_Item]) -> None:
+        # accumulation window: let threads mid-submit join this batch
+        if self.max_wait_s > 0 and len(run) < self.max_batch_size:
+            time.sleep(self.max_wait_s)
+            with self._cond:
+                extra = self._pending[: self.max_batch_size - len(run)]
+                del self._pending[: len(extra)]
+            run.extend(extra)
+        try:
+            vectors = self._encode_batch([it.tree for it in run])
+            for i, it in enumerate(run):
+                it.result = np.asarray(vectors[i]).copy()
+        except BaseException as exc:  # publish, don't strand followers
+            for it in run:
+                it.error = exc
+        finally:
+            with self._cond:
+                self._busy = False
+                self.stats.record(len(run))
+                for it in run:
+                    it.done.set()
+                # wake followers: completed ones return, the rest elect
+                # the next leader immediately instead of timing out
+                self._cond.notify_all()

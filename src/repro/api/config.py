@@ -1,0 +1,177 @@
+"""The one configuration object behind every engine consumer.
+
+:class:`EngineConfig` replaces the per-subcommand ``--cache-dir`` /
+``--jobs`` / ``--batch-size`` plumbing (and the ad hoc keyword threading
+inside ``VulnerabilitySearch`` / ``SearchService``) with a single typed
+value that can be built four ways:
+
+* directly, as a dataclass;
+* :meth:`EngineConfig.from_dict` / :meth:`to_dict` -- JSON-shaped, for
+  config files (:meth:`from_file`) and the HTTP server;
+* :meth:`EngineConfig.from_env` -- ``REPRO_*`` environment variables;
+* :meth:`EngineConfig.from_args` -- an argparse namespace, shared by all
+  ``repro-cli`` subcommands.
+
+Later sources override earlier ones field-by-field, so
+``EngineConfig.from_env().merged(jobs=4)`` reads naturally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.api.errors import BadRequestError
+from repro.core.model import DEFAULT_ENCODE_BATCH_SIZE
+
+_BACKENDS = ("exact", "lsh")
+
+#: argparse destination -> config field, shared by every subcommand.
+_ARG_FIELDS = {
+    "model": "model_path",
+    "index": "index_root",
+    "cache_dir": "cache_dir",
+    "jobs": "jobs",
+    "batch_size": "encode_batch_size",
+    "shard_size": "shard_size",
+    "backend": "backend",
+    "threshold": "threshold",
+    "top_k": "top_k",
+    "seed": "seed",
+}
+
+
+@dataclass
+class EngineConfig:
+    """Everything an :class:`~repro.api.engine.AsteriaEngine` needs.
+
+    ``model_path``/``index_root``/``cache_dir`` of ``None`` mean "fresh
+    in-memory" (no checkpoint yet / ephemeral index / ephemeral cache).
+    ``micro_batch_size`` caps how many concurrent query encodes the
+    serving micro-batcher coalesces into one level-batched GEMM call
+    (1 disables coalescing); ``micro_batch_wait_ms`` is the accumulation
+    window a batch leader grants late arrivals.
+    """
+
+    model_path: Optional[str] = None
+    index_root: Optional[str] = None
+    cache_dir: Optional[str] = None
+    jobs: int = 1
+    encode_batch_size: int = DEFAULT_ENCODE_BATCH_SIZE
+    shard_size: int = 1024
+    backend: str = "exact"
+    calibrate: bool = True
+    threshold: float = 0.84
+    top_k: int = 10
+    seed: int = 0
+    micro_batch_size: int = DEFAULT_ENCODE_BATCH_SIZE
+    micro_batch_wait_ms: float = 2.0
+
+    def __post_init__(self):
+        for name in ("jobs", "encode_batch_size", "shard_size",
+                     "micro_batch_size"):
+            if int(getattr(self, name)) < 1:
+                raise BadRequestError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
+        if self.backend not in _BACKENDS:
+            raise BadRequestError(
+                f"unknown backend {self.backend!r} "
+                f"(choose from {', '.join(_BACKENDS)})"
+            )
+        if self.micro_batch_wait_ms < 0:
+            raise BadRequestError("micro_batch_wait_ms must be >= 0")
+
+    # -- dict / file / env / args loading ----------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable field dict (the inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "EngineConfig":
+        known = {f.name: f for f in fields(cls)}
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise BadRequestError(
+                f"unknown EngineConfig key(s): {', '.join(unknown)}"
+            )
+        try:
+            return cls(**data)
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(f"bad EngineConfig: {exc}") from exc
+
+    @classmethod
+    def from_file(cls, path) -> "EngineConfig":
+        path = Path(path)
+        if not path.exists():
+            raise BadRequestError(f"no config file at {path}")
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise BadRequestError(f"config file {path} is not JSON: {exc}")
+        if not isinstance(data, dict):
+            raise BadRequestError(f"config file {path} must hold an object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_env(cls, environ=None, prefix: str = "REPRO_") -> "EngineConfig":
+        """Read ``<prefix><FIELD>`` variables (e.g. ``REPRO_MODEL_PATH``)."""
+        environ = os.environ if environ is None else environ
+        data: Dict = {}
+        for f in fields(cls):
+            raw = environ.get(prefix + f.name.upper())
+            if raw is None:
+                continue
+            data[f.name] = _coerce(f, raw)
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_args(cls, args, **overrides) -> "EngineConfig":
+        """Adapt an argparse namespace; every subcommand shares this.
+
+        Only destinations the subcommand actually defines (and that were
+        not left at ``None``) are picked up; ``overrides`` win last, so a
+        subcommand can redirect e.g. ``--output`` into ``index_root``.
+        """
+        data: Dict = {}
+        for dest, field_name in _ARG_FIELDS.items():
+            value = getattr(args, dest, None)
+            if value is not None:
+                data[field_name] = value
+        data.update(overrides)
+        return cls.from_dict(data)
+
+    def merged(self, **overrides) -> "EngineConfig":
+        """A copy with ``overrides`` applied (validation re-runs)."""
+        data = self.to_dict()
+        data.update(overrides)
+        return self.from_dict(data)
+
+
+def _coerce(f, raw: str):
+    """Parse one env-var string to the field's annotated type."""
+    kind = f.type if isinstance(f.type, str) else getattr(
+        f.type, "__name__", str(f.type)
+    )
+    if "int" in kind:
+        try:
+            return int(raw)
+        except ValueError:
+            raise BadRequestError(f"{f.name} expects an integer, got {raw!r}")
+    if "float" in kind:
+        try:
+            return float(raw)
+        except ValueError:
+            raise BadRequestError(f"{f.name} expects a number, got {raw!r}")
+    if "bool" in kind:
+        if raw.lower() in ("1", "true", "yes", "on"):
+            return True
+        if raw.lower() in ("0", "false", "no", "off"):
+            return False
+        raise BadRequestError(f"{f.name} expects a boolean, got {raw!r}")
+    return raw

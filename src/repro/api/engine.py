@@ -1,0 +1,812 @@
+"""The unified Asteria facade: one object, the whole paper workflow.
+
+:class:`AsteriaEngine` owns the model, the artifact cache, the embedding
+index and the staged corpus pipeline behind one
+:class:`~repro.api.config.EngineConfig`, and exposes the full lifecycle
+as a small set of typed request/response dataclasses:
+
+* :meth:`AsteriaEngine.encode`  -- binary -> function encodings (cached);
+* :meth:`AsteriaEngine.ingest`  -- firmware/binaries -> embedding index
+  via the staged pipeline;
+* :meth:`AsteriaEngine.query` / :meth:`query_batch` -- top-k similar
+  functions, query-side encodes coalesced through the serving
+  micro-batcher (:mod:`repro.api.batching`);
+* :meth:`AsteriaEngine.compare` -- pairwise M / calibrated F scores;
+* :meth:`AsteriaEngine.train`   -- train a model and adopt it;
+* :meth:`AsteriaEngine.stats`   -- counters for monitoring and tests.
+
+Every consumer -- the CLI, the HTTP server
+(:mod:`repro.api.server`), ``VulnerabilitySearch``, ``SearchService``,
+benchmarks and examples -- constructs its model/cache/index/pipeline
+stack through this class; nothing else in the repo assembles those
+pieces by hand.  The engine is thread-safe: concurrent :meth:`query`
+calls are the serving hot path and ride the micro-batcher, while
+store-mutating calls serialize behind one lock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.batching import MicroBatcher
+from repro.api.config import EngineConfig
+from repro.api.errors import (
+    BadRequestError,
+    IndexStoreError,
+    InputNotFoundError,
+    ModelNotFoundError,
+)
+from repro.binformat.binary import BinaryFile
+from repro.core.model import Asteria, AsteriaConfig, FunctionEncoding
+from repro.core.training import TrainConfig, Trainer, TrainHistory
+from repro.index.search import SearchHit, SearchService
+from repro.index.store import MANIFEST_NAME, EmbeddingStore, StoreError
+from repro.pipeline import (
+    ArtifactCache,
+    CorpusPipeline,
+    PipelineStats,
+    binary_digest,
+)
+from repro.pipeline.stages import extract_binary
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("api.engine")
+
+#: Sentinel for "use the engine's configured default" on optional knobs
+#: where ``None`` already means "unlimited".
+USE_DEFAULT = -1
+
+#: Most-recently-queried binaries whose extracted trees stay memoized in
+#: memory; a long-running server over many distinct query binaries evicts
+#: the oldest instead of growing without bound (the artifact cache still
+#: holds evicted trees, on disk when ``cache_dir`` is set).
+EXTRACT_MEMO_MAX_BINARIES = 64
+
+BinarySource = Union[BinaryFile, str, Path]
+
+
+# -- request / response types -------------------------------------------------------
+
+
+@dataclass
+class EncodeRequest:
+    """Encode every (or one named) function of a binary."""
+
+    binary: Optional[BinarySource] = None
+    function: Optional[str] = None
+
+
+@dataclass
+class EncodeResult:
+    binary_name: str
+    arch: str
+    encodings: List[FunctionEncoding]
+
+
+@dataclass
+class IngestRequest:
+    """Feed corpora into the engine's embedding index.
+
+    Any combination of: in-memory firmware ``images``, loose ``binaries``
+    (:class:`BinaryFile` or ``(binary, image_id)`` pairs), or a generated
+    firmware corpus (``corpus_images``/``corpus_seed``, the substitute
+    for the paper's vendor image crawl).
+    """
+
+    images: Sequence = ()
+    binaries: Sequence = ()
+    corpus_images: Optional[int] = None
+    corpus_seed: int = 0
+
+
+@dataclass
+class IngestResult:
+    """Counts cover everything the request ingested.  ``pipeline`` is
+    the first pipeline run's per-stage stats (the firmware-images run
+    when a request carries both images and loose binaries); every run's
+    stats are in ``pipelines``."""
+
+    n_functions: int = 0
+    n_binaries: int = 0
+    n_images: int = 0
+    n_unpack_failures: int = 0
+    n_skipped_small: int = 0
+    n_rows_total: int = 0
+    pipeline: Optional[PipelineStats] = None
+    pipelines: List[PipelineStats] = field(default_factory=list)
+
+
+@dataclass
+class QueryRequest:
+    """One top-k similarity query.
+
+    Exactly one query source: a ready ``encoding``, a library ``cve_id``,
+    or a ``binary`` (object or path) plus ``function`` name.
+    ``top_k=USE_DEFAULT`` picks the configured default; ``top_k=None``
+    keeps every above-threshold hit.  ``threshold=USE_DEFAULT`` applies
+    the configured Youden threshold; ``threshold=None`` disables the
+    cutoff (the full top-k).
+    """
+
+    encoding: Optional[FunctionEncoding] = None
+    cve_id: Optional[str] = None
+    binary: Optional[BinarySource] = None
+    function: Optional[str] = None
+    top_k: Optional[int] = USE_DEFAULT
+    threshold: Optional[float] = None
+
+
+@dataclass
+class QueryResult:
+    query: str
+    encoding: FunctionEncoding
+    hits: List[SearchHit]
+    n_rows: int
+
+
+@dataclass
+class CompareRequest:
+    binary1: Optional[BinarySource] = None
+    function1: str = ""
+    binary2: Optional[BinarySource] = None
+    function2: str = ""
+
+
+@dataclass
+class CompareResult:
+    function1: str
+    function2: str
+    ast_similarity: float  # M, the raw Siamese score
+    similarity: float  # F, callee-count calibrated
+
+
+@dataclass
+class TrainRequest:
+    """Train on the generated buildroot corpus (the paper's dataset)."""
+
+    packages: int = 4
+    pairs: int = 15
+    epochs: int = 2
+    embedding_dim: int = 16
+    batch_size: int = 1
+    lr: float = 0.05
+    split: float = 0.8
+    seed: int = 0
+    output_path: Optional[str] = None
+
+
+@dataclass
+class TrainResult:
+    n_train: int
+    n_dev: int
+    best_auc: float
+    best_epoch: int
+    history: TrainHistory
+    model_path: Optional[str] = None
+
+
+@dataclass
+class EngineStats:
+    """A point-in-time snapshot of the engine's counters."""
+
+    model_loaded: bool = False
+    model_path: Optional[str] = None
+    model_fingerprint: Optional[str] = None
+    index_root: Optional[str] = None
+    index_rows: int = 0
+    index_shards: int = 0
+    n_queries: int = 0
+    n_query_encodes: int = 0
+    micro_batches: int = 0
+    micro_batched_items: int = 0
+    micro_batch_max: int = 0
+    micro_batch_mean: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    config: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+
+# -- the facade ---------------------------------------------------------------------
+
+
+class AsteriaEngine:
+    """One engine = one model + one cache + one index + one pipeline."""
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        model: Optional[Asteria] = None,
+        store: Optional[EmbeddingStore] = None,
+        cache: Optional[ArtifactCache] = None,
+    ):
+        self.config = config or EngineConfig()
+        self._model = model
+        self._store = store
+        self._cache = cache
+        self._pipeline: Optional[CorpusPipeline] = None
+        self._service: Optional[SearchService] = None
+        self._batcher: Optional[MicroBatcher] = None
+        self._library: Optional[Dict] = None
+        self._extract_memo: "OrderedDict[str, Tuple]" = OrderedDict()
+        self._lock = threading.RLock()  # store / service / pipeline state
+        self._extract_lock = threading.Lock()  # query-side tree extraction
+        self._counter_lock = threading.Lock()
+        self._n_queries = 0
+        self._n_query_encodes = 0
+
+    @classmethod
+    def from_model(
+        cls, model: Asteria, config: Optional[EngineConfig] = None, **kw
+    ) -> "AsteriaEngine":
+        """Wrap an already-constructed model (the deprecated-shim path)."""
+        return cls(config=config, model=model, **kw)
+
+    # -- owned components --------------------------------------------------
+
+    @property
+    def model(self) -> Asteria:
+        with self._lock:
+            if self._model is None:
+                path = self.config.model_path
+                if path is None:
+                    raise ModelNotFoundError(
+                        "no model: set EngineConfig.model_path, pass a "
+                        "model, or call train() first"
+                    )
+                if not Path(path).exists():
+                    raise ModelNotFoundError(
+                        f"model checkpoint not found: {path}"
+                    )
+                self._model = Asteria.load(path)
+            return self._model
+
+    @property
+    def cache(self) -> ArtifactCache:
+        with self._lock:
+            if self._cache is None:
+                self._cache = (
+                    ArtifactCache(self.config.cache_dir)
+                    if self.config.cache_dir
+                    else ArtifactCache.in_memory()
+                )
+            return self._cache
+
+    @property
+    def pipeline(self) -> CorpusPipeline:
+        with self._lock:
+            if self._pipeline is None:
+                self._pipeline = CorpusPipeline(
+                    self.model,
+                    jobs=self.config.jobs,
+                    cache=self.cache,
+                    encode_batch_size=self.config.encode_batch_size,
+                )
+            return self._pipeline
+
+    @property
+    def store(self) -> EmbeddingStore:
+        """The engine's index: durable at ``index_root``, else in-memory.
+
+        A configured ``index_root`` is opened when it exists and created
+        when it does not; use :meth:`open_index` / :meth:`create_index`
+        when only one of those is acceptable.
+        """
+        with self._lock:
+            if self._store is None:
+                root = self.config.index_root
+                if root is None:
+                    self._store = EmbeddingStore.in_memory(
+                        dim=self.model.config.hidden_dim,
+                        shard_size=self.config.shard_size,
+                    )
+                elif (Path(root) / MANIFEST_NAME).exists():
+                    self._store = self.open_index()
+                else:
+                    self._store = self.create_index()
+            return self._store
+
+    @property
+    def service(self) -> SearchService:
+        with self._lock:
+            if self._service is None:
+                self._service = self._make_service(self.store)
+            return self._service
+
+    @property
+    def batcher(self) -> MicroBatcher:
+        with self._lock:
+            if self._batcher is None:
+                model = self.model
+                encode_batch_size = self.config.encode_batch_size
+
+                def encode(trees):
+                    # under the engine lock: a batch must not read
+                    # weights that train()'s optimizer is mid-mutating
+                    with self._lock:
+                        return model.encode_batch(
+                            trees, batch_size=encode_batch_size
+                        )
+
+                self._batcher = MicroBatcher(
+                    encode,
+                    max_batch_size=self.config.micro_batch_size,
+                    max_wait_s=self.config.micro_batch_wait_ms / 1000.0,
+                )
+            return self._batcher
+
+    def _backend_options(self, backend: str) -> Dict:
+        return {"seed": self.config.seed} if backend == "lsh" else {}
+
+    def _make_service(
+        self,
+        store: EmbeddingStore,
+        backend: Optional[str] = None,
+        encode_batch_size: Optional[int] = None,
+        **backend_options,
+    ) -> SearchService:
+        backend = backend or self.config.backend
+        options = self._backend_options(backend)
+        options.update(backend_options)
+        encode_batch_size = encode_batch_size or self.config.encode_batch_size
+        pipeline = self.pipeline
+        if encode_batch_size != pipeline.encode_batch_size:
+            # honor a per-service batch size override (same model, cache
+            # and worker count; only the encode chunking differs)
+            pipeline = CorpusPipeline(
+                self.model,
+                jobs=self.config.jobs,
+                cache=self.cache,
+                encode_batch_size=encode_batch_size,
+            )
+        return SearchService(
+            self.model,
+            store,
+            backend=backend,
+            calibrate=self.config.calibrate,
+            encode_batch_size=encode_batch_size,
+            pipeline=pipeline,
+            **options,
+        )
+
+    def make_service(
+        self,
+        root=None,
+        backend: Optional[str] = None,
+        shard_size: Optional[int] = None,
+        encode_batch_size: Optional[int] = None,
+        meta: Optional[Dict] = None,
+        **backend_options,
+    ) -> SearchService:
+        """Assemble a standalone store + service sharing this engine's
+        model, cache and pipeline (``root=None`` keeps it in memory)."""
+        dim = self.model.config.hidden_dim
+        shard_size = shard_size or self.config.shard_size
+        if root is None:
+            store = EmbeddingStore.in_memory(dim=dim, shard_size=shard_size)
+        else:
+            try:
+                store = EmbeddingStore.create(
+                    root, dim=dim, shard_size=shard_size, meta=meta
+                )
+            except StoreError as exc:
+                raise IndexStoreError(str(exc)) from exc
+        return self._make_service(
+            store, backend=backend, encode_batch_size=encode_batch_size,
+            **backend_options,
+        )
+
+    # -- index lifecycle ---------------------------------------------------
+
+    def create_index(self, meta: Optional[Dict] = None) -> EmbeddingStore:
+        """Create a new durable index at ``config.index_root``."""
+        root = self.config.index_root
+        if root is None:
+            raise IndexStoreError(
+                "create_index needs EngineConfig.index_root"
+            )
+        try:
+            store = EmbeddingStore.create(
+                root,
+                dim=self.model.config.hidden_dim,
+                shard_size=self.config.shard_size,
+                meta=meta,
+            )
+        except StoreError as exc:
+            raise IndexStoreError(str(exc)) from exc
+        self._adopt_store(store)
+        return store
+
+    def open_index(self) -> EmbeddingStore:
+        """Open the existing durable index at ``config.index_root``."""
+        root = self.config.index_root
+        if root is None:
+            raise IndexStoreError("open_index needs EngineConfig.index_root")
+        try:
+            store = EmbeddingStore.open(root)
+        except StoreError as exc:
+            raise IndexStoreError(str(exc)) from exc
+        self._adopt_store(store)
+        return store
+
+    def _adopt_store(self, store: EmbeddingStore) -> None:
+        with self._lock:
+            self._store = store
+            self._service = None
+
+    # -- encode ------------------------------------------------------------
+
+    def encode(self, request: Optional[EncodeRequest] = None,
+               **kw) -> EncodeResult:
+        """Offline phase for one binary (through the artifact cache)."""
+        request = request or EncodeRequest(**kw)
+        binary = self._binary_of(request.binary)
+        with self._lock:  # the artifact cache is not itself thread-safe
+            encodings = self.pipeline.encode_binary(binary)
+        if request.function is not None:
+            encodings = [e for e in encodings if e.name == request.function]
+            if not encodings:
+                raise BadRequestError(
+                    f"function {request.function!r} not found (or below the "
+                    f"AST size floor) in binary {binary.name!r}"
+                )
+        return EncodeResult(
+            binary_name=binary.name, arch=binary.arch, encodings=encodings
+        )
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, request: Optional[IngestRequest] = None,
+               **kw) -> IngestResult:
+        """Offline phase for corpora: pipeline -> embedding index."""
+        request = request or IngestRequest(**kw)
+        images = list(request.images)
+        if request.corpus_images is not None:  # 0 = an (empty) corpus
+            from repro.evalsuite.vulnsearch import build_firmware_dataset
+
+            dataset = build_firmware_dataset(
+                n_images=request.corpus_images, seed=request.corpus_seed
+            )
+            images.extend(dataset.images)
+        tagged = [
+            (item, "") if isinstance(item, BinaryFile) else tuple(item)
+            for item in request.binaries
+        ]
+        result = IngestResult()
+        with self._lock:
+            store = self.store
+            if images or not tagged:
+                # an images run always happens unless the request was
+                # binaries-only, so result.pipeline is never None and an
+                # empty corpus reports empty stats rather than nothing
+                run = self.pipeline.run_images(images, sink=store)
+                self._merge_ingest(result, run.stats)
+            if tagged:
+                run = self.pipeline.run_binaries(tagged, sink=store)
+                self._merge_ingest(result, run.stats)
+            result.n_rows_total = len(store)
+        _LOG.info(
+            "ingested %d functions (%d total rows)",
+            result.n_functions, result.n_rows_total,
+        )
+        return result
+
+    @staticmethod
+    def _merge_ingest(result: IngestResult, stats: PipelineStats) -> None:
+        result.n_functions += stats.n_functions
+        result.n_binaries += stats.n_binaries
+        result.n_images += stats.n_images
+        result.n_unpack_failures += stats.n_unpack_failures
+        result.n_skipped_small += stats.n_skipped_small
+        result.pipelines.append(stats)
+        result.pipeline = result.pipelines[0]
+
+    # -- query -------------------------------------------------------------
+
+    def cve_library(self) -> Dict[str, Tuple]:
+        """``{cve_id: (CVEEntry, FunctionEncoding)}``, encoded once.
+
+        The query side of the paper's search protocol; encodings go
+        through the same artifact cache as the corpus.
+        """
+        with self._lock:
+            if self._library is None:
+                from repro.compiler.pipeline import compile_package
+                from repro.evalsuite.vulnsearch import (
+                    CVE_LIBRARY,
+                    vulnerable_function,
+                )
+                from repro.lang.nodes import Package
+
+                library = {}
+                for entry in CVE_LIBRARY:
+                    package = Package(
+                        name=f"{entry.software}-{entry.vulnerable_version}",
+                        functions=[vulnerable_function(entry)],
+                    )
+                    binary = compile_package(package, "x86")
+                    by_name = {
+                        encoding.name: encoding
+                        for encoding in self.pipeline.encode_binary(binary)
+                    }
+                    encoding = by_name.get(entry.function_name)
+                    if encoding is None:
+                        raise ValueError(
+                            f"CVE function {entry.function_name!r} did not "
+                            f"survive decompilation/preprocessing"
+                        )
+                    library[entry.cve_id] = (entry, encoding)
+                self._library = library
+            return self._library
+
+    def query(self, request: Optional[QueryRequest] = None,
+              **kw) -> QueryResult:
+        """Top-k similar corpus functions for one query.
+
+        Concurrent callers coalesce their query-side encodes into shared
+        level-batched GEMM calls; results are bit-for-bit identical to
+        serial execution.
+        """
+        request = request or QueryRequest(**kw)
+        name, encoding = self._resolve_query(request)
+        return self._finish_query(name, encoding, request)
+
+    def query_batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[QueryResult]:
+        """Many queries at once; equivalent to mapping :meth:`query`."""
+        return [self.query(request) for request in requests]
+
+    def _finish_query(
+        self, name: str, encoding: FunctionEncoding, request: QueryRequest
+    ) -> QueryResult:
+        top_k = (
+            self.config.top_k if request.top_k == USE_DEFAULT
+            else request.top_k
+        )
+        threshold = (
+            self.config.threshold if request.threshold == USE_DEFAULT
+            else request.threshold
+        )
+        with self._lock:
+            service = self.service
+            hits = service.query(encoding, top_k=top_k, threshold=threshold)
+            n_rows = len(service.store)
+        with self._counter_lock:
+            self._n_queries += 1
+        return QueryResult(
+            query=name, encoding=encoding, hits=hits, n_rows=n_rows
+        )
+
+    def _resolve_query(
+        self, request: QueryRequest
+    ) -> Tuple[str, FunctionEncoding]:
+        if request.encoding is not None:
+            return request.encoding.name, request.encoding
+        if request.cve_id is not None:
+            library = self.cve_library()
+            if request.cve_id not in library:
+                raise BadRequestError(f"unknown CVE id: {request.cve_id}")
+            entry, encoding = library[request.cve_id]
+            return entry.cve_id, encoding
+        if request.binary is None:
+            raise BadRequestError(
+                "query needs an encoding, a cve_id, or a binary + function"
+            )
+        if not request.function:
+            raise BadRequestError("binary queries need a function name")
+        binary = self._binary_of(request.binary)
+        encoding = self._encode_query_function(binary, request.function)
+        return f"{binary.name}:{request.function}", encoding
+
+    def _encode_query_function(
+        self, binary: BinaryFile, function: str
+    ) -> FunctionEncoding:
+        """Encode one query function, riding the micro-batcher.
+
+        Tree extraction (model-independent) is cached; the encode itself
+        is deliberately fresh each call so the batcher -- not a memo --
+        carries concurrent load.
+        """
+        extracted, trees = self._extracted_for(binary)
+        if function not in trees:
+            raise BadRequestError(
+                f"function {function!r} not found (or below the AST size "
+                f"floor) in binary {binary.name!r}"
+            )
+        vector = self.batcher.encode(trees[function])
+        with self._counter_lock:
+            self._n_query_encodes += 1
+        i = extracted.names.index(function)
+        return FunctionEncoding(
+            name=function,
+            arch=extracted.arch,
+            binary_name=extracted.binary_name,
+            vector=vector,
+            callee_count=extracted.filtered_callee_count(
+                i, self.model.config.beta
+            ),
+            ast_size=int(extracted.ast_sizes[i]),
+        )
+
+    def _extracted_for(self, binary: BinaryFile) -> Tuple:
+        digest = binary_digest(binary)
+        with self._extract_lock:
+            entry = self._extract_memo.get(digest)
+            if entry is not None:
+                self._extract_memo.move_to_end(digest)
+                return entry
+        min_ast_size = self.model.config.min_ast_size
+        with self._lock:  # all artifact-cache access shares one lock
+            extracted = self.cache.get_trees(digest, min_ast_size)
+        if extracted is None:
+            # extraction runs unlocked so concurrent cold queries against
+            # distinct binaries proceed in parallel; a duplicate
+            # extraction of the same binary is idempotent, merely wasted
+            extracted = extract_binary(binary, min_ast_size)
+            with self._lock:
+                if self.cache.get_trees(digest, min_ast_size) is None:
+                    self.cache.put_trees(digest, min_ast_size, extracted)
+                    self.cache.flush()
+        entry = (extracted, dict(zip(extracted.names, extracted.trees())))
+        with self._extract_lock:
+            entry = self._extract_memo.setdefault(digest, entry)
+            self._extract_memo.move_to_end(digest)
+            while len(self._extract_memo) > EXTRACT_MEMO_MAX_BINARIES:
+                self._extract_memo.popitem(last=False)  # evict oldest
+            return entry
+
+    # -- compare -----------------------------------------------------------
+
+    def compare(self, request: Optional[CompareRequest] = None,
+                **kw) -> CompareResult:
+        """Pairwise scores for two named binary functions."""
+        request = request or CompareRequest(**kw)
+        self.model  # a missing checkpoint outranks missing inputs
+        e1 = self._compare_encoding(request.binary1, request.function1)
+        e2 = self._compare_encoding(request.binary2, request.function2)
+        return CompareResult(
+            function1=request.function1,
+            function2=request.function2,
+            ast_similarity=self.model.similarity(e1, e2, calibrate=False),
+            similarity=self.model.similarity(e1, e2),
+        )
+
+    def _compare_encoding(
+        self, source: Optional[BinarySource], function: str
+    ) -> FunctionEncoding:
+        """Encode one function for compare (no AST size floor, as the
+        paper's pairwise protocol scores every decompilable function)."""
+        from repro.decompiler import decompile_function
+
+        binary = self._binary_of(source)
+        try:
+            record = binary.function_named(function)
+        except KeyError as exc:
+            raise BadRequestError(str(exc)) from exc
+        fn = decompile_function(binary, record)
+        with self._lock:  # encode_function toggles autograd state
+            return self.model.encode_function(fn)
+
+    # -- train -------------------------------------------------------------
+
+    def train(self, request: Optional[TrainRequest] = None,
+              **kw) -> TrainResult:
+        """Train a fresh model on the generated corpus and adopt it."""
+        from repro.core.pairs import (
+            build_cross_arch_pairs,
+            split_pairs,
+            to_tree_pairs,
+        )
+        from repro.evalsuite.datasets import build_buildroot_dataset
+
+        request = request or TrainRequest(**kw)
+        dataset = build_buildroot_dataset(
+            n_packages=request.packages, seed=request.seed
+        )
+        pairs = to_tree_pairs(
+            build_cross_arch_pairs(
+                dataset.functions, request.pairs, seed=request.seed
+            )
+        )
+        train, dev = split_pairs(pairs, request.split, seed=request.seed)
+        model = Asteria(AsteriaConfig(embedding_dim=request.embedding_dim))
+        trainer = Trainer(
+            model.siamese,
+            TrainConfig(
+                epochs=request.epochs,
+                lr=request.lr,
+                batch_size=request.batch_size,
+            ),
+        )
+        with self._lock:
+            # training's backward passes and the encode paths' no_grad()
+            # both touch process-global autograd state; serialize them
+            history = trainer.train(train, dev)
+        if request.output_path:
+            model.save(request.output_path)
+        self._adopt_model(model)
+        return TrainResult(
+            n_train=len(train),
+            n_dev=len(dev),
+            best_auc=history.best_auc,
+            best_epoch=history.best_epoch,
+            history=history,
+            model_path=request.output_path,
+        )
+
+    def _adopt_model(self, model: Asteria) -> None:
+        """Swap the engine onto a new model, dropping model-bound state.
+
+        The store keeps its rows: re-:meth:`ingest` to refresh encodings
+        produced by an older model.
+        """
+        with self._lock:
+            self._model = model
+            self._pipeline = None
+            self._service = None
+            self._batcher = None
+            self._library = None
+            with self._extract_lock:
+                self._extract_memo.clear()
+
+    # -- stats -------------------------------------------------------------
+
+    def stats(self) -> EngineStats:
+        """Counters snapshot of already-materialised state.
+
+        Deliberately side-effect free: it never loads the model, builds
+        the pipeline/cache, or touches disk, so a monitoring endpoint
+        polling it cannot perturb the engine.  ``model_fingerprint`` is
+        therefore only reported once the pipeline exists (i.e. after the
+        first encode/ingest/query).
+        """
+        stats = EngineStats(
+            model_loaded=self._model is not None,
+            model_path=self.config.model_path,
+            index_root=self.config.index_root,
+            config=self.config.to_dict(),
+        )
+        with self._lock:
+            if self._pipeline is not None:
+                stats.model_fingerprint = self._pipeline.model_fingerprint
+            if self._store is not None:
+                stats.index_rows = len(self._store)
+                stats.index_shards = self._store.n_shards
+            if self._cache is not None:
+                stats.cache_hits = self._cache.stats.hits
+                stats.cache_misses = self._cache.stats.misses
+            if self._batcher is not None:
+                b = self._batcher.stats
+                stats.micro_batches = b.n_batches
+                stats.micro_batched_items = b.n_items
+                stats.micro_batch_max = b.max_batch_size
+                stats.micro_batch_mean = b.mean_batch_size
+        with self._counter_lock:
+            stats.n_queries = self._n_queries
+            stats.n_query_encodes = self._n_query_encodes
+        return stats
+
+    # -- input loading -----------------------------------------------------
+
+    def _binary_of(self, source: Optional[BinarySource]) -> BinaryFile:
+        if isinstance(source, BinaryFile):
+            return source
+        if source is None:
+            raise BadRequestError("no binary given")
+        path = Path(source)
+        if not path.exists():
+            raise InputNotFoundError(f"no such binary: {path}")
+        try:
+            return BinaryFile.from_bytes(path.read_bytes())
+        except Exception as exc:
+            raise BadRequestError(
+                f"{path} is not a valid RBIN binary: {exc}"
+            ) from exc

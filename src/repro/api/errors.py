@@ -1,0 +1,49 @@
+"""Typed engine errors with stable CLI exit codes and HTTP statuses.
+
+Every failure a consumer can plausibly hit -- a missing checkpoint, a
+query against an index that was never built, a malformed request --
+raises an :class:`EngineError` subclass.  The CLI maps them to one-line
+``error: ...`` messages with *distinct* non-zero exit codes (so scripts
+can tell "model missing" from "index missing" without parsing stderr),
+and the HTTP server maps the same hierarchy to response statuses.
+
+Exit code 2 is deliberately unused: argparse claims it for usage errors.
+"""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for clean, user-facing engine failures."""
+
+    exit_code = 1
+    http_status = 500
+
+
+class ModelNotFoundError(EngineError):
+    """No model checkpoint at the configured path (or none configured)."""
+
+    exit_code = 3
+    http_status = 503
+
+
+class InputNotFoundError(EngineError):
+    """A binary / firmware input path does not exist or cannot be read."""
+
+    exit_code = 4
+    http_status = 404
+
+
+class IndexStoreError(EngineError):
+    """The embedding index is missing, corrupt, or cannot be created."""
+
+    exit_code = 5
+    http_status = 409
+
+
+class BadRequestError(EngineError):
+    """A structurally valid call with unusable content (unknown function,
+    unknown CVE id, malformed config key, bad parameter value)."""
+
+    exit_code = 6
+    http_status = 400

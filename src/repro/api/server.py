@@ -1,0 +1,355 @@
+"""Stdlib-only threaded HTTP/JSON serving layer over :class:`AsteriaEngine`.
+
+``repro-cli serve`` exposes the engine's lifecycle over HTTP so the
+paper's workflow -- encode a CVE function once, query it against
+firmware corpora at scale -- is reachable from any client.  One engine
+serves every request; concurrent ``/v1/query`` handlers funnel their
+query-side encodes through the engine's dynamic micro-batcher, so
+under load the server performs a few wide level-batched GEMM calls
+instead of one tree walk per request.
+
+Endpoints (all JSON)::
+
+    GET  /healthz       {"status": "ok"}
+    GET  /v1/stats      EngineStats.to_dict()
+    POST /v1/encode     {"binary_b64", "function"?}
+                        -> {"binary", "arch", "encodings": [...]}
+    POST /v1/ingest     {"binary_b64"?, "image_id"?,
+                         "corpus": {"images", "seed"}?}
+                        -> {"n_functions", "n_rows_total", ...}
+    POST /v1/query      {"cve" | "binary_b64" + "function",
+                         "top_k"?, "threshold"?}
+                        -> {"query", "n_rows", "hits": [...]}
+    POST /v1/compare    {"binary1_b64", "function1",
+                         "binary2_b64", "function2"}
+                        -> {"ast_similarity", "similarity"}
+    POST /v1/shutdown   {"status": "shutting down"} (then a clean exit)
+
+Binaries travel as base64-encoded RBIN bytes.  Engine errors map to
+their ``http_status`` with ``{"error": ..., "exit_code": ...}`` bodies.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.api.engine import (
+    AsteriaEngine,
+    CompareRequest,
+    EncodeRequest,
+    IngestRequest,
+    QueryRequest,
+    USE_DEFAULT,
+)
+from repro.api.errors import BadRequestError, EngineError
+from repro.binformat.binary import BinaryFile
+from repro.core.model import FunctionEncoding
+from repro.index.search import SearchHit
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("api.server")
+
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def _encoding_json(encoding: FunctionEncoding) -> Dict:
+    return {
+        "name": encoding.name,
+        "arch": encoding.arch,
+        "binary_name": encoding.binary_name,
+        "callee_count": encoding.callee_count,
+        "ast_size": encoding.ast_size,
+        "vector": [float(x) for x in encoding.vector],
+    }
+
+
+def _hit_json(rank: int, hit: SearchHit) -> Dict:
+    return {
+        "rank": rank,
+        "row": hit.row,
+        "score": hit.score,
+        "function": hit.name,
+        "binary_name": hit.binary_name,
+        "arch": hit.arch,
+        "image_id": hit.image_id,
+    }
+
+
+def _int_field(obj: Dict, key: str, default: int) -> int:
+    value = obj.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequestError(f"{key} must be an integer, got {value!r}")
+    return value
+
+
+def _optional_number(obj: Dict, key: str):
+    value = obj.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadRequestError(f"{key} must be a number, got {value!r}")
+    return value
+
+
+def _binary_from_b64(payload: Dict, key: str = "binary_b64") -> BinaryFile:
+    raw = payload.get(key)
+    if not isinstance(raw, str):
+        raise BadRequestError(f"missing or non-string {key!r}")
+    try:
+        data = base64.b64decode(raw, validate=True)
+    except (binascii.Error, ValueError) as exc:
+        raise BadRequestError(f"{key} is not valid base64: {exc}") from exc
+    try:
+        return BinaryFile.from_bytes(data)
+    except Exception as exc:
+        raise BadRequestError(
+            f"{key} is not a valid RBIN binary: {exc}"
+        ) from exc
+
+
+class EngineRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the shared engine."""
+
+    server_version = "AsteriaEngine/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def engine(self) -> AsteriaEngine:
+        return self.server.engine
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        _LOG.debug("%s %s", self.address_string(), format % args)
+
+    def _reply(self, status: int, body: Dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _payload(self) -> Dict:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self.close_connection = True  # body length unknowable
+            raise BadRequestError("Content-Length must be an integer")
+        if length < 0 or length > MAX_BODY_BYTES:
+            # replying without reading the body would desync keep-alive
+            self.close_connection = True
+            raise BadRequestError(
+                f"Content-Length must be within [0, {MAX_BODY_BYTES}], "
+                f"got {length}"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise BadRequestError(f"request body is not JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise BadRequestError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, routes: Dict) -> None:
+        handler = routes.get(self.path)
+        if handler is None:
+            # the request body was never read; keeping the connection
+            # alive would let it be parsed as the next request line
+            self.close_connection = True
+            self._reply(404, {"error": f"no route {self.path}"})
+            return
+        try:
+            status, body = handler()
+            self._reply(status, body)
+        except EngineError as exc:
+            self._reply(
+                exc.http_status,
+                {"error": str(exc), "exit_code": exc.exit_code},
+            )
+        except Exception as exc:  # never leak a traceback to the client
+            _LOG.exception("unhandled error serving %s", self.path)
+            self._reply(500, {"error": f"internal error: {exc}"})
+
+    # -- verbs -------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._dispatch({
+            "/healthz": self._handle_health,
+            "/v1/stats": self._handle_stats,
+        })
+
+    def do_POST(self) -> None:
+        self._dispatch({
+            "/v1/encode": self._handle_encode,
+            "/v1/ingest": self._handle_ingest,
+            "/v1/query": self._handle_query,
+            "/v1/compare": self._handle_compare,
+            "/v1/shutdown": self._handle_shutdown,
+        })
+
+    # -- handlers ----------------------------------------------------------
+
+    def _handle_health(self) -> Tuple[int, Dict]:
+        return 200, {"status": "ok"}
+
+    def _handle_stats(self) -> Tuple[int, Dict]:
+        body = self.engine.stats().to_dict()
+        return 200, body
+
+    def _handle_encode(self) -> Tuple[int, Dict]:
+        payload = self._payload()
+        result = self.engine.encode(EncodeRequest(
+            binary=_binary_from_b64(payload),
+            function=payload.get("function"),
+        ))
+        body = {
+            "binary": result.binary_name,
+            "arch": result.arch,
+            "encodings": [_encoding_json(e) for e in result.encodings],
+        }
+        return 200, body
+
+    def _handle_ingest(self) -> Tuple[int, Dict]:
+        payload = self._payload()
+        request = IngestRequest()
+        corpus = payload.get("corpus")
+        if corpus is not None:
+            if not isinstance(corpus, dict):
+                raise BadRequestError("corpus must be an object")
+            request.corpus_images = _int_field(corpus, "images", 0)
+            request.corpus_seed = _int_field(corpus, "seed", 0)
+            if request.corpus_images < 1:
+                raise BadRequestError("corpus.images must be >= 1")
+        if "binary_b64" in payload:
+            request.binaries = [(
+                _binary_from_b64(payload),
+                str(payload.get("image_id", "")),
+            )]
+        if corpus is None and not request.binaries:
+            raise BadRequestError(
+                "ingest needs binary_b64 and/or corpus {images, seed}"
+            )
+        result = self.engine.ingest(request)
+        body = {
+            "n_functions": result.n_functions,
+            "n_binaries": result.n_binaries,
+            "n_images": result.n_images,
+            "n_unpack_failures": result.n_unpack_failures,
+            "n_skipped_small": result.n_skipped_small,
+            "n_rows_total": result.n_rows_total,
+        }
+        return 200, body
+
+    def _handle_query(self) -> Tuple[int, Dict]:
+        payload = self._payload()
+        top_k = payload.get("top_k", USE_DEFAULT)
+        if "top_k" in payload and top_k is not None:
+            # null means "all above threshold"; negatives would leak the
+            # engine-internal USE_DEFAULT sentinel (or slice nonsense)
+            top_k = _int_field(payload, "top_k", USE_DEFAULT)
+            if top_k < 0:
+                raise BadRequestError(f"top_k must be >= 0, got {top_k}")
+        threshold = _optional_number(payload, "threshold")
+        if threshold is not None and threshold < 0:
+            raise BadRequestError(
+                f"threshold must be >= 0, got {threshold}"
+            )
+        request = QueryRequest(
+            cve_id=payload.get("cve"),
+            top_k=top_k,
+            threshold=threshold,
+        )
+        if request.cve_id is None:
+            request.binary = _binary_from_b64(payload)
+            request.function = payload.get("function")
+        result = self.engine.query(request)
+        body = {
+            "query": result.query,
+            "n_rows": result.n_rows,
+            "hits": [
+                _hit_json(rank, hit)
+                for rank, hit in enumerate(result.hits, start=1)
+            ],
+        }
+        return 200, body
+
+    def _handle_compare(self) -> Tuple[int, Dict]:
+        payload = self._payload()
+        result = self.engine.compare(CompareRequest(
+            binary1=_binary_from_b64(payload, "binary1_b64"),
+            function1=str(payload.get("function1", "")),
+            binary2=_binary_from_b64(payload, "binary2_b64"),
+            function2=str(payload.get("function2", "")),
+        ))
+        body = {
+            "function1": result.function1,
+            "function2": result.function2,
+            "ast_similarity": result.ast_similarity,
+            "similarity": result.similarity,
+        }
+        return 200, body
+
+    def _handle_shutdown(self) -> Tuple[int, Dict]:
+        # shutdown() blocks until serve_forever returns, so it must run
+        # outside this handler thread's serve loop
+        threading.Thread(target=self.server.shutdown, daemon=True).start()
+        return 200, {"status": "shutting down"}
+
+
+class EngineServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`AsteriaEngine`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # the default listen backlog (5) drops connections under bursts of
+    # concurrent clients -- exactly the serving scenario this layer exists
+    # for
+    request_queue_size = 128
+
+    def __init__(self, address: Tuple[str, int], engine: AsteriaEngine):
+        super().__init__(address, EngineRequestHandler)
+        self.engine = engine
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve(
+    engine: AsteriaEngine,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    print_fn=print,
+    ready: Optional[threading.Event] = None,
+) -> int:
+    """Run the serving loop until shutdown/interrupt; returns exit code.
+
+    The engine's model is loaded (and a configured index opened) before
+    the socket starts accepting, so a bad ``--model`` path fails fast
+    with the CLI's distinct exit code instead of per-request 503s.
+    """
+    engine.model  # raises ModelNotFoundError early
+    if engine.config.index_root is not None:
+        engine.store  # open or create the durable index up front
+    server = EngineServer((host, port), engine)
+    print_fn(f"serving on {server.url}")
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    print_fn("server stopped")
+    return 0

@@ -1,4 +1,4 @@
-"""Command-line interface.
+"""Command-line interface: thin adapters over :class:`AsteriaEngine`.
 
 Subcommands mirror the workflows a user of the paper's tooling would run:
 
@@ -15,11 +15,17 @@ Subcommands mirror the workflows a user of the paper's tooling would run:
 * ``repro-cli index build``  -- encode a firmware corpus into a persistent
   embedding index (the offline phase, run once);
 * ``repro-cli index search`` -- top-k CVE queries against a built index
-  (the online phase, no corpus re-encoding).
+  (the online phase, no corpus re-encoding);
+* ``repro-cli serve``        -- the HTTP/JSON serving layer: one engine,
+  concurrent queries micro-batched into shared encode GEMMs.
 
-``search``, ``pipeline run`` and ``index build`` accept ``--jobs N``
-(worker-pool decompile/preprocess) and ``--cache-dir DIR`` (persistent
-artifact cache: warm re-runs skip decompile + encode).
+Every model/cache/index-touching subcommand builds one
+:class:`~repro.api.config.EngineConfig` via ``EngineConfig.from_args``
+(the shared ``--jobs``/``--cache-dir``/``--batch-size`` plumbing) and
+talks to one :class:`~repro.api.engine.AsteriaEngine`.  Engine errors
+surface as one-line ``error: ...`` messages with distinct exit codes:
+3 = missing model, 4 = missing input binary/firmware, 5 = index store
+problems, 6 = bad request (unknown function/CVE, bad config).
 
 Every command is deterministic given ``--seed``.
 """
@@ -30,14 +36,23 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.api.config import EngineConfig
+from repro.api.engine import (
+    AsteriaEngine,
+    CompareRequest,
+    IngestRequest,
+    QueryRequest,
+    TrainRequest,
+)
+from repro.api.errors import EngineError, InputNotFoundError
 from repro.binformat.binary import BinaryFile
-from repro.core.model import Asteria, AsteriaConfig
-from repro.core.pairs import build_cross_arch_pairs, split_pairs, to_tree_pairs
-from repro.core.training import TrainConfig, Trainer
-from repro.decompiler import decompile_binary, decompile_function
-from repro.disasm import disassemble_binary
 from repro.lang.generator import ProgramGenerator
 from repro.lang.printer import to_source
+
+
+def _engine(args, **overrides) -> AsteriaEngine:
+    """The one construction path every subcommand shares."""
+    return AsteriaEngine(EngineConfig.from_args(args, **overrides))
 
 
 def _cmd_generate(args) -> int:
@@ -65,10 +80,14 @@ def _cmd_compile(args) -> int:
 
 
 def _load_binary(path: str) -> BinaryFile:
+    if not Path(path).exists():
+        raise InputNotFoundError(f"no such binary: {path}")
     return BinaryFile.from_bytes(Path(path).read_bytes())
 
 
 def _cmd_disasm(args) -> int:
+    from repro.disasm import disassemble_binary
+
     binary = _load_binary(args.binary)
     for asm in disassemble_binary(binary):
         if args.function and asm.name != args.function:
@@ -79,6 +98,7 @@ def _cmd_disasm(args) -> int:
 
 
 def _cmd_decompile(args) -> int:
+    from repro.decompiler import decompile_binary
     from repro.lang.printer import _stmt_lines
 
     binary = _load_binary(args.binary)
@@ -93,43 +113,32 @@ def _cmd_decompile(args) -> int:
 
 
 def _cmd_train(args) -> int:
-    from repro.evalsuite.datasets import build_buildroot_dataset
-
-    dataset = build_buildroot_dataset(n_packages=args.packages, seed=args.seed)
-    pairs = to_tree_pairs(
-        build_cross_arch_pairs(dataset.functions, args.pairs, seed=args.seed)
-    )
-    train, dev = split_pairs(pairs, 0.8, seed=args.seed)
-    print(f"{len(train)} training pairs, {len(dev)} dev pairs")
-    model = Asteria(AsteriaConfig(embedding_dim=args.dim))
-    trainer = Trainer(
-        model.siamese,
-        TrainConfig(epochs=args.epochs, batch_size=args.batch_size),
-    )
-    history = trainer.train(train, dev)
-    print(f"best dev AUC: {history.best_auc:.4f} "
-          f"(epoch {history.best_epoch})")
-    model.save(args.output)
-    print(f"saved model to {args.output}")
+    engine = _engine(args, model_path=None)
+    result = engine.train(TrainRequest(
+        packages=args.packages,
+        pairs=args.pairs,
+        epochs=args.epochs,
+        embedding_dim=args.dim,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        output_path=args.output,
+    ))
+    print(f"{result.n_train} training pairs, {result.n_dev} dev pairs")
+    print(f"best dev AUC: {result.best_auc:.4f} "
+          f"(epoch {result.best_epoch})")
+    print(f"saved model to {result.model_path}")
     return 0
 
 
 def _cmd_compare(args) -> int:
-    model = Asteria.load(args.model)
-    binary1 = _load_binary(args.binary1)
-    binary2 = _load_binary(args.binary2)
-    fn1 = decompile_function(binary1, binary1.function_named(args.function1))
-    fn2 = decompile_function(binary2, binary2.function_named(args.function2))
-    e1, e2 = model.encode_function(fn1), model.encode_function(fn2)
-    print(f"M (AST similarity):        {model.similarity(e1, e2, calibrate=False):.4f}")
-    print(f"F (calibrated similarity): {model.similarity(e1, e2):.4f}")
+    engine = _engine(args)
+    result = engine.compare(CompareRequest(
+        binary1=args.binary1, function1=args.function1,
+        binary2=args.binary2, function2=args.function2,
+    ))
+    print(f"M (AST similarity):        {result.ast_similarity:.4f}")
+    print(f"F (calibrated similarity): {result.similarity:.4f}")
     return 0
-
-
-def _make_cache(cache_dir):
-    from repro.pipeline import ArtifactCache
-
-    return ArtifactCache(cache_dir) if cache_dir else ArtifactCache.in_memory()
 
 
 def _cmd_search(args) -> int:
@@ -138,12 +147,9 @@ def _cmd_search(args) -> int:
         build_firmware_dataset,
     )
 
-    model = Asteria.load(args.model)
+    engine = _engine(args)
     dataset = build_firmware_dataset(n_images=args.images, seed=args.seed)
-    search = VulnerabilitySearch(
-        model, threshold=args.threshold,
-        cache=_make_cache(args.cache_dir), jobs=args.jobs,
-    )
+    search = VulnerabilitySearch(engine=engine, threshold=args.threshold)
     report, _candidates = search.search(dataset, top_k=args.top_k)
     print(f"unpacked {report.n_unpacked}/{report.n_images} images, "
           f"indexed {report.n_functions} functions")
@@ -156,97 +162,66 @@ def _cmd_search(args) -> int:
 
 
 def _cmd_pipeline_run(args) -> int:
-    from repro.evalsuite.vulnsearch import build_firmware_dataset
-    from repro.index.store import EmbeddingStore, StoreError
-    from repro.pipeline import CorpusPipeline
-
-    model = Asteria.load(args.model)
-    dataset = build_firmware_dataset(n_images=args.images, seed=args.seed)
-    pipeline = CorpusPipeline(
-        model, jobs=args.jobs, cache=_make_cache(args.cache_dir),
-        encode_batch_size=args.batch_size,
-    )
-    sink = None
+    engine = _engine(args, index_root=args.output)
     if args.output:
-        try:
-            sink = EmbeddingStore.create(
-                args.output, dim=model.config.hidden_dim,
-                shard_size=args.shard_size,
-            )
-        except StoreError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
-    result = pipeline.run_images(dataset.images, sink=sink)
-    print(result.stats.summary())
-    if sink is not None:
-        print(f"wrote {sink.n_shards} shard(s) to {args.output}")
+        engine.create_index()
+    result = engine.ingest(IngestRequest(
+        corpus_images=args.images, corpus_seed=args.seed
+    ))
+    print(result.pipeline.summary())
+    if args.output:
+        print(f"wrote {engine.store.n_shards} shard(s) to {args.output}")
     return 0
 
 
 def _cmd_index_build(args) -> int:
-    from repro.evalsuite.vulnsearch import (
-        VulnerabilitySearch,
-        build_firmware_dataset,
-    )
-
-    from repro.index.store import StoreError
-
-    model = Asteria.load(args.model)
-    dataset = build_firmware_dataset(n_images=args.images, seed=args.seed)
-    search = VulnerabilitySearch(
-        model, cache=_make_cache(args.cache_dir), jobs=args.jobs
-    )
-    try:
-        service = search.build_index(
-            dataset, root=args.output, shard_size=args.shard_size,
-            encode_batch_size=args.batch_size,
-        )
-    except StoreError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    store = service.store
-    print(f"ingested {len(store)} functions from "
-          f"{dataset.n_unpackable()}/{len(dataset.images)} unpackable images")
-    print(f"wrote {store.n_shards} shard(s) to {args.output}")
+    engine = _engine(args, index_root=args.output)
+    engine.create_index(meta={"corpus": "firmware"})
+    result = engine.ingest(IngestRequest(
+        corpus_images=args.images, corpus_seed=args.seed
+    ))
+    n_unpackable = result.n_images - result.n_unpack_failures
+    print(f"ingested {result.n_rows_total} functions from "
+          f"{n_unpackable}/{result.n_images} unpackable images")
+    print(f"wrote {engine.store.n_shards} shard(s) to {args.output}")
     return 0
 
 
 def _cmd_index_search(args) -> int:
-    from repro.evalsuite.vulnsearch import VulnerabilitySearch
-    from repro.index.search import SearchService
-    from repro.index.store import EmbeddingStore, StoreError
-
-    model = Asteria.load(args.model)
-    try:
-        store = EmbeddingStore.open(args.index)
-    except StoreError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    options = {}
-    if args.backend == "lsh":
-        options = {"seed": args.seed}
-    service = SearchService(model, store, backend=args.backend, **options)
-    search = VulnerabilitySearch(model)
-    library = search.encode_library()
+    engine = _engine(args)
+    engine.open_index()
+    library = engine.cve_library()
     wanted = set(args.cve) if args.cve else None
     if wanted:
         unknown = wanted - set(library)
         if unknown:
             print(f"error: unknown CVE id(s): {', '.join(sorted(unknown))}",
                   file=sys.stderr)
-            return 1
-    for cve_id, (entry, encoding) in sorted(library.items()):
+            return 6
+    n_indexed = len(engine.store)
+    for cve_id, (entry, _encoding) in sorted(library.items()):
         if wanted is not None and cve_id not in wanted:
             continue
-        hits = service.query(
-            encoding, top_k=args.top_k, threshold=args.threshold
-        )
+        result = engine.query(QueryRequest(
+            cve_id=cve_id, top_k=args.top_k, threshold=args.threshold,
+        ))
         print(f"{cve_id} ({entry.software} {entry.function_name}), "
-              f"top {len(hits)} of {len(store)} indexed functions:")
-        for rank, hit in enumerate(hits, start=1):
+              f"top {len(result.hits)} of {n_indexed} indexed functions:")
+        for rank, hit in enumerate(result.hits, start=1):
             print(f"  {rank:>2}. score={hit.score:.4f} {hit.image_id} "
                   f"{hit.binary_name} {hit.name} [{hit.arch}]")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.api.server import serve
+
+    engine = _engine(
+        args,
+        micro_batch_size=args.micro_batch,
+        micro_batch_wait_ms=args.micro_batch_wait_ms,
+    )
+    return serve(engine, host=args.host, port=args.port)
 
 
 def _positive_int(value: str) -> int:
@@ -258,7 +233,7 @@ def _positive_int(value: str) -> int:
 
 def _add_pipeline_options(parser) -> None:
     """The offline-pipeline knobs shared by corpus-encoding commands."""
-    parser.add_argument("--jobs", type=_positive_int, default=1,
+    parser.add_argument("--jobs", type=_positive_int, default=None,
                         help="worker processes for the decompile/"
                              "preprocess stages (results are identical "
                              "to --jobs 1)")
@@ -387,12 +362,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restrict to these CVE ids (default: whole library)")
     p.set_defaults(func=_cmd_index_search)
 
+    p = sub.add_parser(
+        "serve",
+        help="HTTP/JSON serving layer (encode / ingest / query / stats)",
+    )
+    p.add_argument("--model", required=True)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="0 picks an ephemeral port (printed on startup)")
+    p.add_argument("--index", default=None,
+                   help="durable embedding index directory (opened if it "
+                        "exists, created otherwise; default: in-memory)")
+    p.add_argument("--batch-size", type=_positive_int, default=64,
+                   help="trees per level-batched encode pass")
+    p.add_argument("--micro-batch", type=_positive_int, default=64,
+                   help="max concurrent query encodes coalesced into one "
+                        "batched GEMM call (1 disables micro-batching)")
+    p.add_argument("--micro-batch-wait-ms", type=float, default=2.0,
+                   help="accumulation window a batch leader grants "
+                        "late-arriving concurrent queries")
+    p.add_argument("--seed", type=int, default=0)
+    _add_pipeline_options(p)
+    p.set_defaults(func=_cmd_serve)
+
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
 
 
 if __name__ == "__main__":

@@ -33,8 +33,10 @@ from repro.baselines.gemini.model import Gemini
 from repro.core.model import Asteria
 from repro.core.preprocess import try_preprocess_ast
 from repro.decompiler.hexrays import DecompilationError
+from repro.api.config import EngineConfig
+from repro.api.engine import AsteriaEngine
 from repro.evalsuite.datasets import Dataset
-from repro.pipeline import ArtifactCache, CorpusPipeline, PipelineStats
+from repro.pipeline import ArtifactCache, PipelineStats
 from repro.pipeline.stages import decompile_one, preprocess_one
 from repro.utils.rng import RNG
 
@@ -179,9 +181,11 @@ def measure_offline_pipeline(
         for arch in sorted(dataset.binaries)
         for binary in dataset.binaries[arch]
     ]
-    pipeline = CorpusPipeline(
-        asteria, jobs=jobs, cache=cache, encode_batch_size=encode_batch_size
-    )
+    pipeline = AsteriaEngine(
+        EngineConfig(jobs=jobs, encode_batch_size=encode_batch_size),
+        model=asteria,
+        cache=cache,
+    ).pipeline
     return pipeline.run_binaries(binaries).stats
 
 

@@ -22,13 +22,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.api.config import EngineConfig
+from repro.api.engine import AsteriaEngine
 from repro.binformat.firmware import FirmwareImage, pack_firmware
 from repro.compiler.pipeline import compile_package
 from repro.core.model import Asteria, FunctionEncoding
 from repro.lang import nodes as N
 from repro.lang.generator import GeneratorConfig, ProgramGenerator
 from repro.lang.nodes import FunctionDef, Ops, Package
-from repro.pipeline import ArtifactCache, CorpusPipeline
+from repro.pipeline import ArtifactCache
 from repro.utils.logging import get_logger
 from repro.utils.rng import RNG, derive_seed
 
@@ -260,25 +262,38 @@ class VulnerabilitySearch:
       (CVE, function) pair with per-pair Python calls.  Kept as the
       reference the index path is validated against.
 
-    Corpus and query-side encodings both run through one
-    :class:`~repro.pipeline.corpus.CorpusPipeline`: pass ``cache`` (an
-    :class:`~repro.pipeline.cache.ArtifactCache`, e.g. on-disk via
-    ``--cache-dir``) to make warm re-runs skip decompile + encode, and
-    ``jobs`` to extract with a worker pool.
+    The search is a client of :class:`~repro.api.engine.AsteriaEngine`:
+    pass ``engine`` to share an existing one, or use the deprecated
+    compatibility constructor (``model`` [+ ``cache``/``jobs``]) and a
+    private engine is assembled for you.  Either way, corpus and
+    query-side encodings run through the engine's one artifact cache and
+    staged pipeline, so warm re-runs skip decompile + encode.
     """
 
     def __init__(
         self,
-        model: Asteria,
+        model: Optional[Asteria] = None,
         threshold: float = 0.84,
         cache: Optional[ArtifactCache] = None,
         jobs: int = 1,
+        engine: Optional[AsteriaEngine] = None,
     ):
-        self.model = model
+        if engine is None:
+            if model is None:
+                raise ValueError(
+                    "VulnerabilitySearch needs a model or an engine"
+                )
+            engine = AsteriaEngine(
+                EngineConfig(jobs=max(1, int(jobs)), threshold=threshold),
+                model=model,
+                cache=cache,
+            )
+        self.engine = engine
+        self.model = engine.model
         self.threshold = threshold
-        self.cache = cache if cache is not None else ArtifactCache.in_memory()
-        self.jobs = max(1, int(jobs))
-        self.pipeline = CorpusPipeline(model, jobs=self.jobs, cache=self.cache)
+        self.cache = engine.cache
+        self.jobs = engine.config.jobs
+        self.pipeline = engine.pipeline
 
     def build_index(
         self,
@@ -296,22 +311,11 @@ class VulnerabilitySearch:
         ``encode_batch_size`` sets how many trees the level-batched encoder
         stacks per pass (None keeps the service default).
         """
-        from repro.index.search import SearchService
-        from repro.index.store import EmbeddingStore
-
-        dim = self.model.config.hidden_dim
-        if root is None:
-            store = EmbeddingStore.in_memory(dim=dim, shard_size=shard_size)
-        else:
-            store = EmbeddingStore.create(
-                root, dim=dim, shard_size=shard_size,
-                meta={"corpus": "firmware", "threshold": self.threshold},
-            )
-        if encode_batch_size is not None:
-            backend_options["encode_batch_size"] = encode_batch_size
-        service = SearchService(
-            self.model, store, backend=backend,
-            jobs=self.jobs, cache=self.cache, **backend_options
+        service = self.engine.make_service(
+            root=root, backend=backend, shard_size=shard_size,
+            encode_batch_size=encode_batch_size,
+            meta={"corpus": "firmware", "threshold": self.threshold},
+            **backend_options,
         )
         service.ingest_firmware(dataset.images)
         return service
@@ -322,27 +326,10 @@ class VulnerabilitySearch:
 
         Query-side encodings run through the same artifact cache as the
         corpus, so repeat searches skip re-decompiling and re-encoding
-        the library.
+        the library.  (The encoding itself lives on the engine so every
+        consumer shares one library per model.)
         """
-        library = {}
-        for entry in CVE_LIBRARY:
-            package = Package(
-                name=f"{entry.software}-{entry.vulnerable_version}",
-                functions=[vulnerable_function(entry)],
-            )
-            binary = compile_package(package, "x86")
-            by_name = {
-                encoding.name: encoding
-                for encoding in self.pipeline.encode_binary(binary)
-            }
-            encoding = by_name.get(entry.function_name)
-            if encoding is None:
-                raise ValueError(
-                    f"CVE function {entry.function_name!r} did not survive "
-                    f"decompilation/preprocessing"
-                )
-            library[entry.cve_id] = (entry, encoding)
-        return library
+        return self.engine.cve_library()
 
     def index_firmware(
         self, dataset: FirmwareDataset

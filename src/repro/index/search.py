@@ -18,6 +18,13 @@ offline/online split:
 The service is deliberately model-agnostic about where queries come from:
 pass a ready :class:`FunctionEncoding`, or use :meth:`encode_query` /
 :meth:`query_function` for a decompiled function.
+
+Services are normally assembled by :class:`~repro.api.engine.AsteriaEngine`
+(``engine.service`` / ``engine.make_service``), which owns the model,
+artifact cache and pipeline they share.  Constructing one directly with
+``model`` + ``store`` remains supported as the deprecated compatibility
+path: it routes through a private engine so the assembly still happens
+in :mod:`repro.api`.
 """
 
 from __future__ import annotations
@@ -92,9 +99,20 @@ class SearchService:
         self.calibrate = calibrate
         self.encode_batch_size = encode_batch_size
         self.backend_options = backend_options
-        self.pipeline = pipeline if pipeline is not None else CorpusPipeline(
-            model, jobs=jobs, cache=cache, encode_batch_size=encode_batch_size
-        )
+        if pipeline is None:
+            # deprecated shim: assemble the pipeline through the facade
+            # (imported lazily; repro.api imports this module)
+            from repro.api.config import EngineConfig
+            from repro.api.engine import AsteriaEngine
+
+            pipeline = AsteriaEngine(
+                EngineConfig(
+                    jobs=jobs, encode_batch_size=encode_batch_size
+                ),
+                model=model,
+                cache=cache,
+            ).pipeline
+        self.pipeline = pipeline
         self._index: Optional[AnnIndex] = None
         self._index_rows = -1
 

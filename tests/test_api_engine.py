@@ -1,0 +1,523 @@
+"""Tests for the unified AsteriaEngine facade (`repro.api`).
+
+Covers the typed config (dict/file/env/args loading), the micro-batcher,
+the engine lifecycle (encode/ingest/query/compare/train/stats), the
+typed error hierarchy, thread-safety under a concurrent query storm, and
+the deprecated compatibility shims.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AsteriaEngine,
+    BadRequestError,
+    CompareRequest,
+    EncodeRequest,
+    EngineConfig,
+    IndexStoreError,
+    IngestRequest,
+    InputNotFoundError,
+    MicroBatcher,
+    ModelNotFoundError,
+    QueryRequest,
+    TrainRequest,
+)
+from repro.cli import build_parser
+from repro.compiler.pipeline import compile_package
+from repro.lang.generator import ProgramGenerator
+
+
+# -- EngineConfig -------------------------------------------------------------------
+
+
+class TestEngineConfig:
+    def test_dict_round_trip(self):
+        config = EngineConfig(model_path="m.npz", jobs=3, threshold=0.7,
+                              backend="lsh", micro_batch_size=8)
+        assert EngineConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_key_is_clean_error(self):
+        with pytest.raises(BadRequestError, match="unknown EngineConfig"):
+            EngineConfig.from_dict({"jbos": 2})
+
+    def test_bad_values_are_clean_errors(self):
+        with pytest.raises(BadRequestError):
+            EngineConfig(jobs=0)
+        with pytest.raises(BadRequestError):
+            EngineConfig(backend="annoy")
+        with pytest.raises(BadRequestError):
+            EngineConfig(micro_batch_wait_ms=-1)
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "engine.json"
+        path.write_text(json.dumps({"model_path": "m.npz", "top_k": 3}))
+        config = EngineConfig.from_file(path)
+        assert config.model_path == "m.npz"
+        assert config.top_k == 3
+        with pytest.raises(BadRequestError, match="no config file"):
+            EngineConfig.from_file(tmp_path / "nope.json")
+
+    def test_from_env(self):
+        environ = {
+            "REPRO_MODEL_PATH": "m.npz",
+            "REPRO_JOBS": "4",
+            "REPRO_THRESHOLD": "0.5",
+            "REPRO_CALIBRATE": "false",
+            "UNRELATED": "ignored",
+        }
+        config = EngineConfig.from_env(environ)
+        assert config.model_path == "m.npz"
+        assert config.jobs == 4
+        assert config.threshold == 0.5
+        assert config.calibrate is False
+
+    def test_from_env_bad_int(self):
+        with pytest.raises(BadRequestError, match="integer"):
+            EngineConfig.from_env({"REPRO_JOBS": "many"})
+
+    def test_from_args_shared_plumbing(self):
+        """One adapter covers every subcommand's cache/jobs/batch options."""
+        parser = build_parser()
+        args = parser.parse_args([
+            "index", "build", "--model", "m.npz", "--output", "idx",
+            "--jobs", "2", "--cache-dir", "cache", "--batch-size", "32",
+            "--shard-size", "64", "--seed", "9",
+        ])
+        config = EngineConfig.from_args(args, index_root=args.output)
+        assert config.model_path == "m.npz"
+        assert config.index_root == "idx"
+        assert config.jobs == 2
+        assert config.cache_dir == "cache"
+        assert config.encode_batch_size == 32
+        assert config.shard_size == 64
+        assert config.seed == 9
+
+        args = parser.parse_args([
+            "search", "--model", "m.npz", "--jobs", "3",
+        ])
+        config = EngineConfig.from_args(args)
+        assert (config.model_path, config.jobs) == ("m.npz", 3)
+        assert config.cache_dir is None  # unset options keep defaults
+
+    def test_merged(self):
+        config = EngineConfig(jobs=1).merged(jobs=5)
+        assert config.jobs == 5
+        with pytest.raises(BadRequestError):
+            EngineConfig().merged(jobs=0)
+
+
+# -- MicroBatcher -------------------------------------------------------------------
+
+
+class TestMicroBatcher:
+    def test_single_encode(self):
+        calls = []
+
+        def encode(trees):
+            calls.append(list(trees))
+            return np.arange(len(trees), dtype=float).reshape(-1, 1) + 100
+
+        batcher = MicroBatcher(encode, max_batch_size=4, max_wait_s=0)
+        assert batcher.encode("t0") == pytest.approx([100.0])
+        assert calls == [["t0"]]
+        assert batcher.stats.n_batches == 1
+        assert not batcher.stats.coalesced()
+
+    def test_concurrent_calls_coalesce(self):
+        release = threading.Event()
+
+        def encode(trees):
+            release.wait(timeout=5)
+            return np.array([[float(t)] for t in trees])
+
+        batcher = MicroBatcher(encode, max_batch_size=16, max_wait_s=0.05)
+        results = {}
+
+        def worker(i):
+            results[i] = batcher.encode(i)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        time.sleep(0.2)  # let every worker enqueue behind the leader
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert sorted(results) == list(range(8))
+        for i, vector in results.items():
+            assert vector == pytest.approx([float(i)])
+        assert batcher.stats.n_items == 8
+        assert batcher.stats.coalesced()
+
+    def test_errors_propagate_to_every_caller(self):
+        def encode(trees):
+            raise RuntimeError("model exploded")
+
+        batcher = MicroBatcher(encode, max_batch_size=4, max_wait_s=0)
+        with pytest.raises(RuntimeError, match="model exploded"):
+            batcher.encode("t")
+        # the batcher must stay usable after a failed batch
+        with pytest.raises(RuntimeError, match="model exploded"):
+            batcher.encode("t2")
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda trees: np.zeros((len(trees), 1)),
+                         max_batch_size=0)
+
+    def test_overflow_beyond_max_batch_size(self):
+        """More waiters than one batch can hold: follow-up leaders must
+        be woken promptly and every caller must complete."""
+        def encode(trees):
+            time.sleep(0.01)
+            return np.array([[float(t)] for t in trees])
+
+        batcher = MicroBatcher(encode, max_batch_size=2, max_wait_s=0.005)
+        results = {}
+
+        def worker(i):
+            results[i] = batcher.encode(i)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(6)]
+        started = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        elapsed = time.perf_counter() - started
+        assert sorted(results) == list(range(6))
+        for i, vector in results.items():
+            assert vector == pytest.approx([float(i)])
+        assert batcher.stats.n_items == 6
+        assert batcher.stats.max_batch_size <= 2
+        # >= 3 batches of ~15ms each; far under the old 50ms-per-round
+        # polling worst case (3 rounds x 50ms + encodes)
+        assert elapsed < 0.15, f"overflow rounds too slow: {elapsed:.3f}s"
+
+
+# -- engine fixtures ----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def engine(trained_model):
+    """An engine with a small firmware corpus ingested (in-memory)."""
+    engine = AsteriaEngine(
+        EngineConfig(micro_batch_wait_ms=10.0), model=trained_model
+    )
+    result = engine.ingest(IngestRequest(corpus_images=3, corpus_seed=4))
+    assert result.n_rows_total > 0
+    return engine
+
+
+@pytest.fixture(scope="module")
+def query_binary():
+    package = ProgramGenerator(seed=33).generate_package("qpkg")
+    return compile_package(package, "x86")
+
+
+@pytest.fixture(scope="module")
+def query_functions(engine, query_binary):
+    encodings = engine.encode(EncodeRequest(binary=query_binary)).encodings
+    assert len(encodings) >= 2
+    return [e.name for e in encodings[:4]]
+
+
+# -- lifecycle ----------------------------------------------------------------------
+
+
+class TestEngineLifecycle:
+    def test_model_required(self):
+        with pytest.raises(ModelNotFoundError, match="no model"):
+            AsteriaEngine(EngineConfig()).model
+
+    def test_missing_checkpoint(self, tmp_path):
+        config = EngineConfig(model_path=str(tmp_path / "nope.npz"))
+        with pytest.raises(ModelNotFoundError, match="not found"):
+            AsteriaEngine(config).model
+
+    def test_encode(self, engine, query_binary):
+        result = engine.encode(EncodeRequest(binary=query_binary))
+        assert result.binary_name == query_binary.name
+        dim = engine.model.config.hidden_dim
+        for encoding in result.encodings:
+            assert encoding.vector.shape == (dim,)
+
+    def test_encode_unknown_function(self, engine, query_binary):
+        with pytest.raises(BadRequestError, match="not found"):
+            engine.encode(EncodeRequest(binary=query_binary,
+                                        function="nope_fn"))
+
+    def test_query_by_cve(self, engine):
+        result = engine.query(QueryRequest(cve_id="CVE-2016-2105", top_k=5))
+        assert result.query == "CVE-2016-2105"
+        assert 0 < len(result.hits) <= 5
+        scores = [hit.score for hit in result.hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_query_unknown_cve(self, engine):
+        with pytest.raises(BadRequestError, match="unknown CVE"):
+            engine.query(QueryRequest(cve_id="CVE-1999-0000"))
+
+    def test_query_needs_a_source(self, engine, query_binary):
+        with pytest.raises(BadRequestError, match="query needs"):
+            engine.query(QueryRequest())
+        with pytest.raises(BadRequestError, match="function name"):
+            engine.query(QueryRequest(binary=query_binary))
+
+    def test_query_by_function_is_deterministic(self, engine, query_binary,
+                                                query_functions):
+        request = QueryRequest(binary=query_binary,
+                               function=query_functions[0], top_k=5)
+        first = engine.query(request)
+        second = engine.query(request)
+        assert [(h.row, h.score) for h in first.hits] \
+            == [(h.row, h.score) for h in second.hits]
+        assert first.query == f"{query_binary.name}:{query_functions[0]}"
+
+    def test_query_batch_matches_serial(self, engine, query_binary,
+                                        query_functions):
+        requests = [
+            QueryRequest(binary=query_binary, function=name, top_k=4)
+            for name in query_functions
+        ]
+        serial = [engine.query(r) for r in requests]
+        batched = engine.query_batch(requests)
+        for a, b in zip(serial, batched):
+            assert [(h.row, h.score) for h in a.hits] \
+                == [(h.row, h.score) for h in b.hits]
+
+    def test_top_k_defaults_from_config(self, engine):
+        result = engine.query(QueryRequest(cve_id="CVE-2016-2105"))
+        assert len(result.hits) <= engine.config.top_k
+
+    def test_compare(self, engine, query_binary, query_functions):
+        from repro.decompiler import decompile_function
+
+        result = engine.compare(CompareRequest(
+            binary1=query_binary, function1=query_functions[0],
+            binary2=query_binary, function2=query_functions[0],
+        ))
+        fn = decompile_function(
+            query_binary, query_binary.function_named(query_functions[0])
+        )
+        encoding = engine.model.encode_function(fn)
+        assert result.ast_similarity == pytest.approx(
+            engine.model.similarity(encoding, encoding, calibrate=False)
+        )
+        assert result.similarity == pytest.approx(
+            engine.model.similarity(encoding, encoding)
+        )
+
+    def test_compare_unknown_function(self, engine, query_binary):
+        with pytest.raises(BadRequestError, match="no function"):
+            engine.compare(CompareRequest(
+                binary1=query_binary, function1="nope",
+                binary2=query_binary, function2="nope",
+            ))
+
+    def test_missing_binary_path(self, engine):
+        with pytest.raises(InputNotFoundError, match="no such binary"):
+            engine.encode(EncodeRequest(binary="/nope/missing.rbin"))
+
+    def test_stats_never_loads_the_model(self, tmp_path):
+        fresh = AsteriaEngine(EngineConfig(model_path=str(tmp_path / "x")))
+        stats = fresh.stats()
+        assert stats.model_loaded is False
+        assert stats.model_fingerprint is None
+        assert stats.index_rows == 0
+
+    def test_stats_counters(self, engine):
+        before = engine.stats()
+        engine.query(QueryRequest(cve_id="CVE-2016-2105", top_k=2))
+        after = engine.stats()
+        assert after.n_queries == before.n_queries + 1
+        assert after.index_rows == before.index_rows
+        assert after.config == engine.config.to_dict()
+
+    def test_train_adopts_model(self, tmp_path):
+        engine = AsteriaEngine(EngineConfig())
+        result = engine.train(TrainRequest(
+            packages=2, pairs=6, epochs=1,
+            output_path=str(tmp_path / "trained.npz"),
+        ))
+        assert result.n_train > 0
+        assert (tmp_path / "trained.npz").exists()
+        assert engine.stats().model_loaded is True
+        # the adopted model serves queries immediately
+        engine.ingest(IngestRequest(corpus_images=2, corpus_seed=1))
+        hits = engine.query(QueryRequest(cve_id="CVE-2011-0762", top_k=3))
+        assert hits.n_rows > 0
+
+    def test_make_service_honors_batch_size_override(self, engine):
+        service = engine.make_service(encode_batch_size=256)
+        assert service.pipeline.encode_batch_size == 256
+        # the engine's own pipeline is untouched
+        assert engine.pipeline.encode_batch_size \
+            == engine.config.encode_batch_size
+        default = engine.make_service()
+        assert default.pipeline is engine.pipeline
+
+    def test_stats_fingerprint_without_side_effects(self, trained_model,
+                                                    tmp_path):
+        # stats() must not build the pipeline/cache (no cache_dir mkdir)
+        cache_dir = tmp_path / "never-created"
+        engine = AsteriaEngine(EngineConfig(cache_dir=str(cache_dir)),
+                               model=trained_model)
+        stats = engine.stats()
+        assert stats.model_loaded is True
+        assert stats.model_fingerprint is None
+        assert not cache_dir.exists()
+        # once the pipeline exists, the fingerprint is reported
+        engine.pipeline
+        assert engine.stats().model_fingerprint is not None
+
+    def test_ingest_images_and_binaries_together(self, trained_model,
+                                                 query_binary):
+        from repro.evalsuite.vulnsearch import build_firmware_dataset
+
+        engine = AsteriaEngine(EngineConfig(), model=trained_model)
+        dataset = build_firmware_dataset(n_images=2, seed=6)
+        result = engine.ingest(IngestRequest(
+            images=dataset.images, binaries=[query_binary],
+        ))
+        assert len(result.pipelines) == 2
+        assert result.pipeline is result.pipelines[0]
+        assert result.n_functions \
+            == sum(stats.n_functions for stats in result.pipelines)
+        assert result.n_rows_total == result.n_functions
+
+    def test_ingest_empty_corpus_still_reports_stats(self, trained_model):
+        engine = AsteriaEngine(EngineConfig(), model=trained_model)
+        result = engine.ingest(IngestRequest(corpus_images=0))
+        assert result.n_functions == 0
+        assert result.pipeline is not None  # CLI prints its summary
+        assert result.pipeline.summary()
+
+    def test_open_index_requires_root(self, engine):
+        with pytest.raises(IndexStoreError):
+            engine.open_index()
+
+    def test_open_missing_index(self, trained_model, tmp_path):
+        config = EngineConfig(index_root=str(tmp_path / "nope"))
+        with pytest.raises(IndexStoreError, match="no manifest"):
+            AsteriaEngine(config, model=trained_model).open_index()
+
+    def test_create_existing_index(self, trained_model, tmp_path):
+        root = str(tmp_path / "idx")
+        engine = AsteriaEngine(EngineConfig(index_root=root),
+                               model=trained_model)
+        engine.create_index()
+        with pytest.raises(IndexStoreError, match="already exists"):
+            AsteriaEngine(EngineConfig(index_root=root),
+                          model=trained_model).create_index()
+
+    def test_durable_index_round_trip(self, trained_model, tmp_path):
+        root = str(tmp_path / "fw")
+        writer = AsteriaEngine(EngineConfig(index_root=root),
+                               model=trained_model)
+        ingest = writer.ingest(IngestRequest(corpus_images=2, corpus_seed=5))
+        reader = AsteriaEngine(EngineConfig(index_root=root),
+                               model=trained_model)
+        reader.open_index()
+        result = reader.query(QueryRequest(cve_id="CVE-2016-2105",
+                                           top_k=3))
+        assert result.n_rows == ingest.n_rows_total
+
+
+# -- concurrency --------------------------------------------------------------------
+
+
+class TestConcurrentQueries:
+    N_THREADS = 16
+    PER_THREAD = 3
+
+    def test_storm_matches_serial_and_coalesces(self, engine, query_binary,
+                                                query_functions):
+        requests = [
+            QueryRequest(binary=query_binary, function=name, top_k=5)
+            for name in query_functions
+        ]
+        reference = {
+            r.function: engine.query(r).hits for r in requests
+        }
+        batches_before = engine.stats().micro_batches
+
+        results = []
+        errors = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def worker(i):
+            barrier.wait()
+            try:
+                for j in range(self.PER_THREAD):
+                    request = requests[(i + j) % len(requests)]
+                    result = engine.query(request)
+                    with lock:
+                        results.append((request.function, result))
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                with lock:
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        assert len(results) == self.N_THREADS * self.PER_THREAD
+
+        # bit-for-bit identical to the serial reference
+        for function, result in results:
+            expected = reference[function]
+            assert [(h.row, h.score) for h in result.hits] \
+                == [(h.row, h.score) for h in expected]
+
+        # and the micro-batcher actually coalesced concurrent encodes
+        stats = engine.stats()
+        assert stats.micro_batches > batches_before
+        assert stats.micro_batch_max > 1, (
+            "16 barrier-started threads never shared a batch"
+        )
+
+
+# -- deprecated shims ---------------------------------------------------------------
+
+
+class TestCompatibilityShims:
+    def test_vulnerability_search_wraps_an_engine(self, trained_model):
+        from repro.evalsuite.vulnsearch import VulnerabilitySearch
+
+        search = VulnerabilitySearch(trained_model, threshold=0.8, jobs=2)
+        assert isinstance(search.engine, AsteriaEngine)
+        assert search.engine.config.jobs == 2
+        assert search.pipeline is search.engine.pipeline
+        assert search.cache is search.engine.cache
+        # encode_library is the engine's shared CVE library
+        assert search.encode_library() is search.engine.cve_library()
+
+    def test_vulnerability_search_requires_model_or_engine(self):
+        from repro.evalsuite.vulnsearch import VulnerabilitySearch
+
+        with pytest.raises(ValueError, match="model or an engine"):
+            VulnerabilitySearch()
+
+    def test_search_service_builds_pipeline_via_engine(self, trained_model):
+        from repro.index.search import SearchService
+        from repro.index.store import EmbeddingStore
+        from repro.pipeline import CorpusPipeline
+
+        store = EmbeddingStore.in_memory(
+            dim=trained_model.config.hidden_dim
+        )
+        service = SearchService(trained_model, store, jobs=2)
+        assert isinstance(service.pipeline, CorpusPipeline)
+        assert service.pipeline.jobs == 2

@@ -1,0 +1,219 @@
+"""Tests for the HTTP/JSON serving layer (`repro.api.server`).
+
+A real `EngineServer` runs on an ephemeral localhost port for the whole
+module; requests go through urllib like any external client's would.
+"""
+
+import base64
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import (
+    AsteriaEngine,
+    EngineConfig,
+    EngineServer,
+    IngestRequest,
+)
+from repro.compiler.pipeline import compile_package
+from repro.lang.generator import ProgramGenerator
+
+
+@pytest.fixture(scope="module")
+def server(trained_model):
+    engine = AsteriaEngine(EngineConfig(), model=trained_model)
+    engine.ingest(IngestRequest(corpus_images=2, corpus_seed=4))
+    server = EngineServer(("127.0.0.1", 0), engine)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def query_binary():
+    package = ProgramGenerator(seed=44).generate_package("spkg")
+    return compile_package(package, "arm")
+
+
+def _get(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(server, path, payload):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _b64(binary) -> str:
+    return base64.b64encode(binary.to_bytes()).decode("ascii")
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        status, body = _get(server, "/healthz")
+        assert (status, body) == (200, {"status": "ok"})
+
+    def test_stats(self, server):
+        status, body = _get(server, "/v1/stats")
+        assert status == 200
+        assert body["model_loaded"] is True
+        assert body["index_rows"] > 0
+        assert "micro_batch_max" in body
+        assert body["config"]["backend"] == "exact"
+
+    def test_unknown_route_is_404(self, server):
+        status, body = _post(server, "/v1/nope", {})
+        assert status == 404
+        assert "no route" in body["error"]
+
+    def test_bad_json_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/query",
+            data=b"not json{",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            urllib.request.urlopen(request, timeout=30)
+            status = 200
+        except urllib.error.HTTPError as error:
+            status = error.code
+            body = json.loads(error.read())
+        assert status == 400
+        assert "not JSON" in body["error"]
+
+
+class TestQuery:
+    def test_query_by_cve(self, server):
+        status, body = _post(server, "/v1/query",
+                             {"cve": "CVE-2016-2105", "top_k": 3})
+        assert status == 200
+        assert body["query"] == "CVE-2016-2105"
+        assert 0 < len(body["hits"]) <= 3
+        assert body["hits"][0]["rank"] == 1
+        scores = [hit["score"] for hit in body["hits"]]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_query_by_binary_function(self, server, query_binary):
+        status, encode_body = _post(server, "/v1/encode",
+                                    {"binary_b64": _b64(query_binary)})
+        assert status == 200
+        name = encode_body["encodings"][0]["name"]
+        status, body = _post(server, "/v1/query", {
+            "binary_b64": _b64(query_binary), "function": name, "top_k": 4,
+        })
+        assert status == 200
+        assert body["query"].endswith(f":{name}")
+        assert len(body["hits"]) <= 4
+
+    def test_unknown_cve_is_400(self, server):
+        status, body = _post(server, "/v1/query", {"cve": "CVE-1999-0000"})
+        assert status == 400
+        assert "unknown CVE" in body["error"]
+        assert body["exit_code"] == 6
+
+    def test_missing_binary_is_400(self, server):
+        status, body = _post(server, "/v1/query", {"top_k": 3})
+        assert status == 400
+        assert "binary_b64" in body["error"]
+
+    def test_bad_numeric_types_are_400(self, server):
+        status, body = _post(server, "/v1/query",
+                             {"cve": "CVE-2016-2105", "top_k": "five"})
+        assert status == 400
+        assert "top_k" in body["error"]
+        status, body = _post(server, "/v1/query",
+                             {"cve": "CVE-2016-2105", "threshold": "high"})
+        assert status == 400
+        assert "threshold" in body["error"]
+        status, body = _post(server, "/v1/ingest",
+                             {"corpus": {"images": "four"}})
+        assert status == 400
+        assert "images" in body["error"]
+
+    def test_negative_top_k_and_threshold_are_400(self, server):
+        # -1 must not leak the engine-internal USE_DEFAULT sentinel
+        status, body = _post(server, "/v1/query",
+                             {"cve": "CVE-2016-2105", "top_k": -1})
+        assert status == 400
+        assert "top_k" in body["error"]
+        status, body = _post(server, "/v1/query",
+                             {"cve": "CVE-2016-2105", "threshold": -1})
+        assert status == 400
+        assert "threshold" in body["error"]
+
+
+class TestEncodeIngestCompare:
+    def test_encode(self, server, trained_model, query_binary):
+        status, body = _post(server, "/v1/encode",
+                             {"binary_b64": _b64(query_binary)})
+        assert status == 200
+        assert body["binary"] == query_binary.name
+        assert body["arch"] == "arm"
+        dim = trained_model.config.hidden_dim
+        for encoding in body["encodings"]:
+            assert len(encoding["vector"]) == dim
+
+    def test_encode_bad_base64(self, server):
+        status, body = _post(server, "/v1/encode", {"binary_b64": "!!!"})
+        assert status == 400
+        assert "base64" in body["error"]
+
+    def test_ingest_binary_grows_the_index(self, server, query_binary):
+        _status, before = _get(server, "/v1/stats")
+        status, body = _post(server, "/v1/ingest", {
+            "binary_b64": _b64(query_binary), "image_id": "img-test",
+        })
+        assert status == 200
+        assert body["n_functions"] > 0
+        assert body["n_rows_total"] \
+            == before["index_rows"] + body["n_functions"]
+        # the new rows are immediately queryable
+        status, query = _post(server, "/v1/query",
+                              {"cve": "CVE-2016-2105", "top_k": 3})
+        assert status == 200
+        assert query["n_rows"] == body["n_rows_total"]
+
+    def test_ingest_needs_input(self, server):
+        status, body = _post(server, "/v1/ingest", {})
+        assert status == 400
+        assert "ingest needs" in body["error"]
+
+    def test_compare(self, server, query_binary):
+        _status, encode_body = _post(server, "/v1/encode",
+                                     {"binary_b64": _b64(query_binary)})
+        name = encode_body["encodings"][0]["name"]
+        status, body = _post(server, "/v1/compare", {
+            "binary1_b64": _b64(query_binary), "function1": name,
+            "binary2_b64": _b64(query_binary), "function2": name,
+        })
+        assert status == 200
+        assert 0.0 < body["similarity"] <= 1.0
+        assert body["ast_similarity"] == pytest.approx(body["similarity"])
+
+
+class TestShutdown:
+    def test_shutdown_endpoint_stops_the_server(self, trained_model):
+        engine = AsteriaEngine(EngineConfig(), model=trained_model)
+        server = EngineServer(("127.0.0.1", 0), engine)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        status, body = _post(server, "/v1/shutdown", {})
+        assert (status, body["status"]) == (200, "shutting down")
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        server.server_close()

@@ -35,10 +35,11 @@ class TestIndexBuild:
 
     def test_existing_dir_is_clean_error(self, model_path, index_dir,
                                          capsys):
+        # 5 = the CLI's distinct "index store problem" exit code
         assert main([
             "index", "build", "--model", model_path, "--output", index_dir,
             "--images", "2",
-        ]) == 1
+        ]) == 5
         assert "already exists" in capsys.readouterr().err
 
     def test_reports_counts(self, model_path, tmp_path, capsys):
@@ -105,10 +106,11 @@ class TestIndexSearch:
 
     def test_missing_index_is_clean_error(self, model_path, tmp_path,
                                           capsys):
+        # 5 = the CLI's distinct "index store problem" exit code
         assert main([
             "index", "search", "--model", model_path,
             "--index", str(tmp_path / "nope"),
-        ]) == 1
+        ]) == 5
         assert "no manifest" in capsys.readouterr().err
 
     def test_cve_filter(self, model_path, index_dir, capsys):
@@ -122,10 +124,11 @@ class TestIndexSearch:
 
     def test_unknown_cve_is_clean_error(self, model_path, index_dir,
                                         capsys):
+        # 6 = the CLI's distinct "bad request" exit code
         assert main([
             "index", "search", "--model", model_path, "--index", index_dir,
             "--cve", "CVE-1999-0000",
-        ]) == 1
+        ]) == 6
         assert "CVE-1999-0000" in capsys.readouterr().err
 
     def test_threshold_filters_hits(self, model_path, index_dir, capsys):
@@ -136,6 +139,15 @@ class TestIndexSearch:
         assert main(argv + ["--threshold", "1.1"]) == 0
         assert capsys.readouterr().out.count("score=") == 0
         assert unfiltered > 0
+
+
+class TestPipelineRunEdge:
+    def test_zero_images_is_clean(self, model_path, capsys):
+        assert main([
+            "pipeline", "run", "--model", model_path, "--images", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stage  decompile" in out  # empty stats, not a traceback
 
 
 class TestSearchTopK:

@@ -284,12 +284,17 @@ class TestCallSites:
         ]
 
     def test_encode_library_is_cached(self, trained_model):
-        search = VulnerabilitySearch(trained_model)
+        cache = ArtifactCache.in_memory()
+        search = VulnerabilitySearch(trained_model, cache=cache)
         first = search.encode_library()
-        hits_before = search.cache.stats.encoding_hits
-        second = search.encode_library()
-        assert search.cache.stats.encoding_hits \
-            >= hits_before + len(CVE_LIBRARY)
+        # the engine memoizes: repeat calls return the same library
+        assert search.encode_library() is first
+        # a fresh engine sharing the artifact cache hits cached encodings
+        hits_before = cache.stats.encoding_hits
+        second = VulnerabilitySearch(
+            trained_model, cache=cache
+        ).encode_library()
+        assert cache.stats.encoding_hits >= hits_before + len(CVE_LIBRARY)
         assert set(first) == {entry.cve_id for entry in CVE_LIBRARY}
         for cve_id, (entry, encoding) in first.items():
             assert encoding.name == entry.function_name
