@@ -90,27 +90,41 @@ class MicroBatcher:
 
     def encode(self, tree) -> np.ndarray:
         """Encode one tree, riding whatever batch is forming."""
-        item = _Item(tree)
+        return self.encode_many([tree])[0]
+
+    def encode_many(self, trees: Sequence) -> np.ndarray:
+        """Encode many trees from one caller as an ``(n, h)`` matrix.
+
+        The items enter the shared pending queue, so a multi-query
+        caller (``AsteriaEngine.query_batch``) coalesces with concurrent
+        single queries exactly like N separate threads would -- but with
+        one submitting thread and no per-item wakeup churn.  More items
+        than ``max_batch_size`` simply span several batches.
+        """
+        items = [_Item(tree) for tree in trees]
+        if not items:
+            return np.zeros((0, 0))
         with self._cond:
-            self._pending.append(item)
+            self._pending.extend(items)
         while True:
             run: Optional[List[_Item]] = None
             with self._cond:
-                if item.done.is_set():
+                if all(item.done.is_set() for item in items):
                     break
                 if not self._busy and self._pending:
                     self._busy = True
                     run = self._pending[: self.max_batch_size]
                     del self._pending[: len(run)]
                 else:
-                    # a leader is encoding (maybe our item); it notifies
+                    # a leader is encoding (maybe our items); it notifies
                     # when it finishes, the timeout is only a safety net
                     self._cond.wait(timeout=0.05)
                     continue
             self._run_batch(run)
-        if item.error is not None:
-            raise item.error
-        return item.result
+        for item in items:
+            if item.error is not None:
+                raise item.error
+        return np.stack([item.result for item in items])
 
     def _run_batch(self, run: List[_Item]) -> None:
         # accumulation window: let threads mid-submit join this batch

@@ -10,7 +10,8 @@ as a small set of typed request/response dataclasses:
   via the staged pipeline;
 * :meth:`AsteriaEngine.query` / :meth:`query_batch` -- top-k similar
   functions, query-side encodes coalesced through the serving
-  micro-batcher (:mod:`repro.api.batching`);
+  micro-batcher (:mod:`repro.api.batching`); a query batch sweeps the
+  corpus once for all its queries (broadcasted Siamese GEMM blocks);
 * :meth:`AsteriaEngine.compare` -- pairwise M / calibrated F scores;
 * :meth:`AsteriaEngine.train`   -- train a model and adopt it;
 * :meth:`AsteriaEngine.stats`   -- counters for monitoring and tests.
@@ -29,6 +30,8 @@ from __future__ import annotations
 import dataclasses
 import threading
 from collections import OrderedDict
+
+import numpy as np
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -200,7 +203,15 @@ class EngineStats:
     index_root: Optional[str] = None
     index_rows: int = 0
     index_shards: int = 0
+    index_dtype: Optional[str] = None
+    index_mmap: bool = False
+    index_vector_bytes: int = 0
+    index_resident_bytes: int = 0
+    ann_backend: Optional[str] = None
+    ann_persisted: Optional[bool] = None
+    ann_rows_projected: int = 0
     n_queries: int = 0
+    n_query_batches: int = 0
     n_query_encodes: int = 0
     micro_batches: int = 0
     micro_batched_items: int = 0
@@ -240,6 +251,7 @@ class AsteriaEngine:
         self._extract_lock = threading.Lock()  # query-side tree extraction
         self._counter_lock = threading.Lock()
         self._n_queries = 0
+        self._n_query_batches = 0
         self._n_query_encodes = 0
 
     @classmethod
@@ -306,6 +318,7 @@ class AsteriaEngine:
                     self._store = EmbeddingStore.in_memory(
                         dim=self.model.config.hidden_dim,
                         shard_size=self.config.shard_size,
+                        dtype=self.config.store_dtype,
                     )
                 elif (Path(root) / MANIFEST_NAME).exists():
                     self._store = self.open_index()
@@ -390,11 +403,15 @@ class AsteriaEngine:
         dim = self.model.config.hidden_dim
         shard_size = shard_size or self.config.shard_size
         if root is None:
-            store = EmbeddingStore.in_memory(dim=dim, shard_size=shard_size)
+            store = EmbeddingStore.in_memory(
+                dim=dim, shard_size=shard_size,
+                dtype=self.config.store_dtype,
+            )
         else:
             try:
                 store = EmbeddingStore.create(
-                    root, dim=dim, shard_size=shard_size, meta=meta
+                    root, dim=dim, shard_size=shard_size, meta=meta,
+                    dtype=self.config.store_dtype,
                 )
             except StoreError as exc:
                 raise IndexStoreError(str(exc)) from exc
@@ -418,6 +435,7 @@ class AsteriaEngine:
                 dim=self.model.config.hidden_dim,
                 shard_size=self.config.shard_size,
                 meta=meta,
+                dtype=self.config.store_dtype,
             )
         except StoreError as exc:
             raise IndexStoreError(str(exc)) from exc
@@ -561,8 +579,101 @@ class AsteriaEngine:
     def query_batch(
         self, requests: Sequence[QueryRequest]
     ) -> List[QueryResult]:
-        """Many queries at once; equivalent to mapping :meth:`query`."""
-        return [self.query(request) for request in requests]
+        """Many queries in one pass: batched encode, batched top-k.
+
+        Selects the same hits as mapping :meth:`query` (scores agree to
+        float rounding; only near-exact ties can reorder), but
+        binary-sourced query encodes run as one micro-batched
+        level-batched GEMM call and the top-k scoring sweeps the corpus
+        once for the whole batch (``Q x corpus`` Siamese GEMM blocks)
+        instead of once per request.  Requests sharing effective
+        ``top_k``/``threshold`` values are scored together; mixed
+        parameters simply split the batch into a few sub-batches.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        resolved = self._resolve_query_batch(requests)
+        groups: Dict[Tuple, List[int]] = {}
+        for i, request in enumerate(requests):
+            top_k = (
+                self.config.top_k if request.top_k == USE_DEFAULT
+                else request.top_k
+            )
+            threshold = (
+                self.config.threshold if request.threshold == USE_DEFAULT
+                else request.threshold
+            )
+            groups.setdefault((top_k, threshold), []).append(i)
+        results: List[Optional[QueryResult]] = [None] * len(requests)
+        with self._lock:
+            service = self.service
+            n_rows = len(service.store)
+            for (top_k, threshold), members in groups.items():
+                hit_lists = service.query_batch(
+                    [resolved[i][1] for i in members],
+                    top_k=top_k,
+                    threshold=threshold,
+                )
+                for i, hits in zip(members, hit_lists):
+                    name, encoding = resolved[i]
+                    results[i] = QueryResult(
+                        query=name, encoding=encoding, hits=hits,
+                        n_rows=n_rows,
+                    )
+        with self._counter_lock:
+            self._n_queries += len(requests)
+            self._n_query_batches += 1
+        return results
+
+    def _resolve_query_batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[Tuple[str, FunctionEncoding]]:
+        """Resolve every request's encoding, coalescing binary encodes.
+
+        Requests that need a query-side encode contribute their trees to
+        a single :meth:`MicroBatcher.encode_many` call, so a Q-query
+        batch costs a handful of wide GEMM passes instead of Q tree
+        walks.
+        """
+        resolved: List[Optional[Tuple[str, FunctionEncoding]]] = (
+            [None] * len(requests)
+        )
+        jobs: List[Tuple[int, BinaryFile, str, Tuple]] = []
+        for i, request in enumerate(requests):
+            if (
+                request.encoding is not None
+                or request.cve_id is not None
+                or request.binary is None
+                or not request.function
+            ):
+                resolved[i] = self._resolve_query(request)
+                continue
+            binary = self._binary_of(request.binary)
+            extracted, trees = self._extracted_for(binary)
+            if request.function not in trees:
+                raise BadRequestError(
+                    f"function {request.function!r} not found (or below "
+                    f"the AST size floor) in binary {binary.name!r}"
+                )
+            jobs.append(
+                (i, binary, request.function, extracted,
+                 trees[request.function])
+            )
+        if jobs:
+            vectors = self.batcher.encode_many(
+                [tree for *_rest, tree in jobs]
+            )
+            with self._counter_lock:
+                self._n_query_encodes += len(jobs)
+            for (i, binary, function, extracted, _tree), vector in zip(
+                jobs, vectors
+            ):
+                encoding = self._encoding_from_extracted(
+                    extracted, function, vector
+                )
+                resolved[i] = (f"{binary.name}:{function}", encoding)
+        return resolved
 
     def _finish_query(
         self, name: str, encoding: FunctionEncoding, request: QueryRequest
@@ -624,6 +735,11 @@ class AsteriaEngine:
         vector = self.batcher.encode(trees[function])
         with self._counter_lock:
             self._n_query_encodes += 1
+        return self._encoding_from_extracted(extracted, function, vector)
+
+    def _encoding_from_extracted(
+        self, extracted, function: str, vector: np.ndarray
+    ) -> FunctionEncoding:
         i = extracted.names.index(function)
         return FunctionEncoding(
             name=function,
@@ -780,6 +896,17 @@ class AsteriaEngine:
             if self._store is not None:
                 stats.index_rows = len(self._store)
                 stats.index_shards = self._store.n_shards
+                footprint = self._store.memory_footprint()
+                stats.index_dtype = footprint["dtype"]
+                stats.index_mmap = footprint["mmap"]
+                stats.index_vector_bytes = footprint["vector_bytes"]
+                stats.index_resident_bytes = footprint["resident_bytes"]
+            if self._service is not None:
+                stats.ann_backend = self._service.backend
+                ann = self._service.ann_info()
+                if ann is not None:
+                    stats.ann_persisted = ann["persisted"]
+                    stats.ann_rows_projected = ann["rows_projected"]
             if self._cache is not None:
                 stats.cache_hits = self._cache.stats.hits
                 stats.cache_misses = self._cache.stats.misses
@@ -791,6 +918,7 @@ class AsteriaEngine:
                 stats.micro_batch_mean = b.mean_batch_size
         with self._counter_lock:
             stats.n_queries = self._n_queries
+            stats.n_query_batches = self._n_query_batches
             stats.n_query_encodes = self._n_query_encodes
         return stats
 

@@ -20,6 +20,9 @@ Endpoints (all JSON)::
     POST /v1/query      {"cve" | "binary_b64" + "function",
                          "top_k"?, "threshold"?}
                         -> {"query", "n_rows", "hits": [...]}
+    POST /v1/query_batch {"queries": [<query object>, ...]}
+                        -> {"results": [<query response>, ...]}
+                        (one corpus sweep answers the whole batch)
     POST /v1/compare    {"binary1_b64", "function1",
                          "binary2_b64", "function2"}
                         -> {"ast_similarity", "similarity"}
@@ -192,6 +195,7 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
             "/v1/encode": self._handle_encode,
             "/v1/ingest": self._handle_ingest,
             "/v1/query": self._handle_query,
+            "/v1/query_batch": self._handle_query_batch,
             "/v1/compare": self._handle_compare,
             "/v1/shutdown": self._handle_shutdown,
         })
@@ -249,8 +253,7 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
         }
         return 200, body
 
-    def _handle_query(self) -> Tuple[int, Dict]:
-        payload = self._payload()
+    def _parse_query(self, payload: Dict) -> QueryRequest:
         top_k = payload.get("top_k", USE_DEFAULT)
         if "top_k" in payload and top_k is not None:
             # null means "all above threshold"; negatives would leak the
@@ -271,8 +274,11 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
         if request.cve_id is None:
             request.binary = _binary_from_b64(payload)
             request.function = payload.get("function")
-        result = self.engine.query(request)
-        body = {
+        return request
+
+    @staticmethod
+    def _query_json(result) -> Dict:
+        return {
             "query": result.query,
             "n_rows": result.n_rows,
             "hits": [
@@ -280,7 +286,33 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
                 for rank, hit in enumerate(result.hits, start=1)
             ],
         }
-        return 200, body
+
+    def _handle_query(self) -> Tuple[int, Dict]:
+        result = self.engine.query(self._parse_query(self._payload()))
+        return 200, self._query_json(result)
+
+    def _handle_query_batch(self) -> Tuple[int, Dict]:
+        """Q queries in one request, answered by one engine batch.
+
+        ``{"queries": [<query object>, ...]}`` where each element takes
+        the same fields as ``/v1/query``; the corpus is swept once for
+        the whole batch instead of once per query.
+        """
+        payload = self._payload()
+        queries = payload.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise BadRequestError(
+                "query_batch needs a non-empty 'queries' list"
+            )
+        requests = []
+        for i, entry in enumerate(queries):
+            if not isinstance(entry, dict):
+                raise BadRequestError(f"queries[{i}] must be an object")
+            requests.append(self._parse_query(entry))
+        results = self.engine.query_batch(requests)
+        return 200, {
+            "results": [self._query_json(result) for result in results]
+        }
 
     def _handle_compare(self) -> Tuple[int, Dict]:
         payload = self._payload()

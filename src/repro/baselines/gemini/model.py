@@ -14,7 +14,11 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.baselines.gemini.acfg import ACFG, N_FEATURES
-from repro.nn.graphnet import Structure2Vec, cosine_similarity
+from repro.nn.graphnet import (
+    Structure2Vec,
+    cosine_similarity,
+    cosine_similarity_matrix,
+)
 from repro.nn.loss import mse_loss
 from repro.nn.optim import Adam
 from repro.nn.serialize import load_state, save_state
@@ -75,6 +79,16 @@ class Gemini:
         if denom == 0:
             return 0.5
         return float((v1 @ v2 / denom + 1.0) * 0.5)
+
+    def similarity_from_matrix(
+        self, query: np.ndarray, vectors: np.ndarray
+    ) -> np.ndarray:
+        """Batched online phase: one ``(h,)``/``(q, h)`` query (matrix)
+        against ``(n, h)`` cached embeddings in a single normalised GEMM
+        -- the Gemini analogue of Asteria's matrix-at-once scoring."""
+        query = np.asarray(query)
+        scores = (cosine_similarity_matrix(query, vectors) + 1.0) * 0.5
+        return scores[0] if query.ndim == 1 else scores
 
     def similarity(self, a1: ACFG, a2: ACFG) -> float:
         return self.similarity_from_vectors(self.encode(a1), self.encode(a2))

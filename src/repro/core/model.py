@@ -197,13 +197,39 @@ class Asteria:
         ``callee_counts`` must align row-for-row with ``vectors`` when
         ``calibrate`` is set.
         """
-        m = self.siamese.similarity_from_matrix(query.vector, vectors)
+        return self.similarity_matrix(
+            [query], vectors, callee_counts, calibrate=calibrate
+        )[0]
+
+    def similarity_matrix(
+        self,
+        queries: Sequence[FunctionEncoding],
+        vectors: np.ndarray,
+        callee_counts: Optional[np.ndarray] = None,
+        calibrate: bool = True,
+    ) -> np.ndarray:
+        """F(queries, corpus) as one ``(q, n)`` score matrix.
+
+        The matrix-matrix form of :meth:`similarity_batch`: Q query
+        encodings are scored against an ``(n, h)`` corpus matrix in one
+        broadcasted pass through the Siamese head (batched GEMMs against
+        the head weights) plus a vectorised ``(q, n)`` calibration term.
+        This is what lets :meth:`AnnIndex.top_k_batch
+        <repro.index.ann.AnnIndex.top_k_batch>` amortise a corpus sweep
+        across every concurrent query instead of re-reading the corpus
+        per query.
+        """
+        q_matrix = np.stack([np.asarray(q.vector) for q in queries])
+        m = self.siamese.similarity_from_matrix(q_matrix, vectors)
         if not calibrate:
             return m
         if callee_counts is None:
             raise ValueError("calibrate=True requires callee_counts")
         counts = np.asarray(callee_counts, dtype=np.int64)
-        return m * np.exp(-np.abs(counts - query.callee_count))
+        q_counts = np.array(
+            [q.callee_count for q in queries], dtype=np.int64
+        )
+        return m * np.exp(-np.abs(counts[None, :] - q_counts[:, None]))
 
     def compare_functions(
         self, f1: DecompiledFunction, f2: DecompiledFunction, calibrate: bool = True

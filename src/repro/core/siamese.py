@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.module import Module, Parameter, glorot
-from repro.nn.tensor import Tensor, concat, no_grad
+from repro.nn.tensor import Tensor, concat, no_grad, stable_sigmoid
 from repro.nn.treelstm import BinaryTreeLSTM, BinaryTreeNode
 from repro.utils.rng import RNG
 
@@ -79,22 +79,57 @@ class SiameseClassifier(Module):
     def similarity_from_matrix(
         self, query: np.ndarray, vectors: np.ndarray
     ) -> np.ndarray:
-        """Equation (8) for one query against a whole corpus at once.
+        """Equation (8) for one or many queries against a corpus at once.
 
-        ``vectors`` is an ``(n, h)`` matrix of cached encodings; the result
-        is the length-``n`` vector of similarity scores.  One broadcasted
-        subtract/multiply plus a single ``(n, 2h) @ (2h, 2)`` matmul replaces
-        ``n`` Python-level calls to :meth:`similarity_from_vectors`.
+        ``vectors`` is an ``(n, h)`` matrix of cached encodings; ``query``
+        is one vector ``(h,)`` (returns ``(n,)`` scores) or a ``(q, h)``
+        query matrix (returns ``(q, n)`` scores).  The element-wise
+        feature terms broadcast across all query/corpus pairs and the
+        head collapses to batched GEMMs against ``W``, so Q queries cost
+        one pass over the corpus instead of Q.  Arithmetic runs in the
+        corpus dtype (queries are cast), which is what lets a float32
+        memory-mapped corpus be scored without a float64 up-conversion
+        of every block.
         """
-        features = np.concatenate(
-            [np.abs(vectors - query), vectors * query], axis=1
-        )
-        logits = features @ self.w.data
+        queries = np.asarray(query, dtype=vectors.dtype)
+        single = queries.ndim == 1
+        if single:
+            queries = queries[None, :]
+        q, n = queries.shape[0], vectors.shape[0]
+        h = vectors.shape[1]
+        w = self.w.data.astype(vectors.dtype, copy=False)
+        scores = np.empty((q, n), dtype=vectors.dtype)
+        # corpus chunks sized so the (q, b, h) |V - U| scratch tensor
+        # stays cache-resident (~a few MB); the whole-corpus broadcast
+        # thrashes for q >> 1 and tiny chunks waste dispatch overhead
+        chunk = max(64, 800_000 // max(1, q * h))
         if self.literal_sigmoid:
-            logits = 1.0 / (1.0 + np.exp(-logits))
-        shifted = logits - logits.max(axis=1, keepdims=True)
-        exps = np.exp(shifted)
-        return exps[:, 1] / exps.sum(axis=1)
+            for start in range(0, n, chunk):
+                block = vectors[start:start + chunk]
+                diff = np.abs(queries[:, None, :] - block[None, :, :])
+                logits = diff @ w[:h]  # (q, b, 2)
+                # the product term does: (v ⊙ u) · w_c == (v ⊙ w_c) · u
+                for c in range(w.shape[1]):
+                    logits[:, :, c] += (queries * w[h:, c]) @ block.T
+                logits = 1.0 / (1.0 + np.exp(-logits))
+                shifted = logits - logits.max(axis=2, keepdims=True)
+                exps = np.exp(shifted)
+                scores[:, start:start + chunk] = (
+                    exps[:, :, 1] / exps.sum(axis=2)
+                )
+            return scores[0] if single else scores
+        # softmax over two raw logits is exactly sigmoid(l1 - l0), so the
+        # head needs only the *margin* weights -- one (q, b, h)
+        # contraction and one GEMM per chunk instead of two of each
+        w_abs = w[:h, 1] - w[:h, 0]
+        w_prod = (w[h:, 1] - w[h:, 0]) * queries  # (q, h), query-fused
+        for start in range(0, n, chunk):
+            block = vectors[start:start + chunk]
+            diff = np.abs(queries[:, None, :] - block[None, :, :])
+            margin = diff @ w_abs  # (q, b)
+            margin += w_prod @ block.T
+            scores[:, start:start + chunk] = stable_sigmoid(margin)
+        return scores[0] if single else scores
 
 
 class SiameseRegression(Module):
@@ -124,7 +159,10 @@ class SiameseRegression(Module):
     def similarity_from_matrix(
         self, query: np.ndarray, vectors: np.ndarray
     ) -> np.ndarray:
-        """Batched cosine head: one query against ``(n, h)`` vectors."""
-        denom = np.linalg.norm(vectors, axis=1) * np.linalg.norm(query)
-        denom = np.where(denom == 0.0, 1e-12, denom)
-        return (vectors @ query / denom + 1.0) * 0.5
+        """Batched cosine head: ``(h,)`` or ``(q, h)`` queries against
+        ``(n, h)`` vectors -- one ``(q, h) @ (h, n)`` GEMM."""
+        from repro.nn.graphnet import cosine_similarity_matrix
+
+        query = np.asarray(query)
+        scores = (cosine_similarity_matrix(query, vectors) + 1.0) * 0.5
+        return scores[0] if query.ndim == 1 else scores

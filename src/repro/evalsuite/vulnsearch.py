@@ -374,10 +374,16 @@ class VulnerabilitySearch:
         library = self.encode_library()
         images_by_id = {image.identifier: image for image in dataset.images}
         candidates: List[Candidate] = []
-        for _cve_id, (entry, vuln_encoding) in sorted(library.items()):
-            hits = service.query(
-                vuln_encoding, top_k=top_k, threshold=self.threshold
-            )
+        entries = sorted(library.items())
+        # one batched top-k for the whole CVE library: the corpus is swept
+        # once, each shard block scored against all queries in one GEMM
+        hit_lists = service.query_batch(
+            [vuln_encoding for _cve_id, (_e, vuln_encoding) in entries],
+            top_k=top_k, threshold=self.threshold,
+        )
+        for (_cve_id, (entry, _vuln_encoding)), hits in zip(
+            entries, hit_lists
+        ):
             # store-row order mirrors the exhaustive scan's corpus order
             for hit in sorted(hits, key=lambda h: h.row):
                 image = images_by_id.get(hit.image_id)

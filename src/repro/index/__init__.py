@@ -13,10 +13,12 @@ from repro.index.ann import (
     LSHIndex,
     Neighbor,
     make_index,
+    select_top_k,
 )
 from repro.index.search import IngestStats, SearchHit, SearchService
 from repro.index.store import (
     EmbeddingStore,
+    ShardedMatrix,
     StoreError,
     StoredFunction,
 )
@@ -27,10 +29,12 @@ __all__ = [
     "LSHIndex",
     "Neighbor",
     "make_index",
+    "select_top_k",
     "IngestStats",
     "SearchHit",
     "SearchService",
     "EmbeddingStore",
+    "ShardedMatrix",
     "StoreError",
     "StoredFunction",
 ]

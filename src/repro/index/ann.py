@@ -2,17 +2,31 @@
 
 Two backends share one interface (:class:`AnnIndex`):
 
-* :class:`BruteForceIndex` -- exact: every query scores the whole corpus
-  with one matrix-at-once pass through the Siamese head
-  (:meth:`repro.core.model.Asteria.similarity_batch`), replacing the seed's
-  O(corpus) per-pair Python calls;
+* :class:`BruteForceIndex` -- exact: queries score the whole corpus
+  with matrix-at-once passes through the Siamese head
+  (:meth:`repro.core.model.Asteria.similarity_matrix`), block by block
+  over the store's memory-mapped shards -- the corpus is never
+  materialised as one array;
 * :class:`LSHIndex` -- approximate: random-hyperplane locality-sensitive
   hashing with multi-probe.  Vectors are bucketed by the sign pattern of
   their projections onto random hyperplanes (a cosine-LSH family); a query
   probes buckets in increasing Hamming distance from its own signature --
   nearest buckets first, ties broken by the query's projection margins --
   until it has gathered enough candidates, then *exact-reranks* only those
-  candidates with the batched Siamese score.
+  candidates with the batched Siamese score.  Hyperplanes and signatures
+  serialise through :meth:`LSHIndex.state_dict` /
+  :meth:`LSHIndex.from_state` into the store manifest, so reopening a
+  corpus-scale index skips the full re-projection pass; appended rows are
+  signed incrementally (:attr:`LSHIndex.rows_projected` counts exactly
+  how many corpus rows each construction actually projected).
+
+Both backends answer single queries (:meth:`AnnIndex.top_k`) and query
+batches (:meth:`AnnIndex.top_k_batch`); the batched form scores Q
+queries per corpus block in one broadcasted Siamese GEMM, so a batch
+reads the corpus once instead of Q times.  Selection uses
+``np.argpartition`` (O(n) plus an O(k log k) sort of the winners) rather
+than a full corpus sort, with ties broken by row exactly as the full
+``np.lexsort`` would break them.
 
 Both backends therefore return candidates ranked by the true (calibrated)
 model score; the LSH backend merely restricts which rows get scored.
@@ -21,15 +35,25 @@ model score; the LSH backend merely restricts which rows get scored.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.model import Asteria, FunctionEncoding
+from repro.index.store import ShardedMatrix
 from repro.utils.rng import RNG, derive_seed
 
 DEFAULT_OVERSAMPLE = 8
 DEFAULT_MIN_CANDIDATES = 64
+
+#: Rows per scoring pass: consecutive store shards are coalesced up to
+#: this many rows so the Siamese GEMMs stay wide enough for BLAS to
+#: thread, whatever the on-disk shard size is.  Bounds the transient
+#: gather copy to ``SCORE_BLOCK_ROWS x dim`` elements.
+SCORE_BLOCK_ROWS = 8192
+
+#: LSH persisted-state schema version (bump on incompatible layout).
+LSH_STATE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -40,23 +64,64 @@ class Neighbor:
     score: float
 
 
+def _as_view(vectors) -> ShardedMatrix:
+    """Normalise ndarray input to the block view the scorers consume.
+
+    A live store view is snapshotted: the index's row count, callee
+    counts and (for LSH) signatures are all taken at construction, so
+    the corpus the index scores must not grow underneath them when the
+    store flushes new rows.
+    """
+    if isinstance(vectors, ShardedMatrix):
+        return vectors.snapshot()
+    vectors = np.asarray(vectors)
+    if vectors.ndim != 2:
+        raise ValueError(f"vectors must be 2-D, got shape {vectors.shape}")
+    view = ShardedMatrix(vectors.shape[1], vectors.dtype)
+    if vectors.shape[0]:
+        view.append_block(vectors)
+    return view
+
+
+def select_top_k(
+    scores: np.ndarray, rows: np.ndarray, k: Optional[int]
+) -> np.ndarray:
+    """Positions of the top-``k`` scores, ranked exactly like
+    ``np.lexsort((rows, -scores))[:k]`` (descending score, ascending row).
+
+    Uses ``np.argpartition`` so the corpus is swept in O(n) instead of
+    fully sorted; only the winners (plus any score ties straddling the
+    cut) pay the O(m log m) ordering.  Ties at the boundary are resolved
+    by row, bit-identically to the full-sort reference.
+    """
+    n = scores.shape[0]
+    if k is None or k >= n:
+        return np.lexsort((rows, -scores))[: n if k is None else k]
+    if k <= 0:
+        return np.zeros(0, dtype=np.int64)
+    part = np.argpartition(-scores, k - 1)
+    boundary = scores[part[k - 1]]
+    # everything strictly above the k-th score is in; boundary-score ties
+    # are settled by row order, exactly as the lexsort reference would
+    contenders = np.flatnonzero(scores >= boundary)
+    order = np.lexsort((rows[contenders], -scores[contenders]))[:k]
+    return contenders[order]
+
+
 class AnnIndex:
     """Common interface: candidate generation + batched exact rerank."""
 
     def __init__(
         self,
         model: Asteria,
-        vectors: np.ndarray,
+        vectors,
         callee_counts: Optional[np.ndarray] = None,
         calibrate: bool = True,
     ):
-        vectors = np.asarray(vectors)
-        if vectors.ndim != 2:
-            raise ValueError(f"vectors must be 2-D, got shape {vectors.shape}")
         if calibrate and callee_counts is None:
             raise ValueError("calibrate=True requires callee_counts")
         self.model = model
-        self.vectors = vectors
+        self.vectors = _as_view(vectors)
         self.callee_counts = (
             None
             if callee_counts is None
@@ -74,32 +139,136 @@ class AnnIndex:
     ) -> Optional[np.ndarray]:
         """Rows worth scoring for this query (ascending row order).
 
-        ``None`` means "the whole corpus" and lets :meth:`score_rows`
-        skip the fancy-indexing copy.
+        ``None`` means "the whole corpus" and lets the scorers sweep the
+        store's blocks without a fancy-indexing copy.
         """
         raise NotImplementedError
 
+    def candidate_rows_batch(
+        self, query_matrix: np.ndarray, n: Optional[int]
+    ) -> List[Optional[np.ndarray]]:
+        """Per-query candidate rows for a ``(q, h)`` query matrix."""
+        return [
+            self.candidate_rows(query_matrix[i], n)
+            for i in range(query_matrix.shape[0])
+        ]
+
     # -- batched scoring (shared) ------------------------------------------
 
-    def score_rows(
-        self, query: FunctionEncoding, rows: Optional[np.ndarray] = None
+    def score_matrix(
+        self,
+        queries: Sequence[FunctionEncoding],
+        rows: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Exact calibrated Siamese scores for ``rows``, matrix-at-once.
+        """Exact calibrated Siamese scores as a ``(q, n_rows)`` matrix.
 
-        ``rows=None`` scores the whole corpus without copying it first.
+        ``rows=None`` sweeps the whole corpus one shard block at a time
+        -- every block is scored against *all* queries in one broadcasted
+        GEMM, so Q queries read each (possibly memory-mapped) block once.
         """
-        if rows is None:
-            vectors, counts = self.vectors, self.callee_counts
-        else:
-            vectors = self.vectors[rows]
+        if rows is not None:
+            vectors = self.vectors.take(rows)
             counts = (
                 None
                 if self.callee_counts is None
                 else self.callee_counts[rows]
             )
-        return self.model.similarity_batch(
-            query, vectors, counts, calibrate=self.calibrate
-        )
+            return self.model.similarity_matrix(
+                queries, vectors, counts, calibrate=self.calibrate
+            )
+        out = np.empty((len(queries), len(self)))
+        for start, block in self._scoring_blocks():
+            counts = (
+                None
+                if self.callee_counts is None
+                else self.callee_counts[start:start + block.shape[0]]
+            )
+            out[:, start:start + block.shape[0]] = (
+                self.model.similarity_matrix(
+                    queries, block, counts, calibrate=self.calibrate
+                )
+            )
+        return out
+
+    def _sweep_top_k(
+        self,
+        queries: Sequence[FunctionEncoding],
+        k: int,
+        threshold: Optional[float],
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Whole-corpus candidates pruned block-by-block.
+
+        Each block's ``(q, b)`` score matrix is reduced to at most ``k``
+        rows per query before the next block is read; every global
+        top-k row is by construction in its own block's top-k, so the
+        final selection over the accumulated candidates is exact.
+        """
+        rows_acc: List[List[np.ndarray]] = [[] for _ in queries]
+        scores_acc: List[List[np.ndarray]] = [[] for _ in queries]
+        for start, block in self._scoring_blocks():
+            counts = (
+                None
+                if self.callee_counts is None
+                else self.callee_counts[start:start + block.shape[0]]
+            )
+            scores = self.model.similarity_matrix(
+                queries, block, counts, calibrate=self.calibrate
+            )
+            block_rows = np.arange(
+                start, start + block.shape[0], dtype=np.int64
+            )
+            for i in range(len(queries)):
+                q_rows, q_scores = block_rows, scores[i]
+                if threshold is not None:
+                    keep = q_scores >= threshold
+                    q_rows, q_scores = q_rows[keep], q_scores[keep]
+                top = select_top_k(q_scores, q_rows, k)
+                rows_acc[i].append(q_rows[top])
+                scores_acc[i].append(q_scores[top])
+        return [
+            (
+                np.concatenate(rows_acc[i])
+                if rows_acc[i] else np.zeros(0, dtype=np.int64),
+                np.concatenate(scores_acc[i])
+                if scores_acc[i] else np.zeros(0),
+            )
+            for i in range(len(queries))
+        ]
+
+    def _scoring_blocks(self):
+        """Corpus blocks for scoring: small adjacent shards coalesced.
+
+        Stores often shard at a few thousand rows; scoring per shard
+        would keep every Siamese GEMM below the width where BLAS
+        threads.  Gathering consecutive shards up to
+        :data:`SCORE_BLOCK_ROWS` costs one bounded memcpy and keeps the
+        sweep streaming (never the whole corpus at once).
+        """
+        pending: List[np.ndarray] = []
+        pending_rows = 0
+        pending_start = 0
+        for start, block in self.vectors.iter_blocks():
+            if pending and pending_rows + block.shape[0] > SCORE_BLOCK_ROWS:
+                yield pending_start, (
+                    pending[0] if len(pending) == 1
+                    else np.concatenate(pending)
+                )
+                pending, pending_rows = [], 0
+            if not pending:
+                pending_start = start
+            pending.append(block)
+            pending_rows += block.shape[0]
+        if pending:
+            yield pending_start, (
+                pending[0] if len(pending) == 1
+                else np.concatenate(pending)
+            )
+
+    def score_rows(
+        self, query: FunctionEncoding, rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Single-query form of :meth:`score_matrix` (a ``(n,)`` vector)."""
+        return self.score_matrix([query], rows)[0]
 
     def top_k(
         self,
@@ -113,28 +282,102 @@ class AnnIndex:
         ``k=None`` returns every candidate; ``threshold`` drops results
         scoring below it.  Ties are broken by row for determinism.
         """
-        if len(self) == 0:
+        return self.top_k_batch(
+            [query], k=k, threshold=threshold, oversample=oversample
+        )[0]
+
+    def top_k_batch(
+        self,
+        queries: Sequence[FunctionEncoding],
+        k: Optional[int] = 10,
+        threshold: Optional[float] = None,
+        oversample: int = DEFAULT_OVERSAMPLE,
+    ) -> List[List[Neighbor]]:
+        """Top-``k`` neighbours for Q queries in one corpus pass.
+
+        Selects the same candidates as mapping :meth:`top_k`: all
+        queries share each corpus block read and each Siamese GEMM, and
+        each query then picks its own top-k with ``argpartition``.
+        Scores agree with the single-query path to float rounding (the
+        GEMM accumulation order depends on batch width), so rows whose
+        scores differ only in the last bits may order differently
+        across the two paths.
+        """
+        if not len(queries):
             return []
+        if len(self) == 0:
+            return [[] for _ in queries]
         wanted = None
         if k is not None:
             wanted = max(k * oversample, DEFAULT_MIN_CANDIDATES)
-        rows = self.candidate_rows(np.asarray(query.vector), wanted)
-        if rows is None:
-            rows = np.arange(len(self))
-            scores = self.score_rows(query)
-        elif rows.size == 0:
-            return []
+        query_matrix = np.stack(
+            [np.asarray(q.vector) for q in queries]
+        )
+        per_query = self.candidate_rows_batch(query_matrix, wanted)
+        all_rows: Optional[np.ndarray] = None  # shared, never mutated
+
+        def whole_corpus() -> np.ndarray:
+            nonlocal all_rows
+            if all_rows is None:
+                all_rows = np.arange(len(self))
+            return all_rows
+
+        if all(rows is None for rows in per_query):
+            if k is None:
+                # every score is part of the answer: the (q, n) matrix
+                # is the output, so materialising it is unavoidable
+                scored = [
+                    (whole_corpus(), row_scores)
+                    for row_scores in self.score_matrix(queries)
+                ]
+            else:
+                # streaming sweep: per-block (q, b) scoring + per-block
+                # top-k, so batch memory stays O(q * block), not
+                # O(q * corpus) -- the property that lets a CVE-library
+                # batch run against a multi-million-row mmap store
+                scored = self._sweep_top_k(queries, k, threshold)
         else:
-            scores = self.score_rows(query, rows)
-        if threshold is not None:
-            keep = scores >= threshold
-            rows, scores = rows[keep], scores[keep]
-        order = np.lexsort((rows, -scores))
-        if k is not None:
-            order = order[:k]
-        return [
-            Neighbor(row=int(rows[i]), score=float(scores[i])) for i in order
-        ]
+            gathered = [
+                rows if rows is not None else whole_corpus()
+                for rows in per_query
+            ]
+            total = sum(rows.size for rows in gathered)
+            union = np.unique(np.concatenate(gathered)) if total else None
+            if union is None:
+                scored = [(rows, np.zeros(0)) for rows in gathered]
+            elif len(queries) * union.size <= 2 * total:
+                # candidate sets overlap heavily (clustered / duplicate
+                # queries): score the union once for all queries
+                scores = self.score_matrix(queries, union)
+                scored = [
+                    (rows, scores[i, np.searchsorted(union, rows)])
+                    for i, rows in enumerate(gathered)
+                ]
+            else:
+                # mostly-disjoint candidates: a (q, union) matrix would
+                # score far more pairs than were ever candidates -- keep
+                # the rerank per query (generation was still shared)
+                scored = [
+                    (rows, self.score_matrix([queries[i]], rows)[0])
+                    if rows.size else (rows, np.zeros(0))
+                    for i, rows in enumerate(gathered)
+                ]
+        results: List[List[Neighbor]] = []
+        for q_rows, q_scores in scored:
+            if q_rows.size == 0:
+                results.append([])
+                continue
+            if threshold is not None:
+                keep = q_scores >= threshold
+                q_rows, q_scores = q_rows[keep], q_scores[keep]
+            top = select_top_k(q_scores, q_rows, k)
+            results.append(
+                [
+                    Neighbor(row=int(q_rows[j]), score=float(q_scores[j]))
+                    for j in top
+                ]
+            )
+        return results
 
 
 class BruteForceIndex(AnnIndex):
@@ -147,18 +390,26 @@ class BruteForceIndex(AnnIndex):
 
 
 class LSHIndex(AnnIndex):
-    """Random-hyperplane LSH with Hamming-ordered multi-probe."""
+    """Random-hyperplane LSH with Hamming-ordered multi-probe.
+
+    Construction signs the corpus (one projection GEMM per table per
+    block); pass ``state`` -- a ``(params, arrays)`` pair produced by
+    :meth:`state_dict` -- to reuse previously computed hyperplanes and
+    signatures instead.  A state covering only a prefix of the corpus is
+    extended incrementally: only the appended rows are projected.
+    """
 
     def __init__(
         self,
         model: Asteria,
-        vectors: np.ndarray,
+        vectors,
         callee_counts: Optional[np.ndarray] = None,
         calibrate: bool = True,
         n_planes: int = 8,
         n_tables: int = 4,
         seed: int = 0,
         max_probe_distance: Optional[int] = None,
+        state: Optional[Tuple[Dict, Dict[str, np.ndarray]]] = None,
     ):
         super().__init__(model, vectors, callee_counts, calibrate)
         if n_planes <= 0 or n_planes > 62:
@@ -169,32 +420,140 @@ class LSHIndex(AnnIndex):
         self.n_tables = n_tables
         self.seed = seed
         self.max_probe_distance = max_probe_distance
+        #: corpus rows this construction projected (instrumentation: a
+        #: persisted-state open of an unchanged corpus reports 0)
+        self.rows_projected = 0
+        self.loaded_from_state = False
         self._powers = 1 << np.arange(n_planes, dtype=np.int64)
-        self._planes: List[np.ndarray] = []
-        self._tables: List[Dict[int, np.ndarray]] = []
         dim = self.vectors.shape[1]
-        for t in range(n_tables):
-            rng = RNG(derive_seed(seed, "lsh-table", t))
-            planes = rng.generator.normal(size=(n_planes, dim))
-            self._planes.append(planes)
-            self._tables.append(self._build_table(planes))
+        if state is not None and self._state_matches(state[0]):
+            params, arrays = state
+            self._planes = [
+                np.asarray(arrays[f"planes_{t}"], dtype=np.float64)
+                for t in range(n_tables)
+            ]
+            signatures = np.asarray(arrays["signatures"], dtype=np.int64)
+            self.loaded_from_state = True
+            if signatures.shape[1] < len(self):
+                signatures = self._extend_signatures(signatures)
+        else:
+            rng_planes = [
+                RNG(derive_seed(seed, "lsh-table", t)).generator.normal(
+                    size=(n_planes, dim)
+                )
+                for t in range(n_tables)
+            ]
+            self._planes = rng_planes
+            signatures = self._extend_signatures(
+                np.zeros((n_tables, 0), dtype=np.int64)
+            )
+            self.loaded_from_state = False
+        self._signatures_by_table = signatures
+        self._tables = [
+            self._table_from_signatures(signatures[t])
+            for t in range(n_tables)
+        ]
 
-    def _build_table(self, planes: np.ndarray) -> Dict[int, np.ndarray]:
-        keys = self._signatures(self.vectors @ planes.T)
-        table: Dict[int, List[int]] = {}
-        for row, key in enumerate(keys):
-            table.setdefault(int(key), []).append(row)
-        return {
-            key: np.array(rows, dtype=np.int64)
-            for key, rows in table.items()
-        }
+    # -- signatures --------------------------------------------------------
 
-    def _signatures(self, projections: np.ndarray) -> np.ndarray:
+    def _state_matches(self, params: Dict) -> bool:
+        return (
+            params.get("kind") == "lsh"
+            and params.get("version") == LSH_STATE_VERSION
+            and int(params.get("n_planes", -1)) == self.n_planes
+            and int(params.get("n_tables", -1)) == self.n_tables
+            and int(params.get("seed", -1)) == self.seed
+            and int(params.get("dim", -1)) == self.vectors.shape[1]
+            and int(params.get("n_rows", -1)) <= len(self)
+        )
+
+    def _extend_signatures(self, signatures: np.ndarray) -> np.ndarray:
+        """Sign corpus rows past ``signatures.shape[1]`` (block-wise)."""
+        done = signatures.shape[1]
+        n = len(self)
+        if done >= n:
+            return signatures
+        fresh = np.empty((self.n_tables, n - done), dtype=np.int64)
+        for start, block in self.vectors.iter_blocks():
+            stop = start + block.shape[0]
+            if stop <= done:
+                continue
+            lo = max(start, done)
+            rows = np.asarray(block[lo - start:], dtype=np.float64)
+            for t, planes in enumerate(self._planes):
+                fresh[t, lo - done:stop - done] = self._signature_keys(
+                    rows @ planes.T
+                )
+        self.rows_projected += n - done
+        return np.concatenate([signatures, fresh], axis=1)
+
+    def _signature_keys(self, projections: np.ndarray) -> np.ndarray:
         """Pack sign patterns into integer bucket keys."""
         return ((projections > 0).astype(np.int64) @ self._powers)
 
+    def _table_from_signatures(
+        self, signatures: np.ndarray
+    ) -> Dict[int, np.ndarray]:
+        """Group rows by bucket key without a per-row Python loop."""
+        if signatures.size == 0:
+            return {}
+        order = np.argsort(signatures, kind="stable")
+        ordered = signatures[order]
+        cuts = np.flatnonzero(np.r_[True, ordered[1:] != ordered[:-1]])
+        bounds = np.r_[cuts, ordered.size]
+        return {
+            int(ordered[bounds[i]]): order[bounds[i]:bounds[i + 1]]
+            for i in range(cuts.size)
+        }
+
+    # -- persisted state ---------------------------------------------------
+
+    def state_dict(self) -> Tuple[Dict, Dict[str, np.ndarray]]:
+        """``(params, arrays)`` serialisable into the store manifest."""
+        params = {
+            "kind": "lsh",
+            "version": LSH_STATE_VERSION,
+            "n_planes": self.n_planes,
+            "n_tables": self.n_tables,
+            "seed": self.seed,
+            "dim": int(self.vectors.shape[1]),
+            "n_rows": len(self),
+        }
+        arrays: Dict[str, np.ndarray] = {
+            "signatures": self._signatures_by_table
+        }
+        for t, planes in enumerate(self._planes):
+            arrays[f"planes_{t}"] = planes
+        return params, arrays
+
+    # -- candidate generation ----------------------------------------------
+
     def candidate_rows(
         self, query_vector: np.ndarray, n: Optional[int]
+    ) -> np.ndarray:
+        projections = [
+            planes @ np.asarray(query_vector, dtype=np.float64)
+            for planes in self._planes
+        ]
+        return self._candidates_for(projections, n)
+
+    def candidate_rows_batch(
+        self, query_matrix: np.ndarray, n: Optional[int]
+    ) -> List[Optional[np.ndarray]]:
+        """Candidates for Q queries, sharing one projection GEMM/table."""
+        per_table = [
+            np.asarray(query_matrix, dtype=np.float64) @ planes.T
+            for planes in self._planes
+        ]
+        return [
+            self._candidates_for(
+                [per_table[t][i] for t in range(self.n_tables)], n
+            )
+            for i in range(query_matrix.shape[0])
+        ]
+
+    def _candidates_for(
+        self, projections: List[np.ndarray], n: Optional[int]
     ) -> np.ndarray:
         """Gather candidates by probing buckets nearest in Hamming space.
 
@@ -207,10 +566,9 @@ class LSHIndex(AnnIndex):
         """
         wanted = len(self) if n is None else min(n, len(self))
         probes: List[Tuple[int, float, int, int]] = []
-        for t, planes in enumerate(self._planes):
-            projections = planes @ query_vector
-            key = int(self._signatures(projections[None, :])[0])
-            margins = np.abs(projections)
+        for t in range(self.n_tables):
+            key = int(self._signature_keys(projections[t][None, :])[0])
+            margins = np.abs(projections[t])
             for bucket_key in self._tables[t]:
                 flipped = bucket_key ^ key
                 distance = int(bin(flipped).count("1"))
@@ -243,7 +601,7 @@ _BACKENDS = {
 def make_index(
     backend: str,
     model: Asteria,
-    vectors: np.ndarray,
+    vectors,
     callee_counts: Optional[np.ndarray] = None,
     **options,
 ) -> AnnIndex:

@@ -13,7 +13,13 @@ offline/online split:
 * **online** -- :meth:`SearchService.query` encodes nothing but the query:
   the ANN backend proposes candidate rows, the batched Siamese head
   exact-reranks them, and an optional threshold (e.g. the Youden-derived
-  cutoff from §IV) prunes the rest.
+  cutoff from §IV) prunes the rest.  :meth:`SearchService.query_batch`
+  answers Q queries in one corpus pass: candidate sets are unioned and
+  scored as a single ``(Q, n)`` Siamese GEMM sweep over the store's
+  memory-mapped shards.  For the ``lsh`` backend over a durable store,
+  the fitted index (hyperplanes + signatures) is persisted next to the
+  shards and reloaded on open, so no full re-projection pass runs when
+  the corpus has not changed -- appended rows are signed incrementally.
 
 The service is deliberately model-agnostic about where queries come from:
 pass a ready :class:`FunctionEncoding`, or use :meth:`encode_query` /
@@ -30,7 +36,7 @@ in :mod:`repro.api`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 from repro.binformat.binary import BinaryFile
 from repro.core.model import (
@@ -165,18 +171,54 @@ class SearchService:
     # -- online phase ------------------------------------------------------
 
     def index(self) -> AnnIndex:
-        """The ANN index over the store (rebuilt when the store grows)."""
+        """The ANN index over the store (refreshed when the store grows).
+
+        LSH over a durable store round-trips through the persisted state
+        in the store manifest: an unchanged corpus reopens without any
+        projection pass, a grown corpus signs only the appended rows,
+        and either way the refreshed state is written back.
+        """
         if self._index is None or self._index_rows != self.store.n_flushed:
+            options = dict(self.backend_options)
+            if self.backend == "lsh" and self.store.root is not None:
+                options.setdefault("state", self.store.read_ann_state())
             self._index = make_index(
                 self.backend,
                 self.model,
                 self.store.vectors(),
                 self.store.callee_counts(),
                 calibrate=self.calibrate,
-                **self.backend_options,
+                **options,
             )
+            self._persist_index(self._index)
             self._index_rows = self.store.n_flushed
         return self._index
+
+    def ann_info(self) -> Optional[dict]:
+        """Monitoring snapshot of the materialised ANN index, or ``None``.
+
+        Deliberately side-effect free (never builds the index), so stats
+        endpoints can poll it without perturbing the service.
+        """
+        if self._index is None:
+            return None
+        return {
+            "backend": self.backend,
+            "persisted": getattr(self._index, "loaded_from_state", None),
+            "rows_projected": getattr(self._index, "rows_projected", 0),
+        }
+
+    def _persist_index(self, index: AnnIndex) -> None:
+        """Write refreshed ANN state back beside the shards (best effort)."""
+        if self.backend != "lsh" or self.store.root is None:
+            return
+        if index.loaded_from_state and not index.rows_projected:
+            return  # persisted state already current
+        try:
+            params, arrays = index.state_dict()
+            self.store.write_ann_state(params, arrays)
+        except OSError as exc:
+            _LOG.warning("could not persist ANN state: %s", exc)
 
     def encode_query(self, fn: DecompiledFunction) -> FunctionEncoding:
         return self.model.encode_function(fn)
@@ -195,6 +237,32 @@ class SearchService:
             meta = self.store.metadata_at(neighbor.row)
             hits.append(_hit(neighbor.row, neighbor.score, meta))
         return hits
+
+    def query_batch(
+        self,
+        encodings: Sequence[FunctionEncoding],
+        top_k: Optional[int] = 10,
+        threshold: Optional[float] = None,
+    ) -> List[List[SearchHit]]:
+        """Top-k matches for Q queries in one corpus pass.
+
+        Selects the same hits as mapping :meth:`query` -- every corpus
+        block is read once and scored against all Q queries in one
+        broadcasted Siamese GEMM (:meth:`AnnIndex.top_k_batch
+        <repro.index.ann.AnnIndex.top_k_batch>`); scores match the
+        per-query path to float rounding, so near-exact score ties may
+        order differently.
+        """
+        neighbor_lists = self.index().top_k_batch(
+            encodings, k=top_k, threshold=threshold
+        )
+        return [
+            [
+                _hit(n.row, n.score, self.store.metadata_at(n.row))
+                for n in neighbors
+            ]
+            for neighbors in neighbor_lists
+        ]
 
     def query_function(
         self,

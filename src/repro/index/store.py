@@ -7,18 +7,34 @@ needed for calibration and reporting (function name, binary, architecture,
 filtered callee count, AST size, owning firmware image) -- are serialised
 to disk so later query sessions never re-encode the corpus.
 
-Layout of a store directory::
+Layout of a format-2 store directory::
 
-    <root>/manifest.json         versioned manifest (dim, shard table, count)
-    <root>/shard-00000.npz       vectors + metadata for rows [0, n0)
-    <root>/shard-00001.npz       rows [n0, n0+n1), and so on
+    <root>/manifest.json           versioned manifest (dim, dtype, shard
+                                   table, row count, persisted-ANN state)
+    <root>/shard-00000.npy         raw vector matrix for rows [0, n0),
+                                   opened with ``np.load(mmap_mode="r")``
+    <root>/shard-00000.meta.npz    callee counts / AST sizes / string
+                                   columns for the same rows
+    <root>/ann-lsh.npz             optional persisted ANN state (LSH
+                                   hyperplanes + signatures)
 
-Shards reuse the :mod:`repro.nn.serialize` npz format: numeric columns are
-arrays, string columns travel in the JSON ``meta`` block.  Shards are loaded
-lazily on first access and cached, so opening a large store is O(manifest)
-and a query touches only the shards it reads.  ``root=None`` gives an
-ephemeral in-memory store with the same API (used by tests and by
-single-process pipelines that do not need persistence).
+Vectors are stored in a configurable ``dtype`` (default float32 -- half
+the bytes of the float64 the encoder emits, far below the noise floor of
+the Siamese scores) and memory-mapped on read, so opening a store is
+O(manifest) in corpus size and resident memory stays bounded by what
+queries actually touch.  :meth:`EmbeddingStore.vectors` exposes the whole
+corpus as a :class:`ShardedMatrix` -- a zero-copy row-concatenated view
+over the per-shard maps that the ANN layer consumes block-by-block; no
+full ``np.concatenate`` materialisation ever happens.
+
+Format-1 stores (all-in-one ``shard-NNNNN.npz`` files, always float64)
+are still readable: :meth:`EmbeddingStore.open` migrates them to format
+2 in place when the directory is writable and falls back to an eager
+read-compat load when it is not.  Metadata columns keep the
+:mod:`repro.nn.serialize` npz format either way and are loaded lazily
+per shard.  ``root=None`` gives an ephemeral in-memory store with the
+same API (used by tests and by single-process pipelines that do not
+need persistence).
 """
 
 from __future__ import annotations
@@ -27,7 +43,7 @@ import json
 from bisect import bisect_right
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -38,12 +54,155 @@ from repro.utils.logging import get_logger
 _LOG = get_logger("index.store")
 
 MANIFEST_NAME = "manifest.json"
-FORMAT_VERSION = 1
+ANN_STATE_NAME = "ann-lsh.npz"
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 DEFAULT_SHARD_SIZE = 1024
+DEFAULT_DTYPE = "float32"
+_DTYPES = ("float32", "float64")
 
 
 class StoreError(Exception):
     """Raised on malformed stores or incompatible writes."""
+
+
+def _check_dtype(dtype) -> np.dtype:
+    name = np.dtype(dtype).name
+    if name not in _DTYPES:
+        raise StoreError(
+            f"unsupported vector dtype {name!r} "
+            f"(choose from {', '.join(_DTYPES)})"
+        )
+    return np.dtype(name)
+
+
+class ShardedMatrix:
+    """A read-only ``(n, dim)`` view over row-blocks that never copies.
+
+    The blocks are the store's per-shard vector arrays (memory-maps for
+    durable stores); the view concatenates them logically.  Consumers
+    that can stream -- the ANN scorers -- iterate :meth:`iter_blocks`;
+    consumers that need a handful of rows use :meth:`take` / indexing,
+    which gathers only those rows.  ``np.asarray(view)`` still
+    materialises the full matrix for compatibility, but nothing on the
+    query path does that.
+    """
+
+    def __init__(self, dim: int, dtype, blocks: Optional[List] = None):
+        self.dim = int(dim)
+        self.dtype = np.dtype(dtype)
+        self._blocks: List[np.ndarray] = []
+        self._offsets: List[int] = [0]
+        for block in blocks or []:
+            self.append_block(block)
+
+    def append_block(self, block: np.ndarray) -> None:
+        """Extend the view in place (no reload/copy of prior blocks)."""
+        if block.ndim != 2 or block.shape[1] != self.dim:
+            raise StoreError(
+                f"block shape {block.shape} does not fit view dim {self.dim}"
+            )
+        self._blocks.append(block)
+        self._offsets.append(self._offsets[-1] + block.shape[0])
+
+    def snapshot(self) -> "ShardedMatrix":
+        """A fixed-length copy of the view sharing the same blocks.
+
+        The store extends its cached view in place on flush; consumers
+        that must stay self-consistent across store growth (an ANN index
+        whose signatures/callee counts were taken at construction) hold
+        a snapshot instead.  Blocks are immutable once flushed, so
+        sharing them is free.
+        """
+        return ShardedMatrix(self.dim, self.dtype, self._blocks)
+
+    # -- shape protocol ----------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self._offsets[-1], self.dim)
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    def __len__(self) -> int:
+        return self._offsets[-1]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._blocks)
+
+    # -- reads -------------------------------------------------------------
+
+    def iter_blocks(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(first_row, block)`` pairs in row order."""
+        for i, block in enumerate(self._blocks):
+            yield self._offsets[i], block
+
+    def row(self, index: int) -> np.ndarray:
+        if not 0 <= index < len(self):
+            raise IndexError(f"row {index} out of range ({len(self)} rows)")
+        block_i = bisect_right(self._offsets, index) - 1
+        return self._blocks[block_i][index - self._offsets[block_i]]
+
+    def take(self, rows) -> np.ndarray:
+        """Gather ``rows`` (any order, duplicates allowed) into one array.
+
+        Negative indices wrap like ndarray indexing; anything still out
+        of range raises rather than returning uninitialised memory.
+        """
+        requested = np.asarray(rows, dtype=np.int64)
+        n = len(self)
+        rows = np.where(requested < 0, requested + n, requested)
+        bad = (rows < 0) | (rows >= n)
+        if bad.any():
+            raise IndexError(
+                f"row {int(requested[np.argmax(bad)])} out of range "
+                f"({n} rows)"
+            )
+        out = np.empty((rows.size, self.dim), dtype=self.dtype)
+        block_of = np.searchsorted(self._offsets, rows, side="right") - 1
+        for i in range(len(self._blocks)):
+            mask = block_of == i
+            if mask.any():
+                out[mask] = self._blocks[i][rows[mask] - self._offsets[i]]
+        return out
+
+    def __getitem__(self, key):
+        if isinstance(key, (int, np.integer)):
+            return self.row(int(key))
+        if isinstance(key, slice):
+            return self.take(np.arange(*key.indices(len(self))))
+        return self.take(key)
+
+    def __array__(self, dtype=None, copy=None):
+        out = (
+            np.empty((0, self.dim), dtype=self.dtype)
+            if not self._blocks
+            else np.concatenate([np.asarray(b) for b in self._blocks])
+        )
+        return out if dtype is None else out.astype(dtype)
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Logical size of the full matrix."""
+        return len(self) * self.dim * self.dtype.itemsize
+
+    @property
+    def resident_nbytes(self) -> int:
+        """Heap-allocated bytes: memory-mapped blocks count as zero."""
+        return sum(
+            0 if isinstance(block, np.memmap) else block.nbytes
+            for block in self._blocks
+        )
+
+    @property
+    def mmapped(self) -> bool:
+        """Is any block a memory map (i.e. disk-backed, demand-paged)?"""
+        return any(isinstance(block, np.memmap) for block in self._blocks)
 
 
 @dataclass(frozen=True)
@@ -71,10 +230,9 @@ class StoredFunction:
 
 
 @dataclass
-class _Shard:
-    """In-memory form of one shard (column arrays + string columns)."""
+class _ShardMeta:
+    """In-memory metadata columns of one shard (vectors live elsewhere)."""
 
-    vectors: np.ndarray
     callee_counts: np.ndarray
     ast_sizes: np.ndarray
     names: List[str]
@@ -83,7 +241,7 @@ class _Shard:
     image_ids: List[str]
 
     def __len__(self) -> int:
-        return int(self.vectors.shape[0])
+        return int(self.callee_counts.shape[0])
 
 
 @dataclass
@@ -104,9 +262,11 @@ class EmbeddingStore:
     Use :meth:`create` for a new store, :meth:`open` for an existing one,
     and :meth:`in_memory` for an ephemeral store.  Rows are buffered by
     :meth:`add` and become durable (and visible to readers) on
-    :meth:`flush`, which cuts the buffer into fixed-size shards and rewrites
-    the manifest last -- a crash mid-flush leaves the previous manifest
-    intact and at worst an orphaned shard file.
+    :meth:`flush`, which cuts the buffer into fixed-size shards, appends
+    them to the cached :class:`ShardedMatrix` view incrementally (no
+    re-stack of earlier shards), and rewrites the manifest last -- a
+    crash mid-flush leaves the previous manifest intact and at worst an
+    orphaned shard file.
     """
 
     def __init__(
@@ -116,18 +276,37 @@ class EmbeddingStore:
         shard_size: int = DEFAULT_SHARD_SIZE,
         shards: Optional[List[_ShardInfo]] = None,
         meta: Optional[Dict] = None,
+        dtype=DEFAULT_DTYPE,
+        format_version: int = FORMAT_VERSION,
+        ann: Optional[Dict] = None,
     ):
         if shard_size <= 0:
             raise StoreError(f"shard_size must be positive, got {shard_size}")
+        if format_version not in SUPPORTED_VERSIONS:
+            raise StoreError(
+                f"unsupported store format_version {format_version!r} "
+                f"(this build supports {SUPPORTED_VERSIONS})"
+            )
         self.root = Path(root) if root is not None else None
         self.dim = int(dim)
         self.shard_size = int(shard_size)
+        self.format_version = int(format_version)
+        self.dtype = (
+            np.dtype("float64") if format_version == 1
+            else _check_dtype(dtype)
+        )
         self.meta = dict(meta or {})
+        self.ann = dict(ann or {})
         self._shards: List[_ShardInfo] = list(shards or [])
-        self._cache: Dict[int, _Shard] = {}
+        self._meta_cache: Dict[int, _ShardMeta] = {}
         self._pending: List[_PendingRow] = []
         self._offsets: List[int] = []
-        self._stacked: Optional[np.ndarray] = None
+        # in-memory stores have no disk shards to rebuild a view from, so
+        # their view exists up front and flush() feeds it directly
+        self._vectors: Optional[ShardedMatrix] = (
+            ShardedMatrix(self.dim, self.dtype) if root is None else None
+        )
+        self._count_blocks: List[np.ndarray] = []
         self._stacked_counts: Optional[np.ndarray] = None
         self._rebuild_offsets()
 
@@ -140,48 +319,122 @@ class EmbeddingStore:
         dim: int,
         shard_size: int = DEFAULT_SHARD_SIZE,
         meta: Optional[Dict] = None,
+        dtype=DEFAULT_DTYPE,
+        format_version: int = FORMAT_VERSION,
     ) -> "EmbeddingStore":
-        """Create a new store at ``root`` (which must be empty or absent)."""
+        """Create a new store at ``root`` (which must be empty or absent).
+
+        ``format_version=1`` writes the legacy all-npz layout (float64,
+        no memory-mapping) -- kept writable so migration stays covered by
+        tests and CI.
+        """
         root = Path(root)
         if (root / MANIFEST_NAME).exists():
             raise StoreError(f"store already exists at {root}")
         root.mkdir(parents=True, exist_ok=True)
-        store = cls(root, dim=dim, shard_size=shard_size, meta=meta)
+        store = cls(
+            root, dim=dim, shard_size=shard_size, meta=meta, dtype=dtype,
+            format_version=format_version,
+        )
         store._write_manifest()
         return store
 
     @classmethod
     def in_memory(
-        cls, dim: int, shard_size: int = DEFAULT_SHARD_SIZE
+        cls,
+        dim: int,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        dtype=DEFAULT_DTYPE,
     ) -> "EmbeddingStore":
         """An ephemeral store: same API, nothing touches disk."""
-        return cls(None, dim=dim, shard_size=shard_size)
+        return cls(None, dim=dim, shard_size=shard_size, dtype=dtype)
 
     @classmethod
-    def open(cls, root) -> "EmbeddingStore":
-        """Open an existing store for reading or appending."""
+    def open(cls, root, migrate: bool = True) -> "EmbeddingStore":
+        """Open an existing store for reading or appending.
+
+        Format-1 stores are migrated to format 2 in place (raw ``.npy``
+        vector shards + metadata companions) when ``migrate`` is true and
+        the directory is writable; otherwise they are served read-compat
+        with the old eager npz loads.
+        """
         root = Path(root)
         manifest_path = root / MANIFEST_NAME
         if not manifest_path.exists():
             raise StoreError(f"no manifest at {manifest_path}")
         manifest = json.loads(manifest_path.read_text())
         version = manifest.get("format_version")
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise StoreError(
                 f"unsupported store format_version {version!r} "
-                f"(this reader supports {FORMAT_VERSION})"
+                f"(this reader supports {SUPPORTED_VERSIONS})"
             )
         shards = [
             _ShardInfo(name=entry["name"], n_rows=int(entry["n_rows"]))
             for entry in manifest["shards"]
         ]
-        return cls(
+        store = cls(
             root,
             dim=int(manifest["dim"]),
             shard_size=int(manifest["shard_size"]),
             shards=shards,
             meta=manifest.get("meta", {}),
+            dtype=manifest.get("dtype", "float64"),
+            format_version=version,
+            ann=manifest.get("ann"),
         )
+        if version == 1 and migrate:
+            store = store._migrated()
+        return store
+
+    def _migrated(self) -> "EmbeddingStore":
+        """Rewrite this v1 store as v2 in place; fall back on failure.
+
+        Any failure (unwritable directory, corrupt shard, ...) reverts
+        to read-compat serving of the untouched v1 files; partially
+        written v2 files are harmless leftovers.  The legacy ``.npz``
+        shards are deleted only after the v2 manifest is durable, so a
+        crash at any point leaves a readable store.
+        """
+        legacy = [info.name for info in self._shards]
+        try:
+            for info in self._shards:
+                state, meta = load_state(self.root / info.name)
+                base = Path(info.name).stem  # shard-NNNNN
+                vectors = np.ascontiguousarray(
+                    state["vectors"], dtype=self.dtype
+                )
+                np.save(self.root / f"{base}.npy", vectors)
+                save_state(
+                    self.root / f"{base}.meta.npz",
+                    {
+                        "callee_counts": state["callee_counts"],
+                        "ast_sizes": state["ast_sizes"],
+                    },
+                    meta=meta,
+                )
+                info.name = base
+            self.format_version = FORMAT_VERSION
+            self._write_manifest()
+        except Exception as exc:
+            for info, name in zip(self._shards, legacy):
+                info.name = name
+            self.format_version = 1  # keep reads on the v1 file layout
+            _LOG.warning(
+                "cannot migrate v1 store at %s (%s); serving read-compat",
+                self.root, exc,
+            )
+            return self
+        for name in legacy:  # reclaim the doubled vector bytes
+            try:
+                (self.root / name).unlink()
+            except OSError:
+                pass
+        _LOG.info(
+            "migrated v1 store at %s to format %d (%d shards)",
+            self.root, FORMAT_VERSION, len(self._shards),
+        )
+        return self
 
     # -- writes ------------------------------------------------------------
 
@@ -207,17 +460,24 @@ class EmbeddingStore:
         return n
 
     def flush(self) -> int:
-        """Persist buffered rows as new shards; returns rows written."""
+        """Persist buffered rows as new shards; returns rows written.
+
+        The cached :meth:`vectors` / :meth:`callee_counts` views are
+        extended with just the new shards -- earlier shards are never
+        reloaded or re-stacked, so a flush costs O(new rows), not
+        O(corpus), in both time and transient memory.
+        """
         written = 0
         while self._pending:
             batch = self._pending[: self.shard_size]
             self._pending = self._pending[self.shard_size :]
-            shard = _Shard(
-                vectors=np.stack(
-                    [np.asarray(row.encoding.vector) for row in batch]
-                ),
+            vectors = np.stack(
+                [np.asarray(row.encoding.vector) for row in batch]
+            ).astype(self.dtype, copy=False)
+            shard_meta = _ShardMeta(
                 callee_counts=np.array(
-                    [row.encoding.callee_count for row in batch], dtype=np.int64
+                    [row.encoding.callee_count for row in batch],
+                    dtype=np.int64,
                 ),
                 ast_sizes=np.array(
                     [row.encoding.ast_size for row in batch], dtype=np.int64
@@ -228,40 +488,64 @@ class EmbeddingStore:
                 image_ids=[row.image_id for row in batch],
             )
             index = len(self._shards)
-            info = _ShardInfo(name=f"shard-{index:05d}.npz", n_rows=len(shard))
+            base = f"shard-{index:05d}"
+            name = f"{base}.npz" if self.format_version == 1 else base
+            info = _ShardInfo(name=name, n_rows=len(shard_meta))
             if self.root is not None:
-                self._write_shard(info, shard)
+                self._write_shard(info, vectors, shard_meta)
+                if self.format_version != 1:
+                    # hand the view the on-disk map, not the heap copy
+                    vectors = np.load(
+                        self.root / f"{base}.npy", mmap_mode="r"
+                    )
             self._shards.append(info)
-            self._cache[index] = shard
-            written += len(shard)
+            self._meta_cache[index] = shard_meta
+            self._append_to_views(vectors, shard_meta.callee_counts)
+            self._offsets.append(self._offsets[-1] + info.n_rows)
+            written += len(shard_meta)
         if written:
-            self._rebuild_offsets()
-            self._stacked = None
-            self._stacked_counts = None
             if self.root is not None:
                 self._write_manifest()
         return written
 
-    def _write_shard(self, info: _ShardInfo, shard: _Shard) -> None:
-        save_state(
-            self.root / info.name,
-            {
-                "vectors": shard.vectors,
-                "callee_counts": shard.callee_counts,
-                "ast_sizes": shard.ast_sizes,
-            },
-            meta={
-                "names": shard.names,
-                "binary_names": shard.binary_names,
-                "arches": shard.arches,
-                "image_ids": shard.image_ids,
-            },
-        )
+    def _append_to_views(
+        self, vectors: np.ndarray, counts: np.ndarray
+    ) -> None:
+        if self._vectors is not None:
+            self._vectors.append_block(vectors)
+        self._count_blocks.append(counts)
+        self._stacked_counts = None  # re-concat lazily from blocks
+
+    def _write_shard(
+        self, info: _ShardInfo, vectors: np.ndarray, meta: _ShardMeta
+    ) -> None:
+        columns = {
+            "callee_counts": meta.callee_counts,
+            "ast_sizes": meta.ast_sizes,
+        }
+        strings = {
+            "names": meta.names,
+            "binary_names": meta.binary_names,
+            "arches": meta.arches,
+            "image_ids": meta.image_ids,
+        }
+        if self.format_version == 1:
+            save_state(
+                self.root / info.name,
+                dict(columns, vectors=vectors.astype(np.float64)),
+                meta=strings,
+            )
+        else:
+            np.save(self.root / f"{info.name}.npy", vectors)
+            save_state(
+                self.root / f"{info.name}.meta.npz", columns, meta=strings
+            )
 
     def _write_manifest(self) -> None:
         manifest = {
-            "format_version": FORMAT_VERSION,
+            "format_version": self.format_version,
             "dim": self.dim,
+            "dtype": self.dtype.name,
             "shard_size": self.shard_size,
             "n_rows": len(self),
             "shards": [
@@ -270,10 +554,41 @@ class EmbeddingStore:
             ],
             "meta": self.meta,
         }
+        if self.ann:
+            manifest["ann"] = self.ann
         path = self.root / MANIFEST_NAME
         tmp = path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
         tmp.replace(path)
+
+    # -- persisted ANN state ----------------------------------------------
+
+    def write_ann_state(
+        self, params: Dict, arrays: Dict[str, np.ndarray]
+    ) -> None:
+        """Persist ANN state (e.g. LSH planes + signatures) alongside the
+        shards and record its parameters in the manifest."""
+        if self.root is None:
+            raise StoreError("in-memory stores cannot persist ANN state")
+        save_state(self.root / ANN_STATE_NAME, arrays, meta=params)
+        self.ann = dict(params, file=ANN_STATE_NAME)
+        self._write_manifest()
+
+    def read_ann_state(
+        self,
+    ) -> Optional[Tuple[Dict, Dict[str, np.ndarray]]]:
+        """Load persisted ANN state, or ``None`` when absent/corrupt."""
+        if self.root is None or not self.ann:
+            return None
+        path = self.root / self.ann.get("file", ANN_STATE_NAME)
+        if not path.exists():
+            return None
+        try:
+            arrays, params = load_state(path)
+        except Exception as exc:  # a stale/corrupt file just means rebuild
+            _LOG.warning("ignoring unreadable ANN state at %s: %s", path, exc)
+            return None
+        return params, arrays
 
     # -- reads -------------------------------------------------------------
 
@@ -293,15 +608,36 @@ class EmbeddingStore:
         for info in self._shards:
             self._offsets.append(self._offsets[-1] + info.n_rows)
 
-    def _load_shard(self, index: int) -> _Shard:
-        if index in self._cache:
-            return self._cache[index]
+    def _shard_vectors(self, index: int) -> np.ndarray:
+        """The vector block of one shard (a memory map for v2 stores)."""
+        info = self._shards[index]
+        if self.root is None:
+            raise StoreError(f"shard {index} missing from in-memory store")
+        if self.format_version == 1:
+            state, _meta = load_state(self.root / info.name)
+            vectors = state["vectors"]
+        else:
+            vectors = np.load(self.root / f"{info.name}.npy", mmap_mode="r")
+        if vectors.shape != (info.n_rows, self.dim):
+            raise StoreError(
+                f"shard {info.name} has vector shape {vectors.shape}, "
+                f"manifest says ({info.n_rows}, {self.dim})"
+            )
+        return vectors
+
+    def _load_meta(self, index: int) -> _ShardMeta:
+        if index in self._meta_cache:
+            return self._meta_cache[index]
         if self.root is None:
             raise StoreError(f"shard {index} missing from in-memory store")
         info = self._shards[index]
-        state, meta = load_state(self.root / info.name)
-        shard = _Shard(
-            vectors=state["vectors"],
+        path = (
+            self.root / info.name
+            if self.format_version == 1
+            else self.root / f"{info.name}.meta.npz"
+        )
+        state, meta = load_state(path)
+        shard = _ShardMeta(
             callee_counts=state["callee_counts"],
             ast_sizes=state["ast_sizes"],
             names=list(meta["names"]),
@@ -309,12 +645,12 @@ class EmbeddingStore:
             arches=list(meta["arches"]),
             image_ids=list(meta["image_ids"]),
         )
-        if shard.vectors.shape != (info.n_rows, self.dim):
+        if len(shard) != info.n_rows:
             raise StoreError(
-                f"shard {info.name} has shape {shard.vectors.shape}, "
-                f"manifest says ({info.n_rows}, {self.dim})"
+                f"shard {info.name} has {len(shard)} metadata rows, "
+                f"manifest says {info.n_rows}"
             )
-        self._cache[index] = shard
+        self._meta_cache[index] = shard
         return shard
 
     def _locate(self, row: int) -> tuple:
@@ -328,7 +664,7 @@ class EmbeddingStore:
     def metadata_at(self, row: int) -> StoredFunction:
         """Metadata for one flushed row."""
         shard_index, local = self._locate(row)
-        shard = self._load_shard(shard_index)
+        shard = self._load_meta(shard_index)
         return StoredFunction(
             row=row,
             name=shard.names[local],
@@ -340,38 +676,68 @@ class EmbeddingStore:
         )
 
     def vector_at(self, row: int) -> np.ndarray:
-        shard_index, local = self._locate(row)
-        shard = self._load_shard(shard_index)
-        return shard.vectors[local]
+        self._locate(row)  # range check
+        return self.vectors().row(row)
 
     def iter_metadata(self) -> Iterable[StoredFunction]:
         for row in range(self.n_flushed):
             yield self.metadata_at(row)
 
-    def vectors(self) -> np.ndarray:
-        """All flushed vectors stacked as one ``(n, dim)`` matrix (cached)."""
-        if self._stacked is None:
-            if self.n_flushed == 0:
-                self._stacked = np.zeros((0, self.dim))
-            else:
-                self._stacked = np.concatenate(
-                    [
-                        self._load_shard(i).vectors
-                        for i in range(len(self._shards))
-                    ]
-                )
-        return self._stacked
+    def vectors(self) -> ShardedMatrix:
+        """All flushed vectors as one zero-copy ``(n, dim)`` view.
+
+        Durable v2 shards enter the view as memory maps; opening the
+        view therefore touches no vector data, and a query pages in only
+        the shards it reads.  The view is cached and *extended* by
+        :meth:`flush` -- it is never rebuilt from scratch.
+        """
+        if self._vectors is None:
+            view = ShardedMatrix(self.dim, self.dtype)
+            for i in range(len(self._shards)):
+                view.append_block(self._shard_vectors(i))
+            self._vectors = view
+        return self._vectors
 
     def callee_counts(self) -> np.ndarray:
-        """All flushed callee counts as one length-``n`` int array (cached)."""
+        """All flushed callee counts as one length-``n`` int array.
+
+        Stacked lazily from per-shard blocks; a flush appends the new
+        blocks instead of reloading every shard.
+        """
+        if len(self._count_blocks) != len(self._shards):
+            # cold open: pull counts from the (lazily loaded) shard meta
+            self._count_blocks = [
+                self._load_meta(i).callee_counts
+                for i in range(len(self._shards))
+            ]
+            self._stacked_counts = None
         if self._stacked_counts is None:
-            if self.n_flushed == 0:
-                self._stacked_counts = np.zeros(0, dtype=np.int64)
-            else:
-                self._stacked_counts = np.concatenate(
-                    [
-                        self._load_shard(i).callee_counts
-                        for i in range(len(self._shards))
-                    ]
-                )
+            self._stacked_counts = (
+                np.concatenate(self._count_blocks)
+                if self._count_blocks
+                else np.zeros(0, dtype=np.int64)
+            )
         return self._stacked_counts
+
+    # -- accounting --------------------------------------------------------
+
+    def memory_footprint(self) -> Dict:
+        """Byte accounting for monitoring: what is resident vs. mapped.
+
+        ``resident_bytes`` counts heap-allocated vector blocks (memory
+        maps count as zero -- the kernel pages them in and out on
+        demand) plus the stacked callee-count array; ``vector_bytes`` is
+        the logical size of the full matrix in the store dtype.
+        """
+        view = self._vectors
+        counts = self._stacked_counts
+        resident = (view.resident_nbytes if view is not None else 0) + (
+            counts.nbytes if counts is not None else 0
+        )
+        return {
+            "n_rows": self.n_flushed,
+            "dtype": self.dtype.name,
+            "mmap": bool(view.mmapped) if view is not None else False,
+            "vector_bytes": self.n_flushed * self.dim * self.dtype.itemsize,
+            "resident_bytes": int(resident),
+        }

@@ -76,3 +76,23 @@ class Structure2Vec(Module):
 def cosine_similarity(a: Tensor, b: Tensor) -> Tensor:
     """Cosine similarity between two embedding vectors (autograd-aware)."""
     return a.dot(b) / (a.norm() * b.norm())
+
+
+def cosine_similarity_matrix(
+    queries: np.ndarray, vectors: np.ndarray
+) -> np.ndarray:
+    """Batched inference-path cosine scores: ``(q, d) x (n, d) -> (q, n)``.
+
+    The Siamese-head analogue of
+    :meth:`repro.core.siamese.SiameseClassifier.similarity_from_matrix`
+    for the Gemini baseline: Q cached graph embeddings score a whole
+    corpus of cached embeddings with one normalised GEMM instead of
+    ``q * n`` per-pair :func:`cosine_similarity` calls.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=vectors.dtype))
+    norms = (
+        np.linalg.norm(queries, axis=1)[:, None]
+        * np.linalg.norm(vectors, axis=1)[None, :]
+    )
+    norms = np.where(norms == 0.0, 1e-12, norms)
+    return queries @ vectors.T / norms

@@ -171,6 +171,39 @@ class TestMicroBatcher:
             MicroBatcher(lambda trees: np.zeros((len(trees), 1)),
                          max_batch_size=0)
 
+    def test_encode_many_single_caller(self):
+        calls = []
+
+        def encode(trees):
+            calls.append(list(trees))
+            return np.array([[float(t)] for t in trees])
+
+        batcher = MicroBatcher(encode, max_batch_size=8, max_wait_s=0)
+        out = batcher.encode_many([3, 1, 4, 1, 5])
+        assert out.shape == (5, 1)
+        assert out[:, 0] == pytest.approx([3.0, 1.0, 4.0, 1.0, 5.0])
+        # one caller, one batch: the whole list coalesced
+        assert calls == [[3, 1, 4, 1, 5]]
+        assert batcher.stats.coalesced()
+
+    def test_encode_many_spans_batches_beyond_max(self):
+        def encode(trees):
+            return np.array([[float(t)] for t in trees])
+
+        batcher = MicroBatcher(encode, max_batch_size=2, max_wait_s=0)
+        out = batcher.encode_many(list(range(5)))
+        assert out[:, 0] == pytest.approx([0.0, 1.0, 2.0, 3.0, 4.0])
+        assert batcher.stats.n_items == 5
+        assert batcher.stats.max_batch_size <= 2
+
+    def test_encode_many_empty(self):
+        batcher = MicroBatcher(
+            lambda trees: np.zeros((len(trees), 1)), max_batch_size=2,
+            max_wait_s=0,
+        )
+        assert batcher.encode_many([]).size == 0
+        assert batcher.stats.n_batches == 0
+
     def test_overflow_beyond_max_batch_size(self):
         """More waiters than one batch can hold: follow-up leaders must
         be woken promptly and every caller must complete."""
@@ -290,8 +323,57 @@ class TestEngineLifecycle:
         serial = [engine.query(r) for r in requests]
         batched = engine.query_batch(requests)
         for a, b in zip(serial, batched):
-            assert [(h.row, h.score) for h in a.hits] \
-                == [(h.row, h.score) for h in b.hits]
+            # same ranking; scores agree to float noise (the batched
+            # path fuses Q queries into shared GEMMs, so the low-order
+            # bits of the BLAS reductions may differ)
+            assert [h.row for h in a.hits] == [h.row for h in b.hits]
+            assert [h.score for h in a.hits] == pytest.approx(
+                [h.score for h in b.hits], rel=1e-5, abs=1e-7
+            )
+            assert a.query == b.query
+
+    def test_query_batch_mixed_sources_and_params(self, engine,
+                                                  query_binary,
+                                                  query_functions):
+        requests = [
+            QueryRequest(cve_id="CVE-2016-2105", top_k=3),
+            QueryRequest(binary=query_binary,
+                         function=query_functions[0], top_k=5),
+            QueryRequest(cve_id="CVE-2016-2105", top_k=5, threshold=0.2),
+        ]
+        batched = engine.query_batch(requests)
+        serial = [engine.query(r) for r in requests]
+        for a, b in zip(serial, batched):
+            assert a.query == b.query
+            assert [h.row for h in a.hits] == [h.row for h in b.hits]
+        assert len(batched[0].hits) <= 3
+
+    def test_query_batch_counts_one_batch(self, engine):
+        before = engine.stats()
+        engine.query_batch([
+            QueryRequest(cve_id="CVE-2016-2105", top_k=2),
+            QueryRequest(cve_id="CVE-2014-4877", top_k=2),
+        ])
+        after = engine.stats()
+        assert after.n_query_batches == before.n_query_batches + 1
+        assert after.n_queries == before.n_queries + 2
+
+    def test_query_batch_empty(self, engine):
+        assert engine.query_batch([]) == []
+
+    def test_query_batch_bad_member_raises(self, engine, query_binary):
+        with pytest.raises(BadRequestError, match="not found"):
+            engine.query_batch([
+                QueryRequest(cve_id="CVE-2016-2105"),
+                QueryRequest(binary=query_binary, function="nope"),
+            ])
+
+    def test_stats_report_index_footprint(self, engine):
+        stats = engine.stats()
+        assert stats.index_dtype == "float32"
+        assert stats.index_vector_bytes > 0
+        assert stats.ann_backend == "exact"
+        assert stats.index_mmap is False  # in-memory engine store
 
     def test_top_k_defaults_from_config(self, engine):
         result = engine.query(QueryRequest(cve_id="CVE-2016-2105"))

@@ -157,6 +157,66 @@ class TestQuery:
         assert "threshold" in body["error"]
 
 
+class TestQueryBatch:
+    def test_batch_matches_single_queries(self, server):
+        cves = ["CVE-2016-2105", "CVE-2014-4877", "CVE-2016-2105"]
+        status, batch = _post(server, "/v1/query_batch", {
+            "queries": [{"cve": cve, "top_k": 3} for cve in cves],
+        })
+        assert status == 200
+        assert len(batch["results"]) == len(cves)
+        for cve, result in zip(cves, batch["results"]):
+            status, single = _post(server, "/v1/query",
+                                   {"cve": cve, "top_k": 3})
+            assert status == 200
+            assert result["query"] == cve
+            assert [h["row"] for h in result["hits"]] \
+                == [h["row"] for h in single["hits"]]
+            assert [h["score"] for h in result["hits"]] == pytest.approx(
+                [h["score"] for h in single["hits"]], rel=1e-5
+            )
+
+    def test_mixed_parameters_split_correctly(self, server):
+        status, body = _post(server, "/v1/query_batch", {
+            "queries": [
+                {"cve": "CVE-2016-2105", "top_k": 1},
+                {"cve": "CVE-2016-2105", "top_k": 5},
+            ],
+        })
+        assert status == 200
+        assert len(body["results"][0]["hits"]) <= 1
+        assert len(body["results"][1]["hits"]) <= 5
+
+    def test_empty_or_malformed_batch_is_400(self, server):
+        status, body = _post(server, "/v1/query_batch", {"queries": []})
+        assert status == 400
+        assert "queries" in body["error"]
+        status, body = _post(server, "/v1/query_batch", {})
+        assert status == 400
+        status, body = _post(server, "/v1/query_batch",
+                             {"queries": ["CVE-2016-2105"]})
+        assert status == 400
+        assert "queries[0]" in body["error"]
+
+    def test_bad_member_fails_whole_batch(self, server):
+        status, body = _post(server, "/v1/query_batch", {
+            "queries": [
+                {"cve": "CVE-2016-2105"},
+                {"cve": "CVE-1999-0000"},
+            ],
+        })
+        assert status == 400
+        assert "unknown CVE" in body["error"]
+
+    def test_stats_report_batches_and_footprint(self, server):
+        status, body = _get(server, "/v1/stats")
+        assert status == 200
+        assert body["n_query_batches"] >= 1
+        assert body["index_dtype"] == "float32"
+        assert body["index_vector_bytes"] > 0
+        assert body["ann_backend"] == "exact"
+
+
 class TestEncodeIngestCompare:
     def test_encode(self, server, trained_model, query_binary):
         status, body = _post(server, "/v1/encode",

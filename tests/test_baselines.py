@@ -126,6 +126,26 @@ class TestGemini:
                 assert 0.0 <= gemini.similarity(a, b) <= 1.0
         assert gemini.similarity(acfgs[0], acfgs[0]) == pytest.approx(1.0)
 
+    def test_similarity_from_matrix_matches_per_pair(
+        self, buildroot_small
+    ):
+        gemini = Gemini(GeminiConfig(embedding_dim=16, seed=2))
+        fns = buildroot_small.functions["x86"][:5]
+        vectors = np.stack(
+            [gemini.encode(buildroot_small.acfg_for(f)) for f in fns]
+        )
+        queries = vectors[:2]
+        batched = gemini.similarity_from_matrix(queries, vectors)
+        assert batched.shape == (2, 5)
+        for i in range(2):
+            singles = [
+                gemini.similarity_from_vectors(queries[i], vectors[j])
+                for j in range(5)
+            ]
+            np.testing.assert_allclose(batched[i], singles, atol=1e-12)
+        one = gemini.similarity_from_matrix(queries[0], vectors)
+        np.testing.assert_allclose(one, batched[0], atol=1e-12)
+
     def test_training_improves_separation(self, buildroot_small):
         from repro.core.pairs import build_cross_arch_pairs
 

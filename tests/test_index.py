@@ -97,9 +97,9 @@ class TestEmbeddingStore:
         store = EmbeddingStore.create(root, dim=8, shard_size=2)
         _fill(store, 6)
         reopened = EmbeddingStore.open(root)
-        assert not reopened._cache
-        reopened.metadata_at(5)  # last shard only
-        assert set(reopened._cache) == {2}
+        assert not reopened._meta_cache
+        reopened.metadata_at(5)  # last shard's metadata only
+        assert set(reopened._meta_cache) == {2}
 
     def test_dim_mismatch_rejected(self, tmp_path):
         store = EmbeddingStore.create(tmp_path / "idx", dim=8)
@@ -122,7 +122,10 @@ class TestEmbeddingStore:
         assert store.n_flushed == 1
 
     def test_encoding_reconstruction(self):
-        store = EmbeddingStore.in_memory(dim=8)
+        # float64 stores round-trip vectors bit-exactly; the default
+        # float32 round-trip (cast tolerance) is covered in
+        # test_index_corpus.py
+        store = EmbeddingStore.in_memory(dim=8, dtype="float64")
         original = _encoding(11)
         store.add(original, image_id="img/x")
         store.flush()

@@ -1,0 +1,618 @@
+"""Corpus-scale read path: mmap float32 shards, persisted LSH, batched
+top-k.
+
+Covers the format-2 store (configurable dtype, memory-mapped ``.npy``
+vector shards, zero-copy :class:`ShardedMatrix` view, v1 migration),
+argpartition top-k selection (tie-for-tie identical to the lexsort
+reference), batched multi-query scoring, and the persisted/incremental
+LSH life cycle with its re-projection instrumentation counter.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.model import Asteria, AsteriaConfig, FunctionEncoding
+from repro.index.ann import (
+    BruteForceIndex,
+    LSHIndex,
+    select_top_k,
+)
+from repro.index.search import SearchService
+from repro.index.store import (
+    ANN_STATE_NAME,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    EmbeddingStore,
+    ShardedMatrix,
+    StoreError,
+)
+
+
+def _encoding(i: int, dim: int = 8, vector=None) -> FunctionEncoding:
+    rng = np.random.default_rng(i)
+    return FunctionEncoding(
+        name=f"sub_{i:x}",
+        arch="x86",
+        binary_name=f"bin-{i % 3}",
+        vector=rng.normal(size=dim) if vector is None else vector,
+        callee_count=i % 5,
+        ast_size=10 + i,
+    )
+
+
+def _fill(store: EmbeddingStore, n: int, dim: int = 8) -> None:
+    for i in range(n):
+        store.add(_encoding(i, dim), image_id=f"img/{i % 4}")
+    store.flush()
+
+
+@pytest.fixture(scope="module")
+def corpus_model():
+    return Asteria(AsteriaConfig(hidden_dim=16, seed=4))
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    """Clustered vectors + aligned callee counts + one query per cluster."""
+    rng = np.random.default_rng(11)
+    dim = 16
+    centers = rng.normal(size=(5, dim)) * 2.0
+    vectors = np.concatenate(
+        [c + rng.normal(scale=0.15, size=(24, dim)) for c in centers]
+    )
+    counts = np.repeat(np.arange(5, dtype=np.int64), 24)
+    queries = [
+        FunctionEncoding(
+            name=f"q{i}", arch="x86", binary_name="query",
+            vector=centers[i] + rng.normal(scale=0.1, size=dim),
+            callee_count=i,
+        )
+        for i in range(5)
+    ]
+    return vectors, counts, queries
+
+
+def _same_ranking(a, b, rel=1e-5):
+    """Same rows in the same order; scores equal to float noise."""
+    assert [n.row for n in a] == [n.row for n in b]
+    assert [n.score for n in a] == pytest.approx(
+        [n.score for n in b], rel=rel, abs=1e-7
+    )
+
+
+# -- ShardedMatrix ---------------------------------------------------------
+
+
+class TestShardedMatrix:
+    def test_view_concatenates_blocks(self):
+        a = np.arange(12, dtype=np.float32).reshape(4, 3)
+        b = np.arange(12, 21, dtype=np.float32).reshape(3, 3)
+        view = ShardedMatrix(3, np.float32, [a, b])
+        assert view.shape == (7, 3)
+        assert len(view) == 7
+        assert np.array_equal(np.asarray(view), np.concatenate([a, b]))
+
+    def test_row_and_fancy_indexing_cross_shards(self):
+        blocks = [np.full((2, 2), i, dtype=np.float64) for i in range(4)]
+        view = ShardedMatrix(2, np.float64, blocks)
+        assert view[5][0] == 2.0
+        taken = view.take([0, 3, 7, 3])
+        assert taken.shape == (4, 2)
+        assert list(taken[:, 0]) == [0.0, 1.0, 3.0, 1.0]
+        assert np.array_equal(view[1:4], np.asarray(view)[1:4])
+
+    def test_append_extends_without_copy(self):
+        a = np.ones((2, 2))
+        view = ShardedMatrix(2, np.float64, [a])
+        view.append_block(np.zeros((3, 2)))
+        assert view.shape == (5, 2)
+        # the first block is the exact same object: no re-stack happened
+        assert next(view.iter_blocks())[1] is a
+
+    def test_block_shape_checked(self):
+        view = ShardedMatrix(4, np.float32)
+        with pytest.raises(StoreError, match="does not fit"):
+            view.append_block(np.zeros((2, 3)))
+
+    def test_take_wraps_negative_and_rejects_out_of_range(self):
+        blocks = [np.arange(8, dtype=np.float64).reshape(4, 2)]
+        view = ShardedMatrix(2, np.float64, blocks)
+        assert np.array_equal(view.take([-1])[0], blocks[0][3])
+        assert np.array_equal(view[[-4]][0], blocks[0][0])
+        with pytest.raises(IndexError, match="10 out of range"):
+            view.take([0, 10])
+        with pytest.raises(IndexError, match="-5 out of range"):
+            view.take([-5])
+
+    def test_snapshot_does_not_grow_with_source(self):
+        view = ShardedMatrix(2, np.float64, [np.ones((2, 2))])
+        frozen = view.snapshot()
+        view.append_block(np.zeros((3, 2)))
+        assert view.shape == (5, 2)
+        assert frozen.shape == (2, 2)
+
+    def test_resident_accounting_ignores_mmaps(self, tmp_path):
+        heap = np.ones((4, 2))
+        np.save(tmp_path / "b.npy", np.zeros((4, 2)))
+        mapped = np.load(tmp_path / "b.npy", mmap_mode="r")
+        view = ShardedMatrix(2, np.float64, [heap, mapped])
+        assert view.resident_nbytes == heap.nbytes
+        assert view.mmapped
+
+
+# -- dtype round-trips & mmap ---------------------------------------------
+
+
+class TestStoreDtype:
+    def test_default_dtype_is_float32(self, tmp_path):
+        store = EmbeddingStore.create(tmp_path / "idx", dim=8)
+        assert store.dtype == np.float32
+        _fill(store, 5)
+        reopened = EmbeddingStore.open(tmp_path / "idx")
+        assert reopened.dtype == np.float32
+        assert reopened.vectors().dtype == np.float32
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_round_trip_within_cast_tolerance(self, tmp_path, dtype):
+        store = EmbeddingStore.create(tmp_path / "idx", dim=8, dtype=dtype)
+        originals = [_encoding(i) for i in range(7)]
+        for encoding in originals:
+            store.add(encoding)
+        store.flush()
+        reopened = EmbeddingStore.open(tmp_path / "idx")
+        for i, original in enumerate(originals):
+            got = reopened.vector_at(i)
+            if dtype == "float64":
+                assert np.array_equal(got, original.vector)
+            else:
+                np.testing.assert_allclose(
+                    got, original.vector, rtol=1e-6, atol=1e-7
+                )
+
+    def test_unknown_dtype_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="dtype"):
+            EmbeddingStore.create(tmp_path / "idx", dim=8, dtype="float16")
+
+    def test_mmap_open_is_lazy_and_resident_free(self, tmp_path):
+        store = EmbeddingStore.create(tmp_path / "idx", dim=8, shard_size=4)
+        _fill(store, 12)
+        reopened = EmbeddingStore.open(tmp_path / "idx")
+        view = reopened.vectors()
+        assert view.mmapped
+        assert view.resident_nbytes == 0
+        footprint = reopened.memory_footprint()
+        assert footprint["mmap"]
+        assert footprint["dtype"] == "float32"
+        assert footprint["vector_bytes"] == 12 * 8 * 4
+
+    def test_float32_resident_memory_at_least_4x_below_float64(
+        self, tmp_path
+    ):
+        dim, n = 32, 64
+        in_mem = EmbeddingStore.in_memory(dim=dim, dtype="float64")
+        durable = EmbeddingStore.create(tmp_path / "idx32", dim=dim)
+        for i in range(n):
+            in_mem.add(_encoding(i, dim))
+            durable.add(_encoding(i, dim))
+        in_mem.flush()
+        durable.flush()
+        in_mem.vectors()
+        baseline = in_mem.memory_footprint()["resident_bytes"]
+        assert baseline >= n * dim * 8
+
+        mapped = EmbeddingStore.open(tmp_path / "idx32")
+        mapped.vectors()
+        mapped.callee_counts()
+        resident = mapped.memory_footprint()["resident_bytes"]
+        # float32 halves the bytes and mmap keeps vectors off the heap:
+        # well past the required 4x drop
+        assert resident * 4 <= baseline
+
+    def test_score_equivalence_float32_vs_float64(
+        self, tmp_path, corpus_model, clustered
+    ):
+        vectors, counts, queries = clustered
+        stores = {}
+        for dtype in ("float32", "float64"):
+            store = EmbeddingStore.create(
+                tmp_path / dtype, dim=16, shard_size=32, dtype=dtype
+            )
+            for i in range(len(vectors)):
+                store.add(_encoding(i, 16, vector=vectors[i]))
+            store.flush()
+            stores[dtype] = EmbeddingStore.open(tmp_path / dtype)
+        idx32 = BruteForceIndex(
+            corpus_model, stores["float32"].vectors(),
+            stores["float32"].callee_counts(),
+        )
+        idx64 = BruteForceIndex(
+            corpus_model, stores["float64"].vectors(),
+            stores["float64"].callee_counts(),
+        )
+        for query in queries:
+            a = idx32.top_k(query, k=10)
+            b = idx64.top_k(query, k=10)
+            assert [n.row for n in a] == [n.row for n in b]
+            assert [n.score for n in a] == pytest.approx(
+                [n.score for n in b], rel=1e-4, abs=1e-5
+            )
+
+    def test_mmap_vs_in_memory_equivalence(
+        self, tmp_path, corpus_model, clustered
+    ):
+        vectors, counts, queries = clustered
+        durable = EmbeddingStore.create(
+            tmp_path / "idx", dim=16, shard_size=16
+        )
+        ephemeral = EmbeddingStore.in_memory(dim=16, shard_size=16)
+        for i in range(len(vectors)):
+            durable.add(_encoding(i, 16, vector=vectors[i]))
+            ephemeral.add(_encoding(i, 16, vector=vectors[i]))
+        durable.flush()
+        ephemeral.flush()
+        mapped = EmbeddingStore.open(tmp_path / "idx")
+        assert mapped.vectors().mmapped
+        assert not ephemeral.vectors().mmapped
+        idx_m = BruteForceIndex(
+            corpus_model, mapped.vectors(), mapped.callee_counts()
+        )
+        idx_e = BruteForceIndex(
+            corpus_model, ephemeral.vectors(), ephemeral.callee_counts()
+        )
+        for query in queries:
+            # identical bytes on both sides -> identical scores
+            a, b = idx_m.top_k(query, k=10), idx_e.top_k(query, k=10)
+            assert [(n.row, n.score) for n in a] \
+                == [(n.row, n.score) for n in b]
+
+
+# -- incremental append ----------------------------------------------------
+
+
+class TestIncrementalAppend:
+    def test_flush_appends_blocks_without_restacking(self):
+        store = EmbeddingStore.in_memory(dim=8, shard_size=4)
+        _fill(store, 8)
+        view = store.vectors()
+        first_block = next(view.iter_blocks())[1]
+        counts = store.callee_counts()
+        for i in range(8, 12):
+            store.add(_encoding(i))
+        store.flush()
+        assert store.vectors() is view  # same view object, extended
+        assert view.shape == (12, 8)
+        assert next(view.iter_blocks())[1] is first_block  # untouched
+        assert store.callee_counts().shape == (12,)
+        assert np.array_equal(store.callee_counts()[:8], counts)
+
+    def test_index_stays_consistent_when_store_grows(self, corpus_model):
+        # an index snapshots the view at construction: rows flushed
+        # afterwards must not leak into (or crash) its scoring
+        store = EmbeddingStore.in_memory(dim=16, shard_size=8)
+        _fill(store, 10, dim=16)
+        index = BruteForceIndex(
+            corpus_model, store.vectors(), store.callee_counts()
+        )
+        assert len(index) == 10
+        for i in range(10, 15):
+            store.add(_encoding(i, 16))
+        store.flush()
+        assert len(store) == 15
+        assert len(index) == 10  # the snapshot did not grow
+        query = _encoding(99, 16)
+        neighbors = index.top_k(query, k=20)
+        assert len(neighbors) == 10
+        assert all(n.row < 10 for n in neighbors)
+
+    def test_append_after_reopen_preserves_rows(self, tmp_path):
+        store = EmbeddingStore.create(tmp_path / "idx", dim=8, shard_size=4)
+        _fill(store, 6)
+        reopened = EmbeddingStore.open(tmp_path / "idx")
+        before = np.asarray(reopened.vectors()).copy()
+        for i in range(6, 10):
+            reopened.add(_encoding(i))
+        reopened.flush()
+        final = EmbeddingStore.open(tmp_path / "idx")
+        assert len(final) == 10
+        assert np.array_equal(np.asarray(final.vectors())[:6], before)
+        assert final.metadata_at(9).name == _encoding(9).name
+
+
+# -- argpartition selection ------------------------------------------------
+
+
+class TestSelectTopK:
+    def test_matches_lexsort_with_ties(self):
+        scores = np.array([0.5, 0.9, 0.9, 0.1, 0.9, 0.5, 0.9])
+        rows = np.arange(scores.size)
+        for k in (1, 2, 3, 4, 5, 7, 10, None):
+            want = np.lexsort((rows, -scores))
+            want = want[: scores.size if k is None else k]
+            got = select_top_k(scores, rows, k)
+            assert list(got) == list(want), k
+
+    def test_matches_lexsort_fuzz(self):
+        rng = np.random.default_rng(3)
+        for trial in range(50):
+            n = int(rng.integers(1, 60))
+            # quantised scores force plenty of exact ties
+            scores = rng.integers(0, 5, size=n) / 4.0
+            rows = rng.permutation(n * 2)[:n]
+            k = int(rng.integers(1, n + 2))
+            want = np.lexsort((rows, -scores))[:k]
+            got = select_top_k(scores, rows, k)
+            assert list(got) == list(want)
+
+    def test_k_zero_and_empty(self):
+        assert select_top_k(np.array([1.0]), np.array([0]), 0).size == 0
+
+    def test_index_top_k_ties_break_by_row(self, corpus_model):
+        # identical vectors -> identical scores -> row order decides
+        vector = np.ones(16)
+        vectors = np.stack([vector] * 6)
+        counts = np.zeros(6, dtype=np.int64)
+        index = BruteForceIndex(corpus_model, vectors, counts)
+        query = FunctionEncoding(
+            name="q", arch="x86", binary_name="b", vector=vector,
+            callee_count=0,
+        )
+        neighbors = index.top_k(query, k=4)
+        assert [n.row for n in neighbors] == [0, 1, 2, 3]
+
+
+# -- batched multi-query top-k ---------------------------------------------
+
+
+class TestTopKBatch:
+    def test_brute_force_batch_matches_serial(self, corpus_model, clustered):
+        vectors, counts, queries = clustered
+        index = BruteForceIndex(corpus_model, vectors, counts)
+        serial = [index.top_k(q, k=6) for q in queries]
+        batched = index.top_k_batch(queries, k=6)
+        for a, b in zip(serial, batched):
+            _same_ranking(a, b)
+
+    def test_lsh_batch_matches_serial(self, corpus_model, clustered):
+        vectors, counts, queries = clustered
+        index = LSHIndex(corpus_model, vectors, counts, seed=5)
+        serial = [index.top_k(q, k=6) for q in queries]
+        batched = index.top_k_batch(queries, k=6)
+        for a, b in zip(serial, batched):
+            _same_ranking(a, b)
+
+    def test_batch_threshold_and_empty(self, corpus_model, clustered):
+        vectors, counts, queries = clustered
+        index = BruteForceIndex(corpus_model, vectors, counts)
+        batched = index.top_k_batch(queries, k=None, threshold=0.5)
+        for q, neighbors in zip(queries, batched):
+            reference = index.top_k(q, k=None, threshold=0.5)
+            _same_ranking(reference, neighbors)
+        assert index.top_k_batch([], k=5) == []
+
+    def test_batch_on_empty_index(self, corpus_model, clustered):
+        _vectors, _counts, queries = clustered
+        index = BruteForceIndex(
+            corpus_model, np.zeros((0, 16)), np.zeros(0, dtype=np.int64)
+        )
+        assert index.top_k_batch(queries, k=5) == [[] for _ in queries]
+
+    def test_service_query_batch_matches_query(
+        self, corpus_model, clustered
+    ):
+        vectors, counts, queries = clustered
+        store = EmbeddingStore.in_memory(dim=16, shard_size=32)
+        for i in range(len(vectors)):
+            store.add(
+                _encoding(i, 16, vector=vectors[i]), image_id="img/a"
+            )
+        store.flush()
+        service = SearchService(corpus_model, store)
+        serial = [service.query(q, top_k=5) for q in queries]
+        batched = service.query_batch(queries, top_k=5)
+        for a, b in zip(serial, batched):
+            assert [h.row for h in a] == [h.row for h in b]
+            assert [h.name for h in a] == [h.name for h in b]
+            assert [h.score for h in a] == pytest.approx(
+                [h.score for h in b], rel=1e-5, abs=1e-7
+            )
+
+
+# -- persisted LSH ---------------------------------------------------------
+
+
+class TestPersistedLSH:
+    def _store(self, root, clustered) -> EmbeddingStore:
+        vectors, _counts, _queries = clustered
+        store = EmbeddingStore.create(root, dim=16, shard_size=32)
+        for i in range(len(vectors)):
+            store.add(_encoding(i, 16, vector=vectors[i]))
+        store.flush()
+        return EmbeddingStore.open(root)
+
+    def test_persisted_equals_rebuilt_without_projection(
+        self, tmp_path, corpus_model, clustered
+    ):
+        _vectors, _counts, queries = clustered
+        store = self._store(tmp_path / "idx", clustered)
+        built = LSHIndex(
+            corpus_model, store.vectors(), store.callee_counts(), seed=7
+        )
+        assert built.rows_projected == len(store)
+        assert not built.loaded_from_state
+        params, arrays = built.state_dict()
+        store.write_ann_state(params, arrays)
+        assert (tmp_path / "idx" / ANN_STATE_NAME).exists()
+
+        reopened = EmbeddingStore.open(tmp_path / "idx")
+        restored = LSHIndex(
+            corpus_model, reopened.vectors(), reopened.callee_counts(),
+            seed=7, state=reopened.read_ann_state(),
+        )
+        # the whole point: zero corpus rows re-projected on open
+        assert restored.loaded_from_state
+        assert restored.rows_projected == 0
+        for query in queries:
+            a = built.top_k(query, k=8)
+            b = restored.top_k(query, k=8)
+            assert [n.row for n in a] == [n.row for n in b]
+
+    def test_mismatched_params_force_rebuild(
+        self, tmp_path, corpus_model, clustered
+    ):
+        store = self._store(tmp_path / "idx", clustered)
+        built = LSHIndex(
+            corpus_model, store.vectors(), store.callee_counts(), seed=7
+        )
+        store.write_ann_state(*built.state_dict())
+        reopened = EmbeddingStore.open(tmp_path / "idx")
+        other_seed = LSHIndex(
+            corpus_model, reopened.vectors(), reopened.callee_counts(),
+            seed=8, state=reopened.read_ann_state(),
+        )
+        assert not other_seed.loaded_from_state
+        assert other_seed.rows_projected == len(store)
+
+    def test_incremental_extend_projects_only_new_rows(
+        self, tmp_path, corpus_model, clustered
+    ):
+        vectors, _counts, queries = clustered
+        store = self._store(tmp_path / "idx", clustered)
+        built = LSHIndex(
+            corpus_model, store.vectors(), store.callee_counts(), seed=7
+        )
+        store.write_ann_state(*built.state_dict())
+        state = store.read_ann_state()
+
+        for i in range(20):
+            store.add(_encoding(1000 + i, 16))
+        store.flush()
+        extended = LSHIndex(
+            corpus_model, store.vectors(), store.callee_counts(),
+            seed=7, state=state,
+        )
+        assert extended.loaded_from_state
+        assert extended.rows_projected == 20
+        rebuilt = LSHIndex(
+            corpus_model, store.vectors(), store.callee_counts(), seed=7
+        )
+        for query in queries:
+            assert [n.row for n in extended.top_k(query, k=8)] \
+                == [n.row for n in rebuilt.top_k(query, k=8)]
+
+    def test_service_round_trips_lsh_state(
+        self, tmp_path, corpus_model, clustered
+    ):
+        _vectors, _counts, queries = clustered
+        store = self._store(tmp_path / "idx", clustered)
+        service = SearchService(
+            corpus_model, store, backend="lsh", seed=3
+        )
+        first = service.index()
+        assert first.rows_projected == len(store)
+        manifest = json.loads(
+            (tmp_path / "idx" / MANIFEST_NAME).read_text()
+        )
+        assert manifest["ann"]["kind"] == "lsh"
+        assert manifest["ann"]["n_rows"] == len(store)
+
+        reopened = SearchService(
+            corpus_model, EmbeddingStore.open(tmp_path / "idx"),
+            backend="lsh", seed=3,
+        )
+        second = reopened.index()
+        assert second.loaded_from_state
+        assert second.rows_projected == 0
+        for query in queries:
+            a = [h.row for h in service.query(query, top_k=8)]
+            b = [h.row for h in reopened.query(query, top_k=8)]
+            assert a == b
+
+
+# -- v1 migration ----------------------------------------------------------
+
+
+class TestV1Migration:
+    def _v1_store(self, root, n: int = 10) -> None:
+        store = EmbeddingStore.create(
+            root, dim=8, shard_size=4, format_version=1
+        )
+        _fill(store, n)
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        assert manifest["format_version"] == 1
+        assert (root / "shard-00000.npz").exists()
+
+    def test_v1_store_auto_migrates_on_open(self, tmp_path):
+        root = tmp_path / "idx"
+        self._v1_store(root)
+        expected = [_encoding(i).vector for i in range(10)]
+        migrated = EmbeddingStore.open(root)
+        assert migrated.format_version == FORMAT_VERSION
+        assert migrated.dtype == np.float64  # migration keeps the bytes
+        assert migrated.vectors().mmapped
+        assert np.array_equal(np.asarray(migrated.vectors()), expected)
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        assert manifest["format_version"] == FORMAT_VERSION
+        assert (root / "shard-00000.npy").exists()
+        # metadata survived
+        assert migrated.metadata_at(3).name == _encoding(3).name
+        assert migrated.metadata_at(3).image_id == "img/3"
+
+    def test_migration_reclaims_legacy_shards(self, tmp_path):
+        root = tmp_path / "idx"
+        self._v1_store(root)
+        EmbeddingStore.open(root)
+        # the float64 bytes now live in .npy shards; the all-in-one npz
+        # files are gone instead of doubling the store size forever
+        assert not list(root.glob("shard-*[0-9].npz"))
+        assert len(list(root.glob("shard-*.npy"))) == 3
+
+    def test_corrupt_v1_shard_falls_back_to_read_compat(self, tmp_path):
+        root = tmp_path / "idx"
+        self._v1_store(root)
+        (root / "shard-00001.npz").write_bytes(b"not a zipfile")
+        compat = EmbeddingStore.open(root)  # must not raise
+        assert compat.format_version == 1
+        # intact shards still serve; the corrupt npz files were kept
+        assert compat.metadata_at(0).name == _encoding(0).name
+        assert (root / "shard-00000.npz").exists()
+
+    def test_failed_migration_reverts_to_v1_reads(
+        self, tmp_path, monkeypatch
+    ):
+        # shards migrate fine but the manifest write dies (e.g. full
+        # disk): the store must keep reading the untouched v1 layout
+        root = tmp_path / "idx"
+        self._v1_store(root)
+        monkeypatch.setattr(
+            EmbeddingStore, "_write_manifest",
+            lambda self: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        compat = EmbeddingStore.open(root)
+        monkeypatch.undo()
+        assert compat.format_version == 1
+        assert compat.metadata_at(7).name == _encoding(7).name
+        assert np.array_equal(compat.vector_at(7), _encoding(7).vector)
+
+    def test_v1_read_compat_without_migration(self, tmp_path):
+        root = tmp_path / "idx"
+        self._v1_store(root)
+        compat = EmbeddingStore.open(root, migrate=False)
+        assert compat.format_version == 1
+        assert not compat.vectors().mmapped
+        assert np.array_equal(
+            np.asarray(compat.vectors()),
+            [_encoding(i).vector for i in range(10)],
+        )
+
+    def test_migrated_store_appends_as_v2(self, tmp_path):
+        root = tmp_path / "idx"
+        self._v1_store(root)
+        migrated = EmbeddingStore.open(root)
+        for i in range(10, 14):
+            migrated.add(_encoding(i))
+        migrated.flush()
+        final = EmbeddingStore.open(root)
+        assert len(final) == 14
+        assert (root / "shard-00003.npy").exists()

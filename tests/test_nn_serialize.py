@@ -53,7 +53,9 @@ class TestStateRoundTrip:
 
 class TestShardRoundTrip:
     def test_shard_preserves_dtype_shape_and_metadata(self, tmp_path):
-        store = EmbeddingStore.create(tmp_path / "idx", dim=6, shard_size=2)
+        store = EmbeddingStore.create(
+            tmp_path / "idx", dim=6, shard_size=2, dtype="float64"
+        )
         rng = np.random.default_rng(0)
         encodings = [
             FunctionEncoding(
