@@ -31,7 +31,7 @@ from repro.core.model import Asteria, AsteriaConfig, FunctionEncoding
 from repro.index.ann import BruteForceIndex, LSHIndex
 from repro.index.store import EmbeddingStore
 
-from benchmarks.conftest import scaled, write_result
+from benchmarks.conftest import emit_bench_json, scaled, write_result
 
 MIN_SPEEDUP = float(os.environ.get("CORPUS_BENCH_MIN_SPEEDUP", "4.0"))
 MIN_MEMORY_RATIO = 4.0
@@ -220,6 +220,31 @@ def test_corpus_query(benchmark, tmp_path):
         f"0 rows re-projected (fresh build signs {n})",
     ]
     write_result("corpus_query", "\n".join(lines))
+    emit_bench_json(
+        "corpus_query",
+        {
+            "n_functions": n,
+            "n_queries": N_QUERIES,
+            "ingest_s": ingest_s,
+            "resident_bytes_float64": resident_base,
+            "resident_bytes_mmap": resident_mmap,
+            "memory_ratio": memory_ratio,
+            "legacy_s": legacy_s,
+            "single_s": single_s,
+            "batched_s": batched_s,
+            "speedup_vs_legacy": speedup_vs_legacy,
+            "speedup_vs_single": speedup_vs_single,
+            "top10_overlap": overlap,
+            "lsh_recall_at_10": recall,
+            "persisted_open_s": persisted_open_s,
+        },
+        floors={
+            "min_speedup_vs_legacy": MIN_SPEEDUP,
+            "min_memory_ratio": MIN_MEMORY_RATIO,
+            "min_overlap": MIN_OVERLAP,
+            "min_recall_at_10": MIN_RECALL_AT_10,
+        },
+    )
 
     assert memory_ratio >= MIN_MEMORY_RATIO
     assert speedup_vs_legacy >= MIN_SPEEDUP

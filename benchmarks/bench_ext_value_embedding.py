@@ -14,7 +14,7 @@ import time
 from repro.core.extensions import ValueAwareAsteria, ValueFeatureExtractor
 from repro.evalsuite.metrics import roc_auc
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import emit_bench_json, write_result
 
 WEIGHTS = (0.0, 0.25, 0.5)
 
@@ -51,6 +51,14 @@ def test_extension_value_embedding(benchmark, trained_asteria, eval_pairs,
     lines.append(f"value-feature extraction: {extract_s:.2e} s/function "
                  f"(vs Tree-LSTM encoding, see fig10b)")
     write_result("ext_value_embedding", "\n".join(lines))
+    emit_bench_json(
+        "ext_value_embedding",
+        {
+            "auc_by_weight": {str(w): auc for w, auc in aucs.items()},
+            "extract_s_per_function": extract_s,
+        },
+        floors={"max_auc_drop_at_0.25": 0.03},
+    )
 
     # Shape: small blend weights do not degrade the model.
     assert aucs[0.25] >= aucs[0.0] - 0.03

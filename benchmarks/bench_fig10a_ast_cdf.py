@@ -10,7 +10,7 @@ import numpy as np
 
 from repro.evalsuite.timing import ast_size_cdf
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import emit_bench_json, write_result
 
 
 def test_fig10a_ast_size_cdf(benchmark, openssl):
@@ -30,6 +30,17 @@ def test_fig10a_ast_size_cdf(benchmark, openssl):
         index = min(int(q * len(sorted_sizes)), len(sorted_sizes) - 1)
         lines.append(f"  p{int(q * 100):>2}: size {int(sorted_sizes[index])}")
     write_result("fig10a_ast_cdf", "\n".join(lines))
+    emit_bench_json(
+        "fig10a_ast_cdf",
+        {
+            "n_asts": len(sizes),
+            "fraction_by_cutoff": {
+                str(cutoff): float(np.mean(sorted_sizes <= cutoff))
+                for cutoff in (20, 40, 80, 200, 300)
+            },
+        },
+        floors={"min_fraction_le_200": 0.7},
+    )
 
     # Shape: the distribution is dominated by small ASTs.
     assert float(np.mean(sorted_sizes <= 200)) > 0.7

@@ -18,7 +18,7 @@ from repro.evalsuite.timing import (
 )
 from repro.pipeline import ArtifactCache
 
-from benchmarks.conftest import scaled, write_result
+from benchmarks.conftest import emit_bench_json, scaled, write_result
 
 
 def test_fig10b_offline_phase(benchmark, openssl, trained_asteria,
@@ -80,6 +80,20 @@ def test_fig10b_offline_phase(benchmark, openssl, trained_asteria,
                 f"{float(np.mean(sample)):.6f} s over {len(sample)} fns"
             )
     write_result("fig10b_offline", "\n".join(lines))
+    emit_bench_json(
+        "fig10b_offline",
+        {
+            "n_functions": len(rows),
+            "mean_phase_seconds": means,
+            "batched_per_function_s": batched.batched_per_function_s,
+            "batched_speedup": batched.speedup,
+            "pipeline_cold_stage_seconds": {
+                "decompile": cold.times.decompile_s,
+                "preprocess": cold.times.preprocess_s,
+                "encode": cold.times.encode_s,
+            },
+        },
+    )
 
     # Warm pipeline runs skip the offline work entirely.
     assert warm.n_extracted == 0 and warm.n_encoded == 0

@@ -10,7 +10,7 @@ C-level ops; ours include Python call overhead.)
 
 from repro.evalsuite.timing import measure_online
 
-from benchmarks.conftest import scaled, write_result
+from benchmarks.conftest import emit_bench_json, scaled, write_result
 
 
 def test_fig10c_online_phase(benchmark, openssl, trained_asteria,
@@ -29,6 +29,17 @@ def test_fig10c_online_phase(benchmark, openssl, trained_asteria,
         f"speedup vs Gemini:   {stats.gemini_s / stats.asteria_s:8.1f}x",
     ]
     write_result("fig10c_online", "\n".join(lines))
+    emit_bench_json(
+        "fig10c_online",
+        {
+            "asteria_s_per_pair": stats.asteria_s,
+            "gemini_s_per_pair": stats.gemini_s,
+            "diaphora_s_per_pair": stats.diaphora_s,
+            "speedup_vs_diaphora": stats.diaphora_s / stats.asteria_s,
+            "speedup_vs_gemini": stats.gemini_s / stats.asteria_s,
+        },
+        floors={"min_speedup_vs_diaphora": 3.0},
+    )
 
     # Shape: Asteria's online comparison is the fastest; Diaphora's
     # big-int digit comparison is the slowest by a wide margin.

@@ -15,7 +15,7 @@ import numpy as np
 from repro.baselines.diaphora import DiaphoraMatcher
 from repro.evalsuite.metrics import roc_auc, roc_curve, tpr_at_fpr
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import emit_bench_json, write_result
 
 
 def test_fig6_roc_mixed(benchmark, trained_asteria, trained_gemini,
@@ -71,6 +71,18 @@ def test_fig6_roc_mixed(benchmark, trained_asteria, trained_gemini,
         deciles = np.interp(np.linspace(0, 1, 11), fpr, tpr)
         lines.append(f"  {name:<12} " + " ".join(f"{v:.2f}" for v in deciles))
     write_result("fig6_roc_mixed", "\n".join(lines))
+    emit_bench_json(
+        "fig6_roc_mixed",
+        {
+            "n_pairs": len(labels),
+            "auc": {name: auc for name, auc in aucs.items()},
+            "tpr_at_5pct_fpr": {
+                name: tpr_at_fpr(labels, series, 0.05)
+                for name, series in scores.items()
+            },
+        },
+        floors={"max_diaphora_auc": 0.75},
+    )
 
     # The paper's ordering must hold.
     assert aucs["Asteria"] >= aucs["Asteria-WOC"] - 0.01

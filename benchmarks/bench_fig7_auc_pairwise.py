@@ -10,7 +10,7 @@ from repro.core import build_cross_arch_pairs
 from repro.core.pairs import ARCH_COMBINATIONS
 from repro.evalsuite.metrics import roc_auc
 
-from benchmarks.conftest import scaled, write_result
+from benchmarks.conftest import emit_bench_json, scaled, write_result
 
 
 def test_fig7_auc_pairwise(benchmark, trained_asteria, trained_gemini,
@@ -63,6 +63,15 @@ def test_fig7_auc_pairwise(benchmark, trained_asteria, trained_gemini,
             f"{row['woc']:>8.3f} {row['gemini']:>8.3f} {row['diaphora']:>9.3f}"
         )
     write_result("fig7_auc_pairwise", "\n".join(lines))
+    emit_bench_json(
+        "fig7_auc_pairwise",
+        {
+            "auc_by_combo": {
+                f"{combo[0]}-{combo[1]}": row
+                for combo, row in results.items()
+            },
+        },
+    )
 
     # Shape: Asteria beats Gemini and Diaphora in every combination.
     for combo, row in results.items():

@@ -8,7 +8,7 @@ the accuracy/complexity sweet spot, and 128 shows mild overfitting.
 
 from repro.core import Asteria, AsteriaConfig, TrainConfig, Trainer
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import emit_bench_json, write_result
 
 EMBEDDING_SIZES = (8, 16, 32, 64, 128)
 
@@ -24,6 +24,11 @@ def test_fig8_embedding_size(benchmark, train_dev_pairs):
         aucs[dim] = history.best_auc
         lines.append(f"{dim:>5} {history.best_auc:>9.4f}")
     write_result("fig8_embedding_size", "\n".join(lines))
+    emit_bench_json(
+        "fig8_embedding_size",
+        {"auc_by_dim": {str(dim): auc for dim, auc in aucs.items()}},
+        floors={"min_auc": 0.8, "max_auc_spread": 0.15},
+    )
 
     # Shape: every size trains to a usable model, and the spread is small
     # (the paper's spread across sizes is under 0.01 AUC).

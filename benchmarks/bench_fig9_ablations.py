@@ -8,7 +8,7 @@ classification+leaf-0 0.981 > leaf-1 0.973 > regression 0.944):
 
 from repro.core import Asteria, AsteriaConfig, TrainConfig, Trainer
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import emit_bench_json, write_result
 
 VARIANTS = (
     ("Classification & Leaf-0", {"head": "classification", "leaf_init": "zero"}),
@@ -28,6 +28,7 @@ def test_fig9_ablations(benchmark, train_dev_pairs):
         aucs[name] = history.best_auc
         lines.append(f"{name:<26} {history.best_auc:>9.4f}")
     write_result("fig9_ablations", "\n".join(lines))
+    emit_bench_json("fig9_ablations", {"auc_by_variant": aucs})
 
     # Shape: the paper's chosen configuration is the best of the three.
     best = max(aucs.values())

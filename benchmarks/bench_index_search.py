@@ -24,7 +24,7 @@ from repro.evalsuite.vulnsearch import (
 )
 from repro.index.ann import LSHIndex
 
-from benchmarks.conftest import scaled, write_result
+from benchmarks.conftest import emit_bench_json, scaled, write_result
 
 MIN_SPEEDUP = 5.0
 MIN_RECALL_AT_10 = 0.9
@@ -109,6 +109,25 @@ def test_index_search(benchmark, trained_asteria):
         f"{report_ex.total_confirmed()}",
     ]
     write_result("index_search", "\n".join(lines))
+    emit_bench_json(
+        "index_search",
+        {
+            "n_functions": n_functions,
+            "n_queries": len(queries),
+            "ingest_s": ingest_s,
+            "ingest_functions_per_s": ingest_rate,
+            "exhaustive_s": exhaustive_s,
+            "batched_s": batched_s,
+            "speedup": speedup,
+            "lsh_recall_at_10": recall,
+            "confirmed_index": report_ix.total_confirmed(),
+            "confirmed_exhaustive": report_ex.total_confirmed(),
+        },
+        floors={
+            "min_speedup": MIN_SPEEDUP,
+            "min_recall_at_10": MIN_RECALL_AT_10,
+        },
+    )
 
     assert speedup >= MIN_SPEEDUP
     assert recall >= MIN_RECALL_AT_10

@@ -23,7 +23,7 @@ import numpy as np
 from repro.evalsuite.vulnsearch import build_firmware_dataset
 from repro.pipeline import ArtifactCache, CorpusPipeline
 
-from benchmarks.conftest import scaled, write_result
+from benchmarks.conftest import emit_bench_json, scaled, write_result
 
 MIN_WARM_SPEEDUP = float(
     os.environ.get("PIPELINE_BENCH_MIN_WARM_SPEEDUP", "1.5")
@@ -96,6 +96,24 @@ def test_pipeline_cold_warm_parallel(benchmark, tmp_path, trained_asteria):
         f"encode {stats.times.encode_s:.3f}s",
     ]
     write_result("pipeline", "\n".join(lines))
+    emit_bench_json(
+        "pipeline",
+        {
+            "n_functions": stats.n_functions,
+            "n_binaries": stats.n_binaries,
+            "per_function_s": per_function_s,
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "parallel_s": parallel_s,
+            "warm_speedup": cold_s / warm_s,
+            "cold_stage_seconds": {
+                "decompile": stats.times.decompile_s,
+                "preprocess": stats.times.preprocess_s,
+                "encode": stats.times.encode_s,
+            },
+        },
+        floors={"min_warm_speedup": MIN_WARM_SPEEDUP},
+    )
 
     # Warm runs touch neither the decompiler nor the encoder.
     assert warm.stats.n_extracted == 0

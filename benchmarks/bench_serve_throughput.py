@@ -38,7 +38,7 @@ from repro.api import (
 from repro.compiler.pipeline import compile_package
 from repro.lang.generator import ProgramGenerator
 
-from benchmarks.conftest import scaled, write_result
+from benchmarks.conftest import emit_bench_json, scaled, write_result
 
 N_CLIENTS = 16
 QUERIES_PER_CLIENT = 8
@@ -199,6 +199,23 @@ def test_serve_throughput(trained_asteria):
     # write the diagnostic table before any assert so the CI artifact
     # survives every failure class, not just the throughput one
     write_result("serve_throughput", "\n".join(lines))
+    emit_bench_json(
+        "serve_throughput",
+        {
+            "n_rows": ingested.n_rows_total,
+            "n_clients": N_CLIENTS,
+            "queries_per_client": QUERIES_PER_CLIENT,
+            "serial_qps": serial_qps,
+            "batched_qps": batched_qps,
+            "speedup": speedup,
+            "http_qps": http_qps,
+            "micro_batches": stats.micro_batches,
+            "micro_batched_items": stats.micro_batched_items,
+            "micro_batch_max": stats.micro_batch_max,
+            "micro_batch_mean": stats.micro_batch_mean,
+        },
+        floors={"min_speedup": MIN_SPEEDUP},
+    )
 
     # correctness: every concurrent result matches the serial reference
     for function, result in batched_results:

@@ -8,7 +8,7 @@ from repro.compiler.pipeline import compile_package
 from repro.evalsuite.vulnsearch import build_firmware_dataset
 from repro.lang.generator import ProgramGenerator
 
-from benchmarks.conftest import scaled, write_result
+from benchmarks.conftest import emit_bench_json, scaled, write_result
 
 
 def test_table2_dataset_statistics(benchmark, buildroot, openssl):
@@ -38,6 +38,17 @@ def test_table2_dataset_statistics(benchmark, buildroot, openssl):
     total_fns += sum(v[1] for v in fw_counts.values())
     lines.append(f"{'Total':<10} {'':<9} {total_bins:>10} {total_fns:>12}")
     write_result("table2_datasets", "\n".join(lines))
+    emit_bench_json(
+        "table2_datasets",
+        {
+            "total_binaries": total_bins,
+            "total_functions": total_fns,
+            "firmware_by_arch": {
+                arch: {"binaries": v[0], "functions": v[1]}
+                for arch, v in sorted(fw_counts.items())
+            },
+        },
+    )
 
     # Shape checks mirroring the paper: every corpus covers all four
     # architectures, and firmware skews to ARM/PPC.

@@ -10,7 +10,7 @@ from collections import Counter
 from repro.core import build_cross_arch_pairs
 from repro.core.pairs import ARCH_COMBINATIONS
 
-from benchmarks.conftest import scaled, write_result
+from benchmarks.conftest import emit_bench_json, scaled, write_result
 
 
 def test_table3_pair_counts(benchmark, buildroot):
@@ -24,6 +24,16 @@ def test_table3_pair_counts(benchmark, buildroot):
         lines.append(f"{combo[0]}-{combo[1]:<8} {counts[key]:>10}")
     lines.append(f"{'total':<12} {len(pairs):>10}")
     write_result("table3_pairs", "\n".join(lines))
+    emit_bench_json(
+        "table3_pairs",
+        {
+            "total_pairs": len(pairs),
+            "pairs_by_combo": {
+                f"{combo[0]}-{combo[1]}": counts[tuple(sorted(combo))]
+                for combo in ARCH_COMBINATIONS
+            },
+        },
+    )
 
     # Shape: all six combinations are populated and roughly balanced
     # (the paper's counts differ only because of the <5-node filter).

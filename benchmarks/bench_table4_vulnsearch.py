@@ -13,7 +13,7 @@ from repro.evalsuite.vulnsearch import (
     build_firmware_dataset,
 )
 
-from benchmarks.conftest import scaled, write_result
+from benchmarks.conftest import emit_bench_json, scaled, write_result
 
 
 def test_table4_vulnerability_search(benchmark, trained_asteria):
@@ -44,6 +44,19 @@ def test_table4_vulnerability_search(benchmark, trained_asteria):
     lines.append(f"total confirmed vulnerable functions: "
                  f"{report.total_confirmed()}")
     write_result("table4_vulnsearch", "\n".join(lines))
+    emit_bench_json(
+        "table4_vulnsearch",
+        {
+            "n_images": report.n_images,
+            "n_unpacked": report.n_unpacked,
+            "n_functions": report.n_functions,
+            "n_candidates": report.n_candidates,
+            "total_confirmed": report.total_confirmed(),
+            "confirmed_by_cve": {
+                row.entry.cve_id: row.n_confirmed for row in report.rows
+            },
+        },
+    )
 
     # Shape checks: vulnerabilities are found, and every confirmation is a
     # true implant (no false confirms).

@@ -27,7 +27,7 @@ import numpy as np
 from repro.evalsuite.timing import corpus_trees
 from repro.nn.tensor import no_grad
 
-from benchmarks.conftest import scaled, write_result
+from benchmarks.conftest import emit_bench_json, scaled, write_result
 
 BATCH_SIZES = (1, 8, 64, 256)
 MIN_SPEEDUP_AT_64 = float(os.environ.get("TREELSTM_BENCH_MIN_SPEEDUP", "5.0"))
@@ -108,6 +108,18 @@ def test_treelstm_batch_throughput(benchmark, buildroot, trained_asteria):
     # write the diagnostic table before any assert so the CI artifact
     # survives every failure class, not just the throughput one
     write_result("treelstm_batch", "\n".join(lines))
+    emit_bench_json(
+        "treelstm_batch",
+        {
+            "n_trees": len(trees),
+            "sequential_trees_per_s": sequential_rate,
+            "batched_trees_per_s": {
+                str(size): rate for size, rate in batched_rates.items()
+            },
+            "speedup_at_64": speedup_64,
+        },
+        floors={"min_speedup_at_64": MIN_SPEEDUP_AT_64},
+    )
 
     # Bit-for-bit determinism: the fixed GEMM blocks make the encoding
     # independent of how the corpus was chunked into batches.

@@ -12,7 +12,10 @@ survive pytest's output capture.
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import time
 from pathlib import Path
 
 import pytest
@@ -43,6 +46,46 @@ def write_result(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text)
     print(f"\n=== {name} ===\n{text}")
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def emit_bench_json(name: str, metrics: dict, floors: dict = None) -> None:
+    """Write ``results/BENCH_<name>.json`` -- the machine-readable twin
+    of :func:`write_result`, so perf trajectories diff across revisions.
+
+    Shared schema (``schema_version`` 1)::
+
+        {"schema_version": 1, "bench": <name>, "git_rev": <sha|unknown>,
+         "created_unix": <float>, "scale": <REPRO_SCALE>,
+         "metrics": {...measured numbers...},
+         "floors": {...the floors the bench asserts against...}}
+
+    Call it *before* the bench's asserts (like :func:`write_result`), so
+    the artifact survives a floor regression -- that failing run's
+    numbers are exactly the ones worth diffing.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema_version": 1,
+        "bench": name,
+        "git_rev": _git_rev(),
+        "created_unix": time.time(),
+        "scale": SCALE,
+        "metrics": metrics,
+        "floors": floors or {},
+    }
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

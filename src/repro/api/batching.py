@@ -31,6 +31,8 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import SIZE_BUCKETS, MetricsRegistry
+
 
 @dataclass
 class BatcherStats:
@@ -55,13 +57,14 @@ class BatcherStats:
 
 
 class _Item:
-    __slots__ = ("tree", "done", "result", "error")
+    __slots__ = ("tree", "done", "result", "error", "submitted")
 
     def __init__(self, tree):
         self.tree = tree
         self.done = threading.Event()
         self.result: Optional[np.ndarray] = None
         self.error: Optional[BaseException] = None
+        self.submitted = time.perf_counter()
 
 
 class MicroBatcher:
@@ -77,6 +80,7 @@ class MicroBatcher:
         encode_batch_fn: Callable[[Sequence], np.ndarray],
         max_batch_size: int = 64,
         max_wait_s: float = 0.002,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -87,6 +91,7 @@ class MicroBatcher:
         self._pending: List[_Item] = []
         self._busy = False
         self.stats = BatcherStats()
+        self.registry = registry
 
     def encode(self, tree) -> np.ndarray:
         """Encode one tree, riding whatever batch is forming."""
@@ -150,3 +155,25 @@ class MicroBatcher:
                 # wake followers: completed ones return, the rest elect
                 # the next leader immediately instead of timing out
                 self._cond.notify_all()
+            self._observe(run)
+
+    def _observe(self, run: List[_Item]) -> None:
+        if self.registry is None:
+            return
+        now = time.perf_counter()
+        self.registry.counter(
+            "repro_microbatch_batches_total", "Micro-batches run"
+        ).inc()
+        self.registry.counter(
+            "repro_microbatch_items_total", "Items coalesced into batches"
+        ).inc(len(run))
+        self.registry.histogram(
+            "repro_microbatch_size", "Items per micro-batch",
+            buckets=SIZE_BUCKETS,
+        ).observe(len(run))
+        wait = self.registry.histogram(
+            "repro_microbatch_wait_seconds",
+            "Submit-to-publish coalescing wait per item",
+        )
+        for it in run:
+            wait.observe(now - it.submitted)

@@ -56,7 +56,9 @@ class EngineConfig:
     ``micro_batch_size`` caps how many concurrent query encodes the
     serving micro-batcher coalesces into one level-batched GEMM call
     (1 disables coalescing); ``micro_batch_wait_ms`` is the accumulation
-    window a batch leader grants late arrivals.  ``store_dtype`` is the
+    window a batch leader grants late arrivals.  ``slow_query_ms`` of
+    ``None`` disables the slow-query log; any other value is the wall
+    time above which a query's full span tree is logged.  ``store_dtype`` is the
     vector dtype of newly created embedding indexes (the default
     float32 halves bytes-per-row with no measurable effect on the
     calibrated scores; pick float64 to keep encoder-exact vectors).
@@ -76,6 +78,7 @@ class EngineConfig:
     seed: int = 0
     micro_batch_size: int = DEFAULT_ENCODE_BATCH_SIZE
     micro_batch_wait_ms: float = 2.0
+    slow_query_ms: Optional[float] = None
 
     def __post_init__(self):
         for name in ("jobs", "encode_batch_size", "shard_size",
@@ -96,6 +99,8 @@ class EngineConfig:
             )
         if self.micro_batch_wait_ms < 0:
             raise BadRequestError("micro_batch_wait_ms must be >= 0")
+        if self.slow_query_ms is not None and self.slow_query_ms < 0:
+            raise BadRequestError("slow_query_ms must be >= 0 or null")
 
     # -- dict / file / env / args loading ----------------------------------
 

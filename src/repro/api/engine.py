@@ -28,6 +28,7 @@ store-mutating calls serialize behind one lock.
 from __future__ import annotations
 
 import dataclasses
+import json
 import threading
 from collections import OrderedDict
 
@@ -49,6 +50,8 @@ from repro.core.model import Asteria, AsteriaConfig, FunctionEncoding
 from repro.core.training import TrainConfig, Trainer, TrainHistory
 from repro.index.search import SearchHit, SearchService
 from repro.index.store import MANIFEST_NAME, EmbeddingStore, StoreError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, trace
 from repro.pipeline import (
     ArtifactCache,
     CorpusPipeline,
@@ -237,6 +240,7 @@ class AsteriaEngine:
         model: Optional[Asteria] = None,
         store: Optional[EmbeddingStore] = None,
         cache: Optional[ArtifactCache] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.config = config or EngineConfig()
         self._model = model
@@ -249,10 +253,9 @@ class AsteriaEngine:
         self._extract_memo: "OrderedDict[str, Tuple]" = OrderedDict()
         self._lock = threading.RLock()  # store / service / pipeline state
         self._extract_lock = threading.Lock()  # query-side tree extraction
-        self._counter_lock = threading.Lock()
-        self._n_queries = 0
-        self._n_query_batches = 0
-        self._n_query_encodes = 0
+        #: the engine's telemetry sink, shared with every component it
+        #: assembles (batcher, pipeline, service, ANN index, HTTP server)
+        self.obs = registry if registry is not None else MetricsRegistry()
 
     @classmethod
     def from_model(
@@ -300,6 +303,7 @@ class AsteriaEngine:
                     jobs=self.config.jobs,
                     cache=self.cache,
                     encode_batch_size=self.config.encode_batch_size,
+                    registry=self.obs,
                 )
             return self._pipeline
 
@@ -352,6 +356,7 @@ class AsteriaEngine:
                     encode,
                     max_batch_size=self.config.micro_batch_size,
                     max_wait_s=self.config.micro_batch_wait_ms / 1000.0,
+                    registry=self.obs,
                 )
             return self._batcher
 
@@ -378,6 +383,7 @@ class AsteriaEngine:
                 jobs=self.config.jobs,
                 cache=self.cache,
                 encode_batch_size=encode_batch_size,
+                registry=self.obs,
             )
         return SearchService(
             self.model,
@@ -386,6 +392,7 @@ class AsteriaEngine:
             calibrate=self.config.calibrate,
             encode_batch_size=encode_batch_size,
             pipeline=pipeline,
+            registry=self.obs,
             **options,
         )
 
@@ -466,8 +473,9 @@ class AsteriaEngine:
         """Offline phase for one binary (through the artifact cache)."""
         request = request or EncodeRequest(**kw)
         binary = self._binary_of(request.binary)
-        with self._lock:  # the artifact cache is not itself thread-safe
-            encodings = self.pipeline.encode_binary(binary)
+        with trace("engine.encode", binary=binary.name):
+            with self._lock:  # the artifact cache is not itself thread-safe
+                encodings = self.pipeline.encode_binary(binary)
         if request.function is not None:
             encodings = [e for e in encodings if e.name == request.function]
             if not encodings:
@@ -498,18 +506,22 @@ class AsteriaEngine:
             for item in request.binaries
         ]
         result = IngestResult()
-        with self._lock:
-            store = self.store
-            if images or not tagged:
-                # an images run always happens unless the request was
-                # binaries-only, so result.pipeline is never None and an
-                # empty corpus reports empty stats rather than nothing
-                run = self.pipeline.run_images(images, sink=store)
-                self._merge_ingest(result, run.stats)
-            if tagged:
-                run = self.pipeline.run_binaries(tagged, sink=store)
-                self._merge_ingest(result, run.stats)
-            result.n_rows_total = len(store)
+        with trace("engine.ingest", n_images=len(images),
+                   n_binaries=len(tagged)) as span:
+            with self._lock:
+                store = self.store
+                if images or not tagged:
+                    # an images run always happens unless the request was
+                    # binaries-only, so result.pipeline is never None and an
+                    # empty corpus reports empty stats rather than nothing
+                    run = self.pipeline.run_images(images, sink=store)
+                    self._merge_ingest(result, run.stats)
+                if tagged:
+                    run = self.pipeline.run_binaries(tagged, sink=store)
+                    self._merge_ingest(result, run.stats)
+                result.n_rows_total = len(store)
+            span.set(n_functions=result.n_functions,
+                     n_rows_total=result.n_rows_total)
         _LOG.info(
             "ingested %d functions (%d total rows)",
             result.n_functions, result.n_rows_total,
@@ -573,8 +585,14 @@ class AsteriaEngine:
         serial execution.
         """
         request = request or QueryRequest(**kw)
-        name, encoding = self._resolve_query(request)
-        return self._finish_query(name, encoding, request)
+        with trace("engine.query") as span:
+            name, encoding = self._resolve_query(request)
+            span.set(query=name)
+            result = self._finish_query(name, encoding, request)
+            span.set(n_hits=len(result.hits), n_rows=result.n_rows)
+        self._observe_query(span, "repro_query_seconds",
+                            "Wall time of one engine.query call")
+        return result
 
     def query_batch(
         self, requests: Sequence[QueryRequest]
@@ -593,38 +611,61 @@ class AsteriaEngine:
         requests = list(requests)
         if not requests:
             return []
-        resolved = self._resolve_query_batch(requests)
-        groups: Dict[Tuple, List[int]] = {}
-        for i, request in enumerate(requests):
-            top_k = (
-                self.config.top_k if request.top_k == USE_DEFAULT
-                else request.top_k
-            )
-            threshold = (
-                self.config.threshold if request.threshold == USE_DEFAULT
-                else request.threshold
-            )
-            groups.setdefault((top_k, threshold), []).append(i)
-        results: List[Optional[QueryResult]] = [None] * len(requests)
-        with self._lock:
-            service = self.service
-            n_rows = len(service.store)
-            for (top_k, threshold), members in groups.items():
-                hit_lists = service.query_batch(
-                    [resolved[i][1] for i in members],
-                    top_k=top_k,
-                    threshold=threshold,
+        with trace("engine.query_batch", n_queries=len(requests)) as span:
+            resolved = self._resolve_query_batch(requests)
+            groups: Dict[Tuple, List[int]] = {}
+            for i, request in enumerate(requests):
+                top_k = (
+                    self.config.top_k if request.top_k == USE_DEFAULT
+                    else request.top_k
                 )
-                for i, hits in zip(members, hit_lists):
-                    name, encoding = resolved[i]
-                    results[i] = QueryResult(
-                        query=name, encoding=encoding, hits=hits,
-                        n_rows=n_rows,
+                threshold = (
+                    self.config.threshold if request.threshold == USE_DEFAULT
+                    else request.threshold
+                )
+                groups.setdefault((top_k, threshold), []).append(i)
+            results: List[Optional[QueryResult]] = [None] * len(requests)
+            with self._lock:
+                service = self.service
+                n_rows = len(service.store)
+                for (top_k, threshold), members in groups.items():
+                    hit_lists = service.query_batch(
+                        [resolved[i][1] for i in members],
+                        top_k=top_k,
+                        threshold=threshold,
                     )
-        with self._counter_lock:
-            self._n_queries += len(requests)
-            self._n_query_batches += 1
+                    for i, hits in zip(members, hit_lists):
+                        name, encoding = resolved[i]
+                        results[i] = QueryResult(
+                            query=name, encoding=encoding, hits=hits,
+                            n_rows=n_rows,
+                        )
+            span.set(n_groups=len(groups), n_rows=n_rows)
+        self.obs.counter(
+            "repro_queries_total", "Queries answered by the engine"
+        ).inc(len(requests))
+        self.obs.counter(
+            "repro_query_batches_total", "query_batch calls answered"
+        ).inc()
+        self._observe_query(span, "repro_query_batch_seconds",
+                            "Wall time of one engine.query_batch call")
         return results
+
+    def _observe_query(self, span: Span, metric: str, help_text: str) -> None:
+        """Record a closed query span: latency histogram + slow-query log."""
+        self.obs.histogram(metric, help_text).observe(span.wall_s)
+        threshold_ms = self.config.slow_query_ms
+        if threshold_ms is None or span.wall_s * 1000.0 < threshold_ms:
+            return
+        self.obs.counter(
+            "repro_slow_queries_total",
+            "Queries slower than EngineConfig.slow_query_ms",
+        ).inc()
+        _LOG.warning(
+            "slow query (%.1fms >= %.1fms): %s",
+            span.wall_s * 1000.0, threshold_ms,
+            json.dumps(span.to_dict(), sort_keys=True),
+        )
 
     def _resolve_query_batch(
         self, requests: Sequence[QueryRequest]
@@ -661,11 +702,14 @@ class AsteriaEngine:
                  trees[request.function])
             )
         if jobs:
-            vectors = self.batcher.encode_many(
-                [tree for *_rest, tree in jobs]
-            )
-            with self._counter_lock:
-                self._n_query_encodes += len(jobs)
+            with trace("engine.encode_queries", n=len(jobs)):
+                vectors = self.batcher.encode_many(
+                    [tree for *_rest, tree in jobs]
+                )
+            self.obs.counter(
+                "repro_query_encodes_total",
+                "Query-side function encodes",
+            ).inc(len(jobs))
             for (i, binary, function, extracted, _tree), vector in zip(
                 jobs, vectors
             ):
@@ -690,8 +734,9 @@ class AsteriaEngine:
             service = self.service
             hits = service.query(encoding, top_k=top_k, threshold=threshold)
             n_rows = len(service.store)
-        with self._counter_lock:
-            self._n_queries += 1
+        self.obs.counter(
+            "repro_queries_total", "Queries answered by the engine"
+        ).inc()
         return QueryResult(
             query=name, encoding=encoding, hits=hits, n_rows=n_rows
         )
@@ -732,9 +777,11 @@ class AsteriaEngine:
                 f"function {function!r} not found (or below the AST size "
                 f"floor) in binary {binary.name!r}"
             )
-        vector = self.batcher.encode(trees[function])
-        with self._counter_lock:
-            self._n_query_encodes += 1
+        with trace("engine.encode_query", function=function):
+            vector = self.batcher.encode(trees[function])
+        self.obs.counter(
+            "repro_query_encodes_total", "Query-side function encodes"
+        ).inc()
         return self._encoding_from_extracted(extracted, function, vector)
 
     def _encoding_from_extracted(
@@ -916,11 +963,67 @@ class AsteriaEngine:
                 stats.micro_batched_items = b.n_items
                 stats.micro_batch_max = b.max_batch_size
                 stats.micro_batch_mean = b.mean_batch_size
-        with self._counter_lock:
-            stats.n_queries = self._n_queries
-            stats.n_query_batches = self._n_query_batches
-            stats.n_query_encodes = self._n_query_encodes
+        # the query counters are views over the metrics registry, so
+        # /v1/stats and a /metrics scrape can never disagree
+        stats.n_queries = int(self.obs.value("repro_queries_total"))
+        stats.n_query_batches = int(
+            self.obs.value("repro_query_batches_total")
+        )
+        stats.n_query_encodes = int(
+            self.obs.value("repro_query_encodes_total")
+        )
         return stats
+
+    def _sync_observability(self) -> None:
+        """Mirror polled state (model/index/cache) into registry gauges.
+
+        Counters and histograms stream in from the hot paths; gauges for
+        sizes and flags are synced on demand so a scrape reflects the
+        present, not the last event.  Side-effect free like
+        :meth:`stats`: nothing is materialised.
+        """
+        obs = self.obs
+        with self._lock:
+            obs.gauge(
+                "repro_model_loaded", "1 when a model is resident"
+            ).set(1.0 if self._model is not None else 0.0)
+            if self._store is not None:
+                obs.gauge(
+                    "repro_index_rows", "Rows in the embedding index"
+                ).set(len(self._store))
+                obs.gauge(
+                    "repro_index_shards", "Shards in the embedding index"
+                ).set(self._store.n_shards)
+                footprint = self._store.memory_footprint()
+                obs.gauge(
+                    "repro_index_vector_bytes",
+                    "Bytes of vector data in the index",
+                ).set(footprint["vector_bytes"])
+                obs.gauge(
+                    "repro_index_resident_bytes",
+                    "Index bytes resident in process memory",
+                ).set(footprint["resident_bytes"])
+            if self._cache is not None:
+                obs.gauge(
+                    "repro_cache_hits", "Artifact-cache hits (lifetime)"
+                ).set(self._cache.stats.hits)
+                obs.gauge(
+                    "repro_cache_misses", "Artifact-cache misses (lifetime)"
+                ).set(self._cache.stats.misses)
+
+    def metrics_text(self) -> str:
+        """The registry as Prometheus text exposition (``GET /metrics``)."""
+        self._sync_observability()
+        return self.obs.to_prometheus()
+
+    def flush_metrics(self) -> Dict:
+        """Sync gauges and return a final registry snapshot.
+
+        Called on clean shutdown so in-flight coalescing counters land in
+        the shutdown response instead of dying with the process.
+        """
+        self._sync_observability()
+        return self.obs.snapshot()
 
     # -- input loading -----------------------------------------------------
 

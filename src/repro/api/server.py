@@ -8,9 +8,12 @@ query-side encodes through the engine's dynamic micro-batcher, so
 under load the server performs a few wide level-batched GEMM calls
 instead of one tree walk per request.
 
-Endpoints (all JSON)::
+Endpoints (all JSON unless noted)::
 
-    GET  /healthz       {"status": "ok"}
+    GET  /healthz       {"status": "ok", "version", "uptime_s",
+                         "model_loaded", "index_rows", "index_shards",
+                         "index_generation"}
+    GET  /metrics       Prometheus text exposition (text/plain)
     GET  /v1/stats      EngineStats.to_dict()
     POST /v1/encode     {"binary_b64", "function"?}
                         -> {"binary", "arch", "encodings": [...]}
@@ -26,10 +29,18 @@ Endpoints (all JSON)::
     POST /v1/compare    {"binary1_b64", "function1",
                          "binary2_b64", "function2"}
                         -> {"ast_similarity", "similarity"}
-    POST /v1/shutdown   {"status": "shutting down"} (then a clean exit)
+    POST /v1/shutdown   {"status": "shutting down", "stats": {...}}
+                        (final registry snapshot, then a clean exit)
 
 Binaries travel as base64-encoded RBIN bytes.  Engine errors map to
 their ``http_status`` with ``{"error": ..., "exit_code": ...}`` bodies.
+
+Every request runs under a trace span: the ``X-Request-Id`` header is
+honoured when a client sends one, minted otherwise, echoed on the
+response, and stamped onto every log record emitted while handling the
+request.  Per-endpoint request counts, error counts and latency
+histograms stream into the engine's metrics registry, scrapeable at
+``GET /metrics``.
 """
 
 from __future__ import annotations
@@ -38,8 +49,9 @@ import base64
 import binascii
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from repro.api.engine import (
     AsteriaEngine,
@@ -53,9 +65,11 @@ from repro.api.errors import BadRequestError, EngineError
 from repro.binformat.binary import BinaryFile
 from repro.core.model import FunctionEncoding
 from repro.index.search import SearchHit
-from repro.utils.logging import get_logger
+from repro.obs.trace import new_request_id, trace
+from repro.utils.logging import configure, get_logger
 
 _LOG = get_logger("api.server")
+_ACCESS = get_logger("api.access")
 
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
@@ -130,11 +144,20 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         _LOG.debug("%s %s", self.address_string(), format % args)
 
-    def _reply(self, status: int, body: Dict) -> None:
-        data = json.dumps(body).encode("utf-8")
+    def _reply(self, status: int, body: Union[Dict, str]) -> None:
+        """Send a JSON (dict) or plain-text (str, for /metrics) body."""
+        if isinstance(body, str):
+            data = body.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(body).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        request_id = getattr(self, "_request_id", None)
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
         self.end_headers()
         self.wfile.write(data)
 
@@ -163,30 +186,68 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
         return payload
 
     def _dispatch(self, routes: Dict) -> None:
+        started = time.perf_counter()
+        # honour a client-supplied request id so traces correlate across
+        # services; mint one otherwise.  _reply echoes it back.
+        self._request_id = (
+            self.headers.get("X-Request-Id") or new_request_id()
+        )
         handler = routes.get(self.path)
-        if handler is None:
-            # the request body was never read; keeping the connection
-            # alive would let it be parsed as the next request line
-            self.close_connection = True
-            self._reply(404, {"error": f"no route {self.path}"})
-            return
-        try:
-            status, body = handler()
-            self._reply(status, body)
-        except EngineError as exc:
-            self._reply(
-                exc.http_status,
-                {"error": str(exc), "exit_code": exc.exit_code},
-            )
-        except Exception as exc:  # never leak a traceback to the client
-            _LOG.exception("unhandled error serving %s", self.path)
-            self._reply(500, {"error": f"internal error: {exc}"})
+        endpoint = self.path if handler is not None else "_unknown_"
+        with trace(f"http {self.command} {self.path}",
+                   request_id=self._request_id):
+            if handler is None:
+                # the request body was never read; keeping the connection
+                # alive would let it be parsed as the next request line
+                self.close_connection = True
+                status: int = 404
+                self._reply(status, {"error": f"no route {self.path}"})
+            else:
+                try:
+                    status, body = handler()
+                    self._reply(status, body)
+                except EngineError as exc:
+                    status = exc.http_status
+                    self._reply(
+                        status,
+                        {"error": str(exc), "exit_code": exc.exit_code},
+                    )
+                except Exception as exc:  # never leak a traceback
+                    _LOG.exception("unhandled error serving %s", self.path)
+                    status = 500
+                    self._reply(status, {"error": f"internal error: {exc}"})
+            self._observe(endpoint, status, started)
+
+    def _observe(self, endpoint: str, status: int, started: float) -> None:
+        """Per-endpoint request/error/latency metrics + access log line."""
+        elapsed = time.perf_counter() - started
+        registry = self.engine.obs
+        registry.counter(
+            "repro_requests_total", "HTTP requests served",
+            endpoint=endpoint, method=self.command, status=str(status),
+        ).inc()
+        if status >= 400:
+            registry.counter(
+                "repro_request_errors_total",
+                "HTTP requests answered with status >= 400",
+                endpoint=endpoint,
+            ).inc()
+        registry.histogram(
+            "repro_request_seconds", "HTTP request wall time",
+            endpoint=endpoint,
+        ).observe(elapsed)
+        _ACCESS.info(
+            "%s %s %s %d %.1fms",
+            self.address_string(), self.command, self.path, status,
+            elapsed * 1000.0,
+        )
 
     # -- verbs -------------------------------------------------------------
 
     def do_GET(self) -> None:
         self._dispatch({
             "/healthz": self._handle_health,
+            "/metrics": self._handle_metrics,
             "/v1/stats": self._handle_stats,
         })
 
@@ -203,7 +264,27 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
     # -- handlers ----------------------------------------------------------
 
     def _handle_health(self) -> Tuple[int, Dict]:
-        return 200, {"status": "ok"}
+        from repro import __version__  # lazy: repro/__init__ imports api
+
+        stats = self.engine.stats()
+        service = self.engine._service
+        return 200, {
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": round(
+                time.monotonic() - self.server.started_monotonic, 3
+            ),
+            "model_loaded": stats.model_loaded,
+            "index_rows": stats.index_rows,
+            "index_shards": stats.index_shards,
+            # which corpus snapshot queries answer from (-1 = no index yet)
+            "index_generation": (
+                service.index_generation if service is not None else -1
+            ),
+        }
+
+    def _handle_metrics(self) -> Tuple[int, str]:
+        return 200, self.engine.metrics_text()
 
     def _handle_stats(self) -> Tuple[int, Dict]:
         body = self.engine.stats().to_dict()
@@ -331,10 +412,13 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
         return 200, body
 
     def _handle_shutdown(self) -> Tuple[int, Dict]:
+        # flush the registry first: in-flight coalescing counters would
+        # otherwise die with the process before anyone scraped them
+        final = self.engine.flush_metrics()
         # shutdown() blocks until serve_forever returns, so it must run
         # outside this handler thread's serve loop
         threading.Thread(target=self.server.shutdown, daemon=True).start()
-        return 200, {"status": "shutting down"}
+        return 200, {"status": "shutting down", "stats": final}
 
 
 class EngineServer(ThreadingHTTPServer):
@@ -350,6 +434,8 @@ class EngineServer(ThreadingHTTPServer):
     def __init__(self, address: Tuple[str, int], engine: AsteriaEngine):
         super().__init__(address, EngineRequestHandler)
         self.engine = engine
+        self.started_monotonic = time.monotonic()
+        self.started_unix = time.time()
 
     @property
     def url(self) -> str:
@@ -370,6 +456,7 @@ def serve(
     the socket starts accepting, so a bad ``--model`` path fails fast
     with the CLI's distinct exit code instead of per-request 503s.
     """
+    configure()  # access + slow-query logs need a handler installed
     engine.model  # raises ModelNotFoundError early
     if engine.config.index_root is not None:
         engine.store  # open or create the durable index up front

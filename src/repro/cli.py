@@ -34,6 +34,7 @@ Every command is deterministic given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -228,8 +229,43 @@ def _cmd_serve(args) -> int:
         args,
         micro_batch_size=args.micro_batch,
         micro_batch_wait_ms=args.micro_batch_wait_ms,
+        slow_query_ms=args.slow_query_ms,
     )
     return serve(engine, host=args.host, port=args.port)
+
+
+def _cmd_stats(args) -> int:
+    """Pretty-print a server's /v1/stats, or a local engine's stats."""
+    if args.url:
+        import urllib.error
+        import urllib.request
+
+        url = args.url.rstrip("/") + "/v1/stats"
+        try:
+            with urllib.request.urlopen(url, timeout=30) as response:
+                data = json.loads(response.read())
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise InputNotFoundError(f"could not fetch {url}: {exc}")
+    else:
+        engine = _engine(args)
+        if args.model:
+            engine.model  # load so the stats reflect the checkpoint
+        if args.index:
+            engine.open_index()
+        data = engine.stats().to_dict()
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+        return 0
+    config = data.pop("config", {}) or {}
+    width = max(len(key) for key in data)
+    for key in sorted(data):
+        print(f"{key:<{width}}  {data[key]}")
+    if config:
+        print("config:")
+        sub_width = max(len(key) for key in config)
+        for key in sorted(config):
+            print(f"  {key:<{sub_width}}  {config[key]}")
+    return 0
 
 
 def _positive_int(value: str) -> int:
@@ -399,9 +435,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--micro-batch-wait-ms", type=float, default=2.0,
                    help="accumulation window a batch leader grants "
                         "late-arriving concurrent queries")
+    p.add_argument("--slow-query-ms", type=float, default=None,
+                   help="log the full span tree of queries slower than "
+                        "this many milliseconds (default: disabled)")
     p.add_argument("--seed", type=int, default=0)
     _add_pipeline_options(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "stats",
+        help="engine stats: a running server's /v1/stats (--url) or a "
+             "local model/index snapshot",
+    )
+    p.add_argument("--url", default=None,
+                   help="base URL of a running `repro-cli serve` "
+                        "instance (e.g. http://127.0.0.1:8080)")
+    p.add_argument("--model", default=None,
+                   help="local model checkpoint to report on")
+    p.add_argument("--index", default=None,
+                   help="local embedding index directory to report on")
+    p.add_argument("--json", action="store_true",
+                   help="print raw JSON instead of the aligned table")
+    p.set_defaults(func=_cmd_stats)
 
     return parser
 

@@ -34,6 +34,7 @@ model score; the LSH backend merely restricts which rows get scored.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -41,6 +42,8 @@ import numpy as np
 
 from repro.core.model import Asteria, FunctionEncoding
 from repro.index.store import ShardedMatrix
+from repro.obs.metrics import FRACTION_BUCKETS, SIZE_BUCKETS, MetricsRegistry
+from repro.obs.trace import current_span
 from repro.utils.rng import RNG, derive_seed
 
 DEFAULT_OVERSAMPLE = 8
@@ -117,6 +120,7 @@ class AnnIndex:
         vectors,
         callee_counts: Optional[np.ndarray] = None,
         calibrate: bool = True,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if calibrate and callee_counts is None:
             raise ValueError("calibrate=True requires callee_counts")
@@ -128,6 +132,7 @@ class AnnIndex:
             else np.asarray(callee_counts, dtype=np.int64)
         )
         self.calibrate = calibrate
+        self.registry = registry
 
     def __len__(self) -> int:
         return int(self.vectors.shape[0])
@@ -314,6 +319,7 @@ class AnnIndex:
             [np.asarray(q.vector) for q in queries]
         )
         per_query = self.candidate_rows_batch(query_matrix, wanted)
+        sweep_started = time.perf_counter()
         all_rows: Optional[np.ndarray] = None  # shared, never mutated
 
         def whole_corpus() -> np.ndarray:
@@ -362,6 +368,7 @@ class AnnIndex:
                     if rows.size else (rows, np.zeros(0))
                     for i, rows in enumerate(gathered)
                 ]
+        self._observe_batch(per_query, time.perf_counter() - sweep_started)
         results: List[List[Neighbor]] = []
         for q_rows, q_scores in scored:
             if q_rows.size == 0:
@@ -378,6 +385,46 @@ class AnnIndex:
                 ]
             )
         return results
+
+    def _observe_batch(
+        self, per_query: List[Optional[np.ndarray]], sweep_s: float
+    ) -> None:
+        """Record candidate-set sizes, rerank fraction and sweep time.
+
+        ``per_query`` entries of ``None`` mean the whole corpus was
+        swept (the exact backend), i.e. rerank fraction 1.0.
+        """
+        n = len(self)
+        sizes = [n if rows is None else int(rows.size) for rows in per_query]
+        span = current_span()
+        if span is not None:
+            span.set(
+                corpus_rows=n,
+                candidates=sizes if len(sizes) > 1 else sizes[0],
+                sweep_ms=round(sweep_s * 1000.0, 3),
+            )
+        if self.registry is None:
+            return
+        candidates = self.registry.histogram(
+            "repro_ann_candidates",
+            "Candidate rows scored per query", buckets=SIZE_BUCKETS,
+        )
+        fraction = self.registry.histogram(
+            "repro_ann_rerank_fraction",
+            "Fraction of the corpus exact-reranked per query",
+            buckets=FRACTION_BUCKETS,
+        )
+        for size in sizes:
+            candidates.observe(size)
+            if n:
+                fraction.observe(size / n)
+        self.registry.histogram(
+            "repro_ann_sweep_seconds",
+            "Blockwise corpus sweep + rerank wall time per batch",
+        ).observe(sweep_s)
+        self.registry.counter(
+            "repro_ann_queries_total", "Queries answered by the index"
+        ).inc(len(per_query))
 
 
 class BruteForceIndex(AnnIndex):
@@ -410,8 +457,9 @@ class LSHIndex(AnnIndex):
         seed: int = 0,
         max_probe_distance: Optional[int] = None,
         state: Optional[Tuple[Dict, Dict[str, np.ndarray]]] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
-        super().__init__(model, vectors, callee_counts, calibrate)
+        super().__init__(model, vectors, callee_counts, calibrate, registry)
         if n_planes <= 0 or n_planes > 62:
             raise ValueError(f"n_planes must be in [1, 62], got {n_planes}")
         if n_tables <= 0:

@@ -47,6 +47,7 @@ from repro.core.model import (
 from repro.decompiler.hexrays import DecompiledFunction
 from repro.index.ann import AnnIndex, make_index
 from repro.index.store import EmbeddingStore, StoredFunction
+from repro.obs.metrics import MetricsRegistry
 from repro.pipeline import ArtifactCache, CorpusPipeline, PipelineStats
 from repro.utils.logging import get_logger
 
@@ -97,6 +98,7 @@ class SearchService:
         jobs: int = 1,
         cache: Optional[ArtifactCache] = None,
         pipeline: Optional[CorpusPipeline] = None,
+        registry: Optional[MetricsRegistry] = None,
         **backend_options,
     ):
         self.model = model
@@ -105,6 +107,7 @@ class SearchService:
         self.calibrate = calibrate
         self.encode_batch_size = encode_batch_size
         self.backend_options = backend_options
+        self.registry = registry
         if pipeline is None:
             # deprecated shim: assemble the pipeline through the facade
             # (imported lazily; repro.api imports this module)
@@ -180,6 +183,8 @@ class SearchService:
         """
         if self._index is None or self._index_rows != self.store.n_flushed:
             options = dict(self.backend_options)
+            if self.registry is not None:
+                options.setdefault("registry", self.registry)
             if self.backend == "lsh" and self.store.root is not None:
                 options.setdefault("state", self.store.read_ann_state())
             self._index = make_index(
@@ -192,7 +197,22 @@ class SearchService:
             )
             self._persist_index(self._index)
             self._index_rows = self.store.n_flushed
+            if self.registry is not None:
+                self.registry.counter(
+                    "repro_index_rebuilds_total",
+                    "ANN index (re)constructions over the store",
+                ).inc()
         return self._index
+
+    @property
+    def index_generation(self) -> int:
+        """Store rows covered by the materialised index (-1 = not built).
+
+        Changes exactly when :meth:`index` rebuilds, so health endpoints
+        can report "which corpus snapshot queries are answered from"
+        without triggering a build.
+        """
+        return self._index_rows
 
     def ann_info(self) -> Optional[dict]:
         """Monitoring snapshot of the materialised ANN index, or ``None``.

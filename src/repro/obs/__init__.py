@@ -1,0 +1,38 @@
+"""Telemetry: thread-safe metrics registry and request-trace spans.
+
+Stdlib-only by design -- the serving path must stay importable on a bare
+python install.  See :mod:`repro.obs.metrics` for the registry and
+Prometheus exposition, :mod:`repro.obs.trace` for spans/request ids.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    FRACTION_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    Span,
+    current_request_id,
+    current_span,
+    new_request_id,
+    trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "FRACTION_BUCKETS",
+    "Span",
+    "trace",
+    "current_span",
+    "current_request_id",
+    "new_request_id",
+]

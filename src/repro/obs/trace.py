@@ -1,0 +1,124 @@
+"""Request tracing: nested context-manager spans with request ids.
+
+A :class:`Span` measures one named unit of work (an HTTP request, an
+engine query, a micro-batch flush) with wall time and per-thread CPU
+time.  Spans nest: entering :func:`trace` inside an open span attaches
+the new span as a child and inherits the parent's ``request_id``, so the
+full encode -> sweep -> rerank path of one query shares a single id that
+is also echoed to the client as ``X-Request-Id`` and stamped onto log
+records (see :mod:`repro.utils.logging`).
+
+The span stack is ``threading.local`` -- spans opened on different
+server threads never see each other, which is exactly the isolation a
+thread-per-request HTTP server needs.  A span tree stays reachable after
+the root closes (the root keeps its children), so the slow-query log can
+serialise the whole tree via :meth:`Span.to_dict`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "trace",
+    "current_span",
+    "current_request_id",
+    "new_request_id",
+]
+
+_STACK = threading.local()
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_STACK, "spans", None)
+    if stack is None:
+        stack = _STACK.spans = []
+    return stack
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char request id."""
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed unit of work; build via :func:`trace`, not directly."""
+
+    __slots__ = (
+        "name", "request_id", "attrs", "children",
+        "_wall_start", "_cpu_start", "wall_s", "cpu_s",
+    )
+
+    def __init__(self, name: str, request_id: str,
+                 attrs: Optional[Dict] = None):
+        self.name = name
+        self.request_id = request_id
+        self.attrs: Dict = dict(attrs or {})
+        self.children: List[Span] = []
+        self._wall_start = time.perf_counter()
+        self._cpu_start = time.thread_time()
+        self.wall_s: float = 0.0
+        self.cpu_s: float = 0.0
+
+    def _finish(self) -> None:
+        self.wall_s = time.perf_counter() - self._wall_start
+        self.cpu_s = time.thread_time() - self._cpu_start
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the span (e.g. candidate counts)."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> Dict:
+        """JSON-shaped span tree (times in ms, children recursive)."""
+        out: Dict = {
+            "name": self.name,
+            "request_id": self.request_id,
+            "wall_ms": round(self.wall_s * 1000.0, 3),
+            "cpu_ms": round(self.cpu_s * 1000.0, 3),
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+@contextmanager
+def trace(name: str, request_id: Optional[str] = None,
+          **attrs) -> Iterator[Span]:
+    """Open a span named ``name`` on this thread's span stack.
+
+    ``request_id`` is inherited from the enclosing span when not given;
+    a root span with no id mints one.  The span is closed (times fixed)
+    when the ``with`` block exits, error or not.
+    """
+    stack = _stack()
+    parent = stack[-1] if stack else None
+    if request_id is None:
+        request_id = parent.request_id if parent else new_request_id()
+    span = Span(name, request_id, attrs)
+    if parent is not None:
+        parent.children.append(span)
+    stack.append(span)
+    try:
+        yield span
+    finally:
+        span._finish()
+        stack.pop()
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread, or ``None``."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def current_request_id() -> Optional[str]:
+    """The request id of the innermost open span, or ``None``."""
+    span = current_span()
+    return span.request_id if span else None

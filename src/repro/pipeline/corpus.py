@@ -31,6 +31,7 @@ from repro.core.model import (
     Asteria,
     FunctionEncoding,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.pipeline.cache import ArtifactCache, CacheStats, binary_digest
 from repro.pipeline.stages import (
     ExtractedBinary,
@@ -144,6 +145,7 @@ class CorpusPipeline:
         jobs: int = 1,
         cache: Optional[ArtifactCache] = None,
         encode_batch_size: int = DEFAULT_ENCODE_BATCH_SIZE,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if encode_batch_size < 1:
             raise ValueError("encode_batch_size must be >= 1")
@@ -151,6 +153,7 @@ class CorpusPipeline:
         self.jobs = max(1, int(jobs))
         self.cache = cache if cache is not None else ArtifactCache.in_memory()
         self.encode_batch_size = encode_batch_size
+        self.registry = registry
         self._fingerprint: Optional[str] = None
 
     @property
@@ -315,6 +318,7 @@ class CorpusPipeline:
         stats.times.index_s = time.perf_counter() - started
 
         stats.cache = self.cache.stats.minus(cache_before)
+        self._record(stats)
         _LOG.info(
             "pipeline: %d functions from %d binaries "
             "(%d unique, %d extracted, %d encoded; cache %d hits / %d misses)",
@@ -323,3 +327,45 @@ class CorpusPipeline:
             stats.cache.hits, stats.cache.misses,
         )
         return PipelineResult(encodings=encodings, stats=stats)
+
+    def _record(self, stats: PipelineStats) -> None:
+        """Fold one run's stats into the metrics registry (if any)."""
+        if self.registry is None:
+            return
+        reg = self.registry
+        reg.counter(
+            "repro_pipeline_runs_total", "Completed pipeline runs"
+        ).inc()
+        reg.counter(
+            "repro_pipeline_functions_total",
+            "Function encodings produced by pipeline runs",
+        ).inc(stats.n_functions)
+        reg.counter(
+            "repro_pipeline_binaries_total",
+            "Binary occurrences fed through the pipeline",
+        ).inc(stats.n_binaries)
+        stage_seconds = {
+            "unpack": stats.times.unpack_s,
+            "decompile": stats.times.decompile_s,
+            "preprocess": stats.times.preprocess_s,
+            "encode": stats.times.encode_s,
+            "index": stats.times.index_s,
+        }
+        for stage, seconds in stage_seconds.items():
+            reg.counter(
+                "repro_pipeline_stage_seconds_total",
+                "Seconds spent per pipeline stage", stage=stage,
+            ).inc(seconds)
+        for kind, hits, misses in (
+            ("tree", stats.cache.tree_hits, stats.cache.tree_misses),
+            ("encoding", stats.cache.encoding_hits,
+             stats.cache.encoding_misses),
+        ):
+            reg.counter(
+                "repro_pipeline_cache_hits_total",
+                "Artifact-cache hits by kind", kind=kind,
+            ).inc(hits)
+            reg.counter(
+                "repro_pipeline_cache_misses_total",
+                "Artifact-cache misses by kind", kind=kind,
+            ).inc(misses)

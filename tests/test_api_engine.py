@@ -603,3 +603,65 @@ class TestCompatibilityShims:
         service = SearchService(trained_model, store, jobs=2)
         assert isinstance(service.pipeline, CorpusPipeline)
         assert service.pipeline.jobs == 2
+
+
+class TestEngineObservability:
+    def test_stats_counters_are_registry_views(self, engine):
+        before = engine.stats().n_queries
+        engine.query(QueryRequest(cve_id="CVE-2016-2105", top_k=1))
+        stats = engine.stats()
+        assert stats.n_queries == before + 1
+        assert stats.n_queries == int(engine.obs.value("repro_queries_total"))
+
+    def test_query_emits_latency_histogram_and_span_metrics(self, engine):
+        engine.query(QueryRequest(cve_id="CVE-2016-2105", top_k=1))
+        latency = engine.obs.get("repro_query_seconds")
+        assert latency is not None and latency.count >= 1
+        # the ANN sweep under the query recorded its candidate sets
+        assert engine.obs.value("repro_ann_queries_total") >= 1
+
+    def test_metrics_text_is_scrapeable(self, engine):
+        text = engine.metrics_text()
+        assert "# TYPE repro_queries_total counter" in text
+        assert "repro_index_rows" in text
+        assert "repro_model_loaded 1" in text
+
+    def test_slow_query_threshold_counts_and_logs(self, trained_model,
+                                                  caplog):
+        import logging
+
+        slow = AsteriaEngine(
+            EngineConfig(slow_query_ms=0.0), model=trained_model
+        )
+        slow.ingest(IngestRequest(corpus_images=2, corpus_seed=4))
+        with caplog.at_level(logging.WARNING, logger="repro.api.engine"):
+            slow.query(QueryRequest(cve_id="CVE-2016-2105", top_k=1))
+        assert slow.obs.value("repro_slow_queries_total") == 1
+        slow_lines = [r for r in caplog.records if "slow query" in r.message]
+        assert slow_lines
+        # the log line carries the serialised span tree
+        assert "engine.query" in slow_lines[0].getMessage()
+
+    def test_slow_query_disabled_by_default(self, engine):
+        before = engine.obs.value("repro_slow_queries_total")
+        engine.query(QueryRequest(cve_id="CVE-2016-2105", top_k=1))
+        assert engine.obs.value("repro_slow_queries_total") == before
+
+    def test_flush_metrics_returns_snapshot(self, engine):
+        snapshot = engine.flush_metrics()
+        assert snapshot["repro_queries_total"]["series"][0]["value"] >= 1
+        assert snapshot["repro_model_loaded"]["series"][0]["value"] == 1.0
+
+    def test_microbatcher_coalescing_metrics(self, engine, query_binary):
+        requests = [
+            QueryRequest(binary=query_binary, function=e.name, top_k=1)
+            for e in engine.encode(EncodeRequest(binary=query_binary)
+                                   ).encodings[:4]
+        ]
+        engine.query_batch(requests)
+        assert engine.obs.value("repro_microbatch_batches_total") >= 1
+        assert engine.obs.value("repro_microbatch_items_total") >= len(
+            requests
+        )
+        wait = engine.obs.get("repro_microbatch_wait_seconds")
+        assert wait is not None and wait.count >= len(requests)

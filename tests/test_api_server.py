@@ -66,7 +66,18 @@ def _b64(binary) -> str:
 class TestRoutes:
     def test_healthz(self, server):
         status, body = _get(server, "/healthz")
-        assert (status, body) == (200, {"status": "ok"})
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["model_loaded"] is True
+        assert body["index_rows"] > 0
+        assert body["index_shards"] >= 1
+        assert body["uptime_s"] >= 0
+        import repro
+
+        assert body["version"] == repro.__version__
+        # the index generation tracks rows once a query built the index;
+        # before that it reports -1 (not built) -- either is valid here
+        assert body["index_generation"] in (-1, body["index_rows"])
 
     def test_stats(self, server):
         status, body = _get(server, "/v1/stats")
@@ -266,6 +277,99 @@ class TestEncodeIngestCompare:
         assert body["ast_similarity"] == pytest.approx(body["similarity"])
 
 
+class TestObservability:
+    def _scrape(self, server):
+        """GET /metrics -> {series line -> float value}."""
+        with urllib.request.urlopen(
+            server.url + "/metrics", timeout=30
+        ) as response:
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode("utf-8")
+        values = {}
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            series, value = line.rsplit(" ", 1)
+            values[series] = float(value)
+        return text, values
+
+    def test_metrics_is_valid_prometheus_text(self, server):
+        _get(server, "/v1/stats")  # at least one request before the scrape
+        text, values = self._scrape(server)
+        for line in text.splitlines():
+            assert line.startswith("#") or " " in line
+        assert values  # something was exported
+        # histograms expose cumulative le-buckets ending at +Inf
+        inf_buckets = [s for s in values if '_bucket{' in s and '+Inf' in s]
+        assert inf_buckets
+
+    def test_metrics_agree_with_stats_after_query_storm(self, server):
+        n_threads, per_thread = 8, 3
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def client():
+            barrier.wait()
+            try:
+                for _ in range(per_thread):
+                    status, _body = _post(
+                        server, "/v1/query",
+                        {"cve": "CVE-2016-2105", "top_k": 2},
+                    )
+                    assert status == 200
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+
+        _status, stats = _get(server, "/v1/stats")
+        _text, values = self._scrape(server)
+        # the stats view and the exposition read the same registry, so
+        # the counters cannot disagree
+        assert values["repro_queries_total"] == stats["n_queries"]
+        assert values["repro_query_encodes_total"] == stats["n_query_encodes"]
+        assert stats["n_queries"] >= n_threads * per_thread
+        # per-endpoint request counter and latency histogram moved too
+        query_requests = sum(
+            v for series, v in values.items()
+            if series.startswith("repro_requests_total")
+            and 'endpoint="/v1/query"' in series
+        )
+        assert query_requests >= n_threads * per_thread
+        assert values[
+            'repro_request_seconds_count{endpoint="/v1/query"}'
+        ] >= n_threads * per_thread
+
+    def test_request_id_minted_and_echoed(self, server):
+        with urllib.request.urlopen(
+            server.url + "/healthz", timeout=30
+        ) as response:
+            minted = response.headers["X-Request-Id"]
+        assert minted and len(minted) == 16
+
+    def test_client_request_id_is_honoured(self, server):
+        request = urllib.request.Request(
+            server.url + "/healthz", headers={"X-Request-Id": "trace-me-42"}
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.headers["X-Request-Id"] == "trace-me-42"
+
+    def test_404_is_counted_as_error(self, server):
+        _post(server, "/v1/nope", {})
+        _text, values = self._scrape(server)
+        errors_404 = sum(
+            v for series, v in values.items()
+            if series.startswith("repro_request_errors_total")
+            and '_unknown_' in series
+        )
+        assert errors_404 >= 1
+
+
 class TestShutdown:
     def test_shutdown_endpoint_stops_the_server(self, trained_model):
         engine = AsteriaEngine(EngineConfig(), model=trained_model)
@@ -274,6 +378,34 @@ class TestShutdown:
         thread.start()
         status, body = _post(server, "/v1/shutdown", {})
         assert (status, body["status"]) == (200, "shutting down")
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        server.server_close()
+
+    def test_shutdown_body_carries_final_metrics_snapshot(
+        self, trained_model
+    ):
+        """Regression: counters accumulated in flight used to die with
+        the process before anyone could scrape them -- the shutdown reply
+        now carries the flushed registry snapshot."""
+        engine = AsteriaEngine(EngineConfig(), model=trained_model)
+        server = EngineServer(("127.0.0.1", 0), engine)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        _get(server, "/healthz")
+        _get(server, "/v1/stats")
+        status, body = _post(server, "/v1/shutdown", {})
+        assert status == 200
+        snapshot = body["stats"]
+        requests_served = sum(
+            series["value"]
+            for series in snapshot["repro_requests_total"]["series"]
+        )
+        # the two GETs above plus the shutdown POST itself may or may not
+        # have been recorded yet (its _observe runs after the handler);
+        # the pre-shutdown traffic must all be there
+        assert requests_served >= 2
+        assert snapshot["repro_model_loaded"]["series"][0]["value"] == 1.0
         thread.join(timeout=10)
         assert not thread.is_alive()
         server.server_close()

@@ -158,3 +158,48 @@ class TestSearchTopK:
         ]) == 0
         out = capsys.readouterr().out
         assert "total confirmed" in out
+
+
+class TestStats:
+    def test_local_stats_table(self, model_path, index_dir, capsys):
+        assert main([
+            "stats", "--model", model_path, "--index", index_dir,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "model_loaded" in out
+        assert "index_rows" in out
+        assert "config:" in out
+
+    def test_local_stats_json(self, model_path, index_dir, capsys):
+        assert main([
+            "stats", "--model", model_path, "--index", index_dir, "--json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["model_loaded"] is True
+        assert data["index_rows"] > 0
+        assert data["config"]["backend"]
+
+    def test_dead_url_is_input_error(self, capsys):
+        # exit 4 = the CLI's "input not found" code
+        assert main([
+            "stats", "--url", "http://127.0.0.1:1",
+        ]) == 4
+        assert "could not fetch" in capsys.readouterr().err
+
+    def test_live_url_round_trip(self, trained_model, capsys):
+        import threading
+
+        from repro.api import AsteriaEngine, EngineConfig, EngineServer
+
+        engine = AsteriaEngine(EngineConfig(), model=trained_model)
+        server = EngineServer(("127.0.0.1", 0), engine)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            assert main(["stats", "--url", server.url, "--json"]) == 0
+            data = json.loads(capsys.readouterr().out)
+            assert data["model_loaded"] is True
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)

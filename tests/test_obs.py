@@ -1,0 +1,306 @@
+"""Tests for the observability layer (`repro.obs`) and logging helpers.
+
+Covers the metrics registry under thread contention, the fixed-bucket
+histogram math, Prometheus text exposition, span nesting/request-id
+inheritance, and the JSON/text log formats with request-id stamping.
+"""
+
+import json
+import logging
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    current_request_id,
+    current_span,
+    new_request_id,
+    trace,
+)
+from repro.utils.logging import (
+    JsonFormatter,
+    _level_from_env,
+    _RequestIdFilter,
+    _TextFormatter,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_counts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert registry.value("c_total") == 3.5
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_goes_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.inc(-3)
+        assert registry.value("g") == 7.0
+
+    def test_sixteen_thread_increment_storm_loses_nothing(self):
+        registry = MetricsRegistry()
+        n_threads, per_thread = 16, 1000
+        barrier = threading.Barrier(n_threads)
+
+        def worker(i):
+            counter = registry.counter("storm_total", worker=str(i % 4))
+            histogram = registry.histogram("storm_seconds")
+            barrier.wait()
+            for j in range(per_thread):
+                counter.inc()
+                histogram.observe(j / per_thread)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.value("storm_total") == n_threads * per_thread
+        assert registry.value("storm_seconds") == n_threads * per_thread
+
+
+class TestHistogram:
+    def test_bucket_math_is_cumulative(self):
+        histogram = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.7, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.cumulative() == [
+            (1.0, 1), (2.0, 3), (4.0, 4), (math.inf, 5),
+        ]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(106.7)
+
+    def test_percentiles_interpolate_and_clamp(self):
+        histogram = Histogram(buckets=(10.0, 20.0))
+        for value in (5.0, 15.0, 15.0, 15.0):
+            histogram.observe(value)
+        # p0/p100 clamp to the observed extremes
+        assert histogram.percentile(0.0) == 5.0
+        assert histogram.percentile(1.0) == 15.0
+        # the median lands inside the (10, 20] bucket
+        assert 10.0 <= histogram.percentile(0.5) <= 15.0
+
+    def test_inf_bucket_ends_at_observed_max(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(50.0)
+        assert histogram.percentile(0.99) == 50.0
+
+    def test_empty_histogram_reads_zero(self):
+        histogram = Histogram()
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.summary()["count"] == 0
+
+    def test_bad_buckets_raise(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram().percentile(1.5)
+
+    def test_summary_fields(self):
+        histogram = Histogram(buckets=DEFAULT_LATENCY_BUCKETS)
+        for value in (0.001, 0.002, 0.004):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(0.007)
+        assert summary["mean"] == pytest.approx(0.007 / 3)
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_child(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total", kind="x") \
+            is registry.counter("a_total", kind="x")
+        assert registry.counter("a_total", kind="y") \
+            is not registry.counter("a_total", kind="x")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+
+    def test_histogram_bucket_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_value_sums_over_labels_and_missing_reads_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("r_total", endpoint="/a").inc(2)
+        registry.counter("r_total", endpoint="/b").inc(3)
+        assert registry.value("r_total") == 5.0
+        assert registry.value("r_total", endpoint="/a") == 2.0
+        assert registry.value("r_total", endpoint="/nope") == 0.0
+        assert registry.value("never_registered") == 0.0
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", help_text="a counter").inc()
+        registry.histogram("h_seconds").observe(0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["c_total"]["kind"] == "counter"
+        assert snapshot["c_total"]["series"][0]["value"] == 1.0
+        assert snapshot["h_seconds"]["series"][0]["count"] == 1
+        json.dumps(snapshot)  # JSON-shaped by construction
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("q_total", help_text="queries").inc(3)
+        registry.gauge("rows", endpoint="/v1/query").set(12)
+        text = registry.to_prometheus()
+        assert "# HELP q_total queries\n" in text
+        assert "# TYPE q_total counter\n" in text
+        assert "q_total 3\n" in text
+        assert 'rows{endpoint="/v1/query"} 12\n' in text
+
+    def test_histogram_exposition_is_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 2.0):
+            histogram.observe(value)
+        text = registry.to_prometheus()
+        assert 'lat_seconds_bucket{le="0.1"} 1\n' in text
+        assert 'lat_seconds_bucket{le="1"} 2\n' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3\n' in text
+        assert "lat_seconds_sum 2.55\n" in text
+        assert "lat_seconds_count 3\n" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("e_total", path='a"b\\c\nd').inc()
+        text = registry.to_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestTrace:
+    def test_no_open_span_reads_none(self):
+        assert current_span() is None
+        assert current_request_id() is None
+
+    def test_nesting_builds_a_tree_with_one_request_id(self):
+        with trace("root", n=1) as root:
+            with trace("child") as child:
+                with trace("grandchild") as grandchild:
+                    assert current_span() is grandchild
+                assert current_span() is child
+        assert current_span() is None
+        assert root.children == [child]
+        assert child.children == [grandchild]
+        assert root.request_id == child.request_id == grandchild.request_id
+        assert len(root.request_id) == 16
+
+    def test_explicit_request_id_wins(self):
+        with trace("root", request_id="abc123") as root:
+            assert current_request_id() == "abc123"
+        assert root.request_id == "abc123"
+
+    def test_to_dict_carries_times_attrs_children(self):
+        with trace("root", query="q") as root:
+            with trace("child"):
+                pass
+            root.set(n_hits=3)
+        tree = root.to_dict()
+        assert tree["name"] == "root"
+        assert tree["attrs"] == {"query": "q", "n_hits": 3}
+        assert tree["wall_ms"] >= 0.0 and tree["cpu_ms"] >= 0.0
+        assert [c["name"] for c in tree["children"]] == ["child"]
+        json.dumps(tree)
+
+    def test_stack_pops_on_error(self):
+        with pytest.raises(RuntimeError):
+            with trace("boom"):
+                raise RuntimeError("x")
+        assert current_span() is None
+
+    def test_threads_have_isolated_stacks(self):
+        seen = {}
+
+        def worker(name):
+            with trace(name):
+                seen[name] = (current_span().name, current_request_id())
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(4)]
+        with trace("main"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert current_span().name == "main"
+        names = {name for name, (span_name, _rid) in seen.items()}
+        assert names == {"t0", "t1", "t2", "t3"}
+        request_ids = {rid for _name, (_s, rid) in seen.items()}
+        assert len(request_ids) == 4  # no cross-thread inheritance
+
+    def test_new_request_ids_are_distinct(self):
+        assert new_request_id() != new_request_id()
+
+
+def _record(message="hello", level=logging.INFO):
+    return logging.LogRecord(
+        "repro.test", level, __file__, 1, message, (), None
+    )
+
+
+class TestLogging:
+    def test_text_format_appends_rid_inside_a_span(self):
+        formatter = _TextFormatter("%(message)s")
+        record = _record()
+        with trace("req", request_id="rid42"):
+            assert _RequestIdFilter().filter(record)
+        assert formatter.format(record) == "hello rid=rid42"
+
+    def test_text_format_plain_outside_spans(self):
+        formatter = _TextFormatter("%(message)s")
+        record = _record()
+        _RequestIdFilter().filter(record)
+        assert formatter.format(record) == "hello"
+
+    def test_json_format_is_one_object_per_line(self):
+        record = _record()
+        with trace("req", request_id="ridjson"):
+            _RequestIdFilter().filter(record)
+        entry = json.loads(JsonFormatter().format(record))
+        assert entry["message"] == "hello"
+        assert entry["level"] == "INFO"
+        assert entry["logger"] == "repro.test"
+        assert entry["request_id"] == "ridjson"
+
+    def test_level_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+        assert _level_from_env() == logging.INFO
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+        assert _level_from_env() == logging.DEBUG
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "35")
+        assert _level_from_env() == 35
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "NOPE")
+        assert _level_from_env() == logging.INFO
+
+    def test_configure_rejects_bad_fmt(self):
+        from repro.utils.logging import configure
+
+        with pytest.raises(ValueError):
+            configure(fmt="xml", force=True)
