@@ -1,0 +1,167 @@
+"""Fault-tolerance machinery must be (nearly) free when nothing fails.
+
+PR 7 threads two always-on mechanisms through the corpus query path:
+
+* **checksum verification on open** -- every shard is hashed against the
+  manifest before it is served (`EmbeddingStore.open(verify=True)`, the
+  default);
+* **disarmed failpoints** -- `faults.inject(...)` calls sit on the
+  store-flush / cache-put / worker / server paths and must cost one
+  module-flag check when no fault is armed.
+
+This bench measures both on the same >= 10k-function corpus as
+``bench_corpus_query.py``: the end-to-end open + batched top-k sweep
+with verification on must stay within ``FAULT_BENCH_MAX_OVERHEAD``
+(default 3%) of the verification-off run, rankings must be identical,
+and one disarmed ``inject`` call must stay under a microsecond-scale
+ceiling.
+"""
+
+import os
+import time
+
+import numpy as np
+
+import repro.faults as faults
+from repro.core.model import Asteria, AsteriaConfig, FunctionEncoding
+from repro.index.ann import BruteForceIndex
+from repro.index.store import EmbeddingStore
+
+from benchmarks.conftest import emit_bench_json, scaled, write_result
+
+#: Allowed slowdown of the verified open+query path (0.03 = 3%); CI
+#: runners with noisy disks can relax it via the environment.
+MAX_OVERHEAD = float(os.environ.get("FAULT_BENCH_MAX_OVERHEAD", "0.03"))
+#: Ceiling for one disarmed inject() call, in nanoseconds.
+MAX_INJECT_NS = float(os.environ.get("FAULT_BENCH_MAX_INJECT_NS", "2000"))
+N_QUERIES = 64
+TOP_K = 10
+#: Query batches served per store open -- a (short) serving session.
+SWEEPS_PER_OPEN = 4
+REPEATS = 5
+INJECT_CALLS = 200_000
+
+
+def _corpus(n: int, dim: int):
+    """Clustered vectors + queries (same shape as bench_corpus_query)."""
+    rng = np.random.default_rng(5)
+    n_clusters = 50
+    per = n // n_clusters
+    centers = rng.normal(size=(n_clusters, dim)) * 2.0
+    vectors = np.concatenate(
+        [c + rng.normal(scale=0.2, size=(per, dim)) for c in centers]
+    )
+    counts = np.repeat(np.arange(n_clusters, dtype=np.int64), per)
+    queries = [
+        FunctionEncoding(
+            name=f"q{i}", arch="x86", binary_name="query",
+            vector=(centers[i % n_clusters]
+                    + rng.normal(scale=0.15, size=dim)),
+            callee_count=int(i % n_clusters),
+        )
+        for i in range(N_QUERIES)
+    ]
+    return vectors, counts, queries
+
+
+def test_fault_overhead(benchmark, tmp_path):
+    faults.clear()  # measure the disarmed fast path
+    model = Asteria(AsteriaConfig())
+    dim = model.config.hidden_dim
+    n = max(10_000, scaled(20_000))
+    vectors, counts, queries = _corpus(n, dim)
+
+    root = tmp_path / "idx"
+    store = EmbeddingStore.create(root, dim=dim, shard_size=2048)
+    store.add_batch(
+        FunctionEncoding(
+            name=f"sub_{i:x}", arch="x86", binary_name="bin",
+            vector=vectors[i], callee_count=int(counts[i]),
+        )
+        for i in range(n)
+    )
+    store.flush()
+
+    def timed_open(verify: bool):
+        t0 = time.perf_counter()
+        opened = EmbeddingStore.open(root, verify=verify)
+        return time.perf_counter() - t0, opened
+
+    def timed_sweeps(opened):
+        index = BruteForceIndex(
+            model, opened.vectors(), opened.callee_counts()
+        )
+        t0 = time.perf_counter()
+        for _ in range(SWEEPS_PER_OPEN):
+            results = index.top_k_batch(queries, k=TOP_K)
+        return time.perf_counter() - t0, results
+
+    # warm the page cache and both code paths before timing anything
+    timed_sweeps(timed_open(True)[1])
+    open_s = {False: float("inf"), True: float("inf")}
+    sweeps_s = float("inf")
+    rankings = {}
+    for _ in range(REPEATS):
+        for verify in (False, True):
+            elapsed, opened = timed_open(verify)
+            open_s[verify] = min(open_s[verify], elapsed)
+            elapsed, results = timed_sweeps(opened)
+            sweeps_s = min(sweeps_s, elapsed)
+            rankings[verify] = [[hit.row for hit in r] for r in results]
+    # verification is a one-time open cost, amortized over the session's
+    # query stream (a server never reopens the store per query).  The
+    # delta between the two opens is small and stable; dividing by the
+    # session makes the ratio robust to sweep-timing noise.
+    verify_cost_s = max(0.0, open_s[True] - open_s[False])
+    session_s = open_s[False] + sweeps_s
+    overhead = verify_cost_s / session_s
+
+    # verification changes nothing about what queries return
+    assert rankings[True] == rankings[False]
+
+    # one disarmed failpoint: a module-flag check, nanoseconds
+    inject = faults.inject
+    t0 = time.perf_counter()
+    for _ in range(INJECT_CALLS):
+        inject("bench.disarmed")
+    inject_ns = (time.perf_counter() - t0) / INJECT_CALLS * 1e9
+
+    lines = [
+        f"corpus: {n} functions, dim {dim}; session = 1 open + "
+        f"{SWEEPS_PER_OPEN} x {N_QUERIES}-query batched sweeps, "
+        f"top-{TOP_K}, best of {REPEATS}",
+        "",
+        f"open(verify=False): {open_s[False] * 1000:7.1f} ms   "
+        f"open(verify=True): {open_s[True] * 1000:7.1f} ms   "
+        f"delta: {verify_cost_s * 1000:6.1f} ms",
+        f"query stream ({SWEEPS_PER_OPEN} sweeps): {sweeps_s:7.3f} s",
+        f"checksum-verification overhead per session: "
+        f"{overhead * 100:6.2f} %  (required < {MAX_OVERHEAD * 100:.0f}%)",
+        "",
+        f"disarmed faults.inject():           {inject_ns:7.1f} ns/call  "
+        f"(required < {MAX_INJECT_NS:.0f} ns)",
+    ]
+    write_result("fault_overhead", "\n".join(lines))
+    emit_bench_json(
+        "fault_overhead",
+        {
+            "n_functions": n,
+            "n_queries": N_QUERIES,
+            "sweeps_per_open": SWEEPS_PER_OPEN,
+            "open_unverified_s": open_s[False],
+            "open_verified_s": open_s[True],
+            "verify_cost_s": verify_cost_s,
+            "session_s": session_s,
+            "verify_overhead": overhead,
+            "inject_ns": inject_ns,
+        },
+        floors={
+            "max_overhead": MAX_OVERHEAD,
+            "max_inject_ns": MAX_INJECT_NS,
+        },
+    )
+
+    assert overhead < MAX_OVERHEAD
+    assert inject_ns < MAX_INJECT_NS
+
+    benchmark(lambda: inject("bench.disarmed"))

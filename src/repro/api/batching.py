@@ -31,6 +31,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.errors import DeadlineExceededError
 from repro.obs.metrics import SIZE_BUCKETS, MetricsRegistry
 
 
@@ -57,14 +58,20 @@ class BatcherStats:
 
 
 class _Item:
-    __slots__ = ("tree", "done", "result", "error", "submitted")
+    __slots__ = ("tree", "done", "result", "error", "submitted", "deadline")
 
-    def __init__(self, tree):
+    def __init__(self, tree, deadline: Optional[float] = None):
         self.tree = tree
         self.done = threading.Event()
         self.result: Optional[np.ndarray] = None
         self.error: Optional[BaseException] = None
         self.submitted = time.perf_counter()
+        #: absolute ``time.monotonic()`` instant after which the caller
+        #: no longer wants the result (None = no deadline)
+        self.deadline = deadline
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
 
 
 class MicroBatcher:
@@ -93,11 +100,13 @@ class MicroBatcher:
         self.stats = BatcherStats()
         self.registry = registry
 
-    def encode(self, tree) -> np.ndarray:
+    def encode(self, tree, deadline: Optional[float] = None) -> np.ndarray:
         """Encode one tree, riding whatever batch is forming."""
-        return self.encode_many([tree])[0]
+        return self.encode_many([tree], deadline=deadline)[0]
 
-    def encode_many(self, trees: Sequence) -> np.ndarray:
+    def encode_many(
+        self, trees: Sequence, deadline: Optional[float] = None
+    ) -> np.ndarray:
         """Encode many trees from one caller as an ``(n, h)`` matrix.
 
         The items enter the shared pending queue, so a multi-query
@@ -105,8 +114,14 @@ class MicroBatcher:
         single queries exactly like N separate threads would -- but with
         one submitting thread and no per-item wakeup churn.  More items
         than ``max_batch_size`` simply span several batches.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant: a
+        caller still queued when it passes raises
+        :class:`DeadlineExceededError` instead of waiting forever behind
+        a storm (its unclaimed items leave the queue; items already in a
+        running batch finish and are discarded).
         """
-        items = [_Item(tree) for tree in trees]
+        items = [_Item(tree, deadline=deadline) for tree in trees]
         if not items:
             return np.zeros((0, 0))
         with self._cond:
@@ -116,14 +131,29 @@ class MicroBatcher:
             with self._cond:
                 if all(item.done.is_set() for item in items):
                     break
+                if deadline is not None and time.monotonic() >= deadline:
+                    # give up: pull our unclaimed items out of the queue
+                    # so no leader wastes a batch slot on them
+                    ours = set(map(id, items))
+                    self._pending = [
+                        it for it in self._pending if id(it) not in ours
+                    ]
+                    raise DeadlineExceededError(
+                        "query overran its deadline while queued for "
+                        "encoding"
+                    )
                 if not self._busy and self._pending:
                     self._busy = True
-                    run = self._pending[: self.max_batch_size]
-                    del self._pending[: len(run)]
+                    run = self._claim_pending_locked()
                 else:
                     # a leader is encoding (maybe our items); it notifies
                     # when it finishes, the timeout is only a safety net
-                    self._cond.wait(timeout=0.05)
+                    timeout = 0.05
+                    if deadline is not None:
+                        timeout = min(
+                            timeout, max(0.0, deadline - time.monotonic())
+                        )
+                    self._cond.wait(timeout=timeout)
                     continue
             self._run_batch(run)
         for item in items:
@@ -131,7 +161,37 @@ class MicroBatcher:
                 raise item.error
         return np.stack([item.result for item in items])
 
+    def _claim_pending_locked(self) -> List[_Item]:
+        """Take the next batch off the queue, expiring stale items.
+
+        Runs under ``self._cond``.  Items whose deadline has already
+        passed get :class:`DeadlineExceededError` published immediately
+        -- encoding them would waste batch width on a result nobody is
+        waiting for.
+        """
+        now = time.monotonic()
+        run: List[_Item] = []
+        taken = 0
+        for it in self._pending:
+            if len(run) == self.max_batch_size:
+                break
+            taken += 1
+            if it.expired(now):
+                it.error = DeadlineExceededError(
+                    "query overran its deadline while queued for encoding"
+                )
+                it.done.set()
+                continue
+            run.append(it)
+        del self._pending[:taken]
+        return run
+
     def _run_batch(self, run: List[_Item]) -> None:
+        if not run:  # every claimed item had already expired
+            with self._cond:
+                self._busy = False
+                self._cond.notify_all()
+            return
         # accumulation window: let threads mid-submit join this batch
         if self.max_wait_s > 0 and len(run) < self.max_batch_size:
             time.sleep(self.max_wait_s)

@@ -44,6 +44,10 @@ _ARG_FIELDS = {
     "threshold": "threshold",
     "top_k": "top_k",
     "seed": "seed",
+    "request_timeout_ms": "request_timeout_ms",
+    "max_inflight": "max_inflight",
+    "drain_timeout_ms": "drain_timeout_ms",
+    "faults": "faults",
 }
 
 
@@ -79,6 +83,20 @@ class EngineConfig:
     micro_batch_size: int = DEFAULT_ENCODE_BATCH_SIZE
     micro_batch_wait_ms: float = 2.0
     slow_query_ms: Optional[float] = None
+    #: Per-request deadline enforced through the micro-batcher and the
+    #: corpus sweep; ``None`` disables deadlines.
+    request_timeout_ms: Optional[float] = None
+    #: Bound on concurrently admitted heavy requests; excess load is
+    #: shed with HTTP 503 + ``Retry-After`` instead of queueing without
+    #: limit.
+    max_inflight: int = 64
+    #: How long ``/v1/shutdown`` waits for in-flight requests to drain
+    #: before stopping anyway.
+    drain_timeout_ms: float = 5000.0
+    #: Failpoint spec (see :mod:`repro.faults`), e.g.
+    #: ``"store.flush.pre_rename=kill"``.  Empty string = no faults.
+    #: Also read from ``REPRO_FAULTS`` by the faults module itself.
+    faults: str = ""
 
     def __post_init__(self):
         for name in ("jobs", "encode_batch_size", "shard_size",
@@ -101,6 +119,14 @@ class EngineConfig:
             raise BadRequestError("micro_batch_wait_ms must be >= 0")
         if self.slow_query_ms is not None and self.slow_query_ms < 0:
             raise BadRequestError("slow_query_ms must be >= 0 or null")
+        if self.request_timeout_ms is not None and self.request_timeout_ms <= 0:
+            raise BadRequestError("request_timeout_ms must be > 0 or null")
+        if self.max_inflight < 1:
+            raise BadRequestError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.drain_timeout_ms < 0:
+            raise BadRequestError("drain_timeout_ms must be >= 0")
 
     # -- dict / file / env / args loading ----------------------------------
 

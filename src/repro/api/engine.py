@@ -30,6 +30,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import threading
+import time
 from collections import OrderedDict
 
 import numpy as np
@@ -37,10 +38,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import repro.faults as faults
 from repro.api.batching import MicroBatcher
 from repro.api.config import EngineConfig
 from repro.api.errors import (
     BadRequestError,
+    DeadlineExceededError,
     IndexStoreError,
     InputNotFoundError,
     ModelNotFoundError,
@@ -145,6 +148,9 @@ class QueryRequest:
     function: Optional[str] = None
     top_k: Optional[int] = USE_DEFAULT
     threshold: Optional[float] = None
+    #: Absolute ``time.monotonic()`` deadline; ``None`` derives one from
+    #: ``EngineConfig.request_timeout_ms`` at query entry.
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -222,6 +228,13 @@ class EngineStats:
     micro_batch_mean: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Degraded-mode surface: True when the engine is serving with less
+    #: than its full fidelity (quarantined shards, ANN fallback, ...).
+    degraded: bool = False
+    degraded_reasons: List[str] = field(default_factory=list)
+    index_quarantined_shards: int = 0
+    n_shed: int = 0
+    n_timeouts: int = 0
     config: Dict = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
@@ -256,6 +269,9 @@ class AsteriaEngine:
         #: the engine's telemetry sink, shared with every component it
         #: assembles (batcher, pipeline, service, ANN index, HTTP server)
         self.obs = registry if registry is not None else MetricsRegistry()
+        if self.config.faults:
+            # arm configured failpoints process-wide (chaos testing)
+            faults.configure(self.config.faults)
 
     @classmethod
     def from_model(
@@ -576,20 +592,53 @@ class AsteriaEngine:
                 self._library = library
             return self._library
 
+    def _deadline_of(self, request: QueryRequest) -> Optional[float]:
+        """The request's absolute deadline (its own, or one derived from
+        ``config.request_timeout_ms`` starting now)."""
+        if request.deadline is not None:
+            return request.deadline
+        timeout_ms = self.config.request_timeout_ms
+        if timeout_ms is None:
+            return None
+        return time.monotonic() + timeout_ms / 1000.0
+
+    @staticmethod
+    def _check_deadline(deadline: Optional[float], where: str) -> None:
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceededError(
+                f"request overran its deadline before the {where}"
+            )
+
+    def _count_timeout(self) -> None:
+        self.obs.counter(
+            "repro_request_timeouts_total",
+            "Requests abandoned at their deadline",
+        ).inc()
+
     def query(self, request: Optional[QueryRequest] = None,
               **kw) -> QueryResult:
         """Top-k similar corpus functions for one query.
 
         Concurrent callers coalesce their query-side encodes into shared
         level-batched GEMM calls; results are bit-for-bit identical to
-        serial execution.
+        serial execution.  A request that cannot finish by its deadline
+        (``request.deadline`` or ``config.request_timeout_ms``) raises
+        :class:`DeadlineExceededError` instead of holding its slot.
         """
         request = request or QueryRequest(**kw)
-        with trace("engine.query") as span:
-            name, encoding = self._resolve_query(request)
-            span.set(query=name)
-            result = self._finish_query(name, encoding, request)
-            span.set(n_hits=len(result.hits), n_rows=result.n_rows)
+        deadline = self._deadline_of(request)
+        try:
+            with trace("engine.query") as span:
+                name, encoding = self._resolve_query(
+                    request, deadline=deadline
+                )
+                span.set(query=name)
+                self._check_deadline(deadline, "corpus sweep")
+                result = self._finish_query(name, encoding, request)
+                span.set(n_hits=len(result.hits), n_rows=result.n_rows)
+        except DeadlineExceededError:
+            self._count_timeout()
+            raise
         self._observe_query(span, "repro_query_seconds",
                             "Wall time of one engine.query call")
         return result
@@ -611,8 +660,25 @@ class AsteriaEngine:
         requests = list(requests)
         if not requests:
             return []
+        deadlines = [
+            d for d in (self._deadline_of(r) for r in requests)
+            if d is not None
+        ]
+        # the earliest per-request deadline bounds the shared phases (one
+        # encode pass + one sweep serve the whole batch)
+        deadline = min(deadlines) if deadlines else None
+        try:
+            return self._query_batch(requests, deadline)
+        except DeadlineExceededError:
+            self._count_timeout()
+            raise
+
+    def _query_batch(
+        self, requests: List[QueryRequest], deadline: Optional[float]
+    ) -> List[QueryResult]:
         with trace("engine.query_batch", n_queries=len(requests)) as span:
-            resolved = self._resolve_query_batch(requests)
+            resolved = self._resolve_query_batch(requests, deadline=deadline)
+            self._check_deadline(deadline, "corpus sweep")
             groups: Dict[Tuple, List[int]] = {}
             for i, request in enumerate(requests):
                 top_k = (
@@ -668,7 +734,9 @@ class AsteriaEngine:
         )
 
     def _resolve_query_batch(
-        self, requests: Sequence[QueryRequest]
+        self,
+        requests: Sequence[QueryRequest],
+        deadline: Optional[float] = None,
     ) -> List[Tuple[str, FunctionEncoding]]:
         """Resolve every request's encoding, coalescing binary encodes.
 
@@ -688,7 +756,7 @@ class AsteriaEngine:
                 or request.binary is None
                 or not request.function
             ):
-                resolved[i] = self._resolve_query(request)
+                resolved[i] = self._resolve_query(request, deadline=deadline)
                 continue
             binary = self._binary_of(request.binary)
             extracted, trees = self._extracted_for(binary)
@@ -704,7 +772,7 @@ class AsteriaEngine:
         if jobs:
             with trace("engine.encode_queries", n=len(jobs)):
                 vectors = self.batcher.encode_many(
-                    [tree for *_rest, tree in jobs]
+                    [tree for *_rest, tree in jobs], deadline=deadline
                 )
             self.obs.counter(
                 "repro_query_encodes_total",
@@ -742,7 +810,7 @@ class AsteriaEngine:
         )
 
     def _resolve_query(
-        self, request: QueryRequest
+        self, request: QueryRequest, deadline: Optional[float] = None
     ) -> Tuple[str, FunctionEncoding]:
         if request.encoding is not None:
             return request.encoding.name, request.encoding
@@ -759,11 +827,16 @@ class AsteriaEngine:
         if not request.function:
             raise BadRequestError("binary queries need a function name")
         binary = self._binary_of(request.binary)
-        encoding = self._encode_query_function(binary, request.function)
+        encoding = self._encode_query_function(
+            binary, request.function, deadline=deadline
+        )
         return f"{binary.name}:{request.function}", encoding
 
     def _encode_query_function(
-        self, binary: BinaryFile, function: str
+        self,
+        binary: BinaryFile,
+        function: str,
+        deadline: Optional[float] = None,
     ) -> FunctionEncoding:
         """Encode one query function, riding the micro-batcher.
 
@@ -778,7 +851,7 @@ class AsteriaEngine:
                 f"floor) in binary {binary.name!r}"
             )
         with trace("engine.encode_query", function=function):
-            vector = self.batcher.encode(trees[function])
+            vector = self.batcher.encode(trees[function], deadline=deadline)
         self.obs.counter(
             "repro_query_encodes_total", "Query-side function encodes"
         ).inc()
@@ -948,8 +1021,15 @@ class AsteriaEngine:
                 stats.index_mmap = footprint["mmap"]
                 stats.index_vector_bytes = footprint["vector_bytes"]
                 stats.index_resident_bytes = footprint["resident_bytes"]
+                stats.index_quarantined_shards = len(self._store.quarantined)
+                if self._store.degraded:
+                    stats.degraded_reasons.append(
+                        f"{len(self._store.quarantined)} shard(s) "
+                        f"quarantined; serving a corpus prefix"
+                    )
             if self._service is not None:
                 stats.ann_backend = self._service.backend
+                stats.degraded_reasons.extend(self._service.degraded_reasons)
                 ann = self._service.ann_info()
                 if ann is not None:
                     stats.ann_persisted = ann["persisted"]
@@ -972,6 +1052,11 @@ class AsteriaEngine:
         stats.n_query_encodes = int(
             self.obs.value("repro_query_encodes_total")
         )
+        stats.n_shed = int(self.obs.value("repro_requests_shed_total"))
+        stats.n_timeouts = int(
+            self.obs.value("repro_request_timeouts_total")
+        )
+        stats.degraded = bool(stats.degraded_reasons)
         return stats
 
     def _sync_observability(self) -> None:
@@ -987,13 +1072,19 @@ class AsteriaEngine:
             obs.gauge(
                 "repro_model_loaded", "1 when a model is resident"
             ).set(1.0 if self._model is not None else 0.0)
+            degraded = False
             if self._store is not None:
+                degraded = degraded or self._store.degraded
                 obs.gauge(
                     "repro_index_rows", "Rows in the embedding index"
                 ).set(len(self._store))
                 obs.gauge(
                     "repro_index_shards", "Shards in the embedding index"
                 ).set(self._store.n_shards)
+                obs.gauge(
+                    "repro_index_quarantined_shards",
+                    "Shards quarantined by crash recovery",
+                ).set(len(self._store.quarantined))
                 footprint = self._store.memory_footprint()
                 obs.gauge(
                     "repro_index_vector_bytes",
@@ -1003,6 +1094,13 @@ class AsteriaEngine:
                     "repro_index_resident_bytes",
                     "Index bytes resident in process memory",
                 ).set(footprint["resident_bytes"])
+            if self._service is not None:
+                degraded = degraded or bool(self._service.degraded_reasons)
+            obs.gauge(
+                "repro_engine_degraded",
+                "1 when serving in degraded mode (quarantined shards, "
+                "ANN fallback, ...)",
+            ).set(1.0 if degraded else 0.0)
             if self._cache is not None:
                 obs.gauge(
                     "repro_cache_hits", "Artifact-cache hits (lifetime)"

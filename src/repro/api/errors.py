@@ -47,3 +47,19 @@ class BadRequestError(EngineError):
 
     exit_code = 6
     http_status = 400
+
+
+class DeadlineExceededError(EngineError):
+    """A request overran its deadline (``request_timeout_ms``) and was
+    abandoned rather than allowed to hold a slot indefinitely."""
+
+    exit_code = 7
+    http_status = 504
+
+
+class ServerOverloadedError(EngineError):
+    """Admission control shed this request: the bounded in-flight queue
+    was full.  The HTTP layer adds a ``Retry-After`` header."""
+
+    exit_code = 8
+    http_status = 503

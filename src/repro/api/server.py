@@ -53,6 +53,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple, Union
 
+import repro.faults as faults
 from repro.api.engine import (
     AsteriaEngine,
     CompareRequest,
@@ -61,7 +62,11 @@ from repro.api.engine import (
     QueryRequest,
     USE_DEFAULT,
 )
-from repro.api.errors import BadRequestError, EngineError
+from repro.api.errors import (
+    BadRequestError,
+    EngineError,
+    ServerOverloadedError,
+)
 from repro.binformat.binary import BinaryFile
 from repro.core.model import FunctionEncoding
 from repro.index.search import SearchHit
@@ -144,7 +149,12 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         _LOG.debug("%s %s", self.address_string(), format % args)
 
-    def _reply(self, status: int, body: Union[Dict, str]) -> None:
+    def _reply(
+        self,
+        status: int,
+        body: Union[Dict, str],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         """Send a JSON (dict) or plain-text (str, for /metrics) body."""
         if isinstance(body, str):
             data = body.encode("utf-8")
@@ -155,6 +165,8 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         request_id = getattr(self, "_request_id", None)
         if request_id:
             self.send_header("X-Request-Id", request_id)
@@ -185,7 +197,7 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
             raise BadRequestError("request body must be a JSON object")
         return payload
 
-    def _dispatch(self, routes: Dict) -> None:
+    def _dispatch(self, routes: Dict, gated: bool = False) -> None:
         started = time.perf_counter()
         # honour a client-supplied request id so traces correlate across
         # services; mint one otherwise.  _reply echoes it back.
@@ -194,6 +206,9 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
         )
         handler = routes.get(self.path)
         endpoint = self.path if handler is not None else "_unknown_"
+        # /v1/shutdown must stay reachable while the server is saturated
+        # or draining, so it bypasses admission control
+        gated = gated and self.path != "/v1/shutdown"
         with trace(f"http {self.command} {self.path}",
                    request_id=self._request_id):
             if handler is None:
@@ -202,8 +217,28 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
                 self.close_connection = True
                 status: int = 404
                 self._reply(status, {"error": f"no route {self.path}"})
+            elif gated and not self.server.try_admit():
+                # load shedding: a bounded number of heavy requests run
+                # concurrently; the rest get a fast, honest 503 instead
+                # of queueing toward a timeout (body unread -> close)
+                self.close_connection = True
+                status = 503
+                self.engine.obs.counter(
+                    "repro_requests_shed_total",
+                    "Requests shed by admission control (HTTP 503)",
+                ).inc()
+                self._reply(
+                    status,
+                    {
+                        "error": "server overloaded, retry later",
+                        "exit_code": ServerOverloadedError.exit_code,
+                    },
+                    headers={"Retry-After": "1"},
+                )
             else:
                 try:
+                    if gated:  # health/metrics stay fault-free for ops
+                        faults.inject("server.request")
                     status, body = handler()
                     self._reply(status, body)
                 except EngineError as exc:
@@ -216,6 +251,9 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
                     _LOG.exception("unhandled error serving %s", self.path)
                     status = 500
                     self._reply(status, {"error": f"internal error: {exc}"})
+                finally:
+                    if gated:
+                        self.server.release()
             self._observe(endpoint, status, started)
 
     def _observe(self, endpoint: str, status: int, started: float) -> None:
@@ -252,6 +290,8 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
         })
 
     def do_POST(self) -> None:
+        # every POST does real work (decompile/encode/sweep), so they all
+        # pass through the bounded admission gate; GETs always answer
         self._dispatch({
             "/v1/encode": self._handle_encode,
             "/v1/ingest": self._handle_ingest,
@@ -259,7 +299,7 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
             "/v1/query_batch": self._handle_query_batch,
             "/v1/compare": self._handle_compare,
             "/v1/shutdown": self._handle_shutdown,
-        })
+        }, gated=True)
 
     # -- handlers ----------------------------------------------------------
 
@@ -269,7 +309,9 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
         stats = self.engine.stats()
         service = self.engine._service
         return 200, {
-            "status": "ok",
+            # "degraded" = up and answering, but below full fidelity
+            # (quarantined shards, ANN fallback); reasons say why
+            "status": "degraded" if stats.degraded else "ok",
             "version": __version__,
             "uptime_s": round(
                 time.monotonic() - self.server.started_monotonic, 3
@@ -281,6 +323,11 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
             "index_generation": (
                 service.index_generation if service is not None else -1
             ),
+            "degraded": stats.degraded,
+            "degraded_reasons": list(stats.degraded_reasons),
+            "quarantined_shards": stats.index_quarantined_shards,
+            "inflight": self.server.inflight,
+            "draining": self.server.draining,
         }
 
     def _handle_metrics(self) -> Tuple[int, str]:
@@ -412,13 +459,29 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
         return 200, body
 
     def _handle_shutdown(self) -> Tuple[int, Dict]:
-        # flush the registry first: in-flight coalescing counters would
+        # stop admitting new work, then wait (bounded) for requests that
+        # were already admitted to finish -- a client mid-query gets its
+        # answer instead of a reset connection
+        drained = self.server.drain(
+            self.engine.config.drain_timeout_ms / 1000.0
+        )
+        if not drained:
+            _LOG.warning(
+                "drain timeout (%.0f ms) expired with %d request(s) "
+                "still in flight; shutting down anyway",
+                self.engine.config.drain_timeout_ms, self.server.inflight,
+            )
+        # flush the registry next: in-flight coalescing counters would
         # otherwise die with the process before anyone scraped them
         final = self.engine.flush_metrics()
         # shutdown() blocks until serve_forever returns, so it must run
         # outside this handler thread's serve loop
         threading.Thread(target=self.server.shutdown, daemon=True).start()
-        return 200, {"status": "shutting down", "stats": final}
+        return 200, {
+            "status": "shutting down",
+            "drained": drained,
+            "stats": final,
+        }
 
 
 class EngineServer(ThreadingHTTPServer):
@@ -436,6 +499,47 @@ class EngineServer(ThreadingHTTPServer):
         self.engine = engine
         self.started_monotonic = time.monotonic()
         self.started_unix = time.time()
+        # bounded admission: at most config.max_inflight heavy requests
+        # hold a slot at once; the rest are shed with 503 + Retry-After
+        self._admission = threading.Condition()
+        self._inflight = 0
+        self._draining = False
+
+    @property
+    def inflight(self) -> int:
+        with self._admission:
+            return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        with self._admission:
+            return self._draining
+
+    def try_admit(self) -> bool:
+        """Claim an in-flight slot; False = shed (full or draining)."""
+        with self._admission:
+            if self._draining:
+                return False
+            if self._inflight >= self.engine.config.max_inflight:
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        with self._admission:
+            self._inflight -= 1
+            self._admission.notify_all()
+
+    def drain(self, timeout_s: float) -> bool:
+        """Refuse new heavy requests; wait for admitted ones to finish.
+
+        Returns True when the server emptied within ``timeout_s``.
+        """
+        with self._admission:
+            self._draining = True
+            return self._admission.wait_for(
+                lambda: self._inflight == 0, timeout=timeout_s
+            )
 
     @property
     def url(self) -> str:

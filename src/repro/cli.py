@@ -438,6 +438,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slow-query-ms", type=float, default=None,
                    help="log the full span tree of queries slower than "
                         "this many milliseconds (default: disabled)")
+    p.add_argument("--request-timeout-ms", type=float, default=None,
+                   help="per-request deadline; queries still queued or "
+                        "sweeping past it answer 504 (default: none)")
+    p.add_argument("--max-inflight", type=_positive_int, default=None,
+                   help="bound on concurrently admitted heavy requests; "
+                        "excess load is shed with 503 + Retry-After "
+                        "(default: 64)")
+    p.add_argument("--drain-timeout-ms", type=float, default=None,
+                   help="how long /v1/shutdown waits for in-flight "
+                        "requests before stopping anyway (default: 5000)")
+    p.add_argument("--faults", default=None,
+                   help="failpoint spec for chaos testing, e.g. "
+                        "'store.flush.pre_rename=kill' (see repro.faults; "
+                        "default: none)")
     p.add_argument("--seed", type=int, default=0)
     _add_pipeline_options(p)
     p.set_defaults(func=_cmd_serve)

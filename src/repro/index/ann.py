@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+import repro.faults as faults
 from repro.core.model import Asteria, FunctionEncoding
 from repro.index.store import ShardedMatrix
 from repro.obs.metrics import FRACTION_BUCKETS, SIZE_BUCKETS, MetricsRegistry
@@ -460,6 +461,9 @@ class LSHIndex(AnnIndex):
         registry: Optional[MetricsRegistry] = None,
     ):
         super().__init__(model, vectors, callee_counts, calibrate, registry)
+        # chaos hook: lets tests fail ANN construction to exercise the
+        # search layer's exact-sweep fallback
+        faults.inject("ann.build")
         if n_planes <= 0 or n_planes > 62:
             raise ValueError(f"n_planes must be in [1, 62], got {n_planes}")
         if n_tables <= 0:

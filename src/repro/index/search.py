@@ -124,6 +124,10 @@ class SearchService:
         self.pipeline = pipeline
         self._index: Optional[AnnIndex] = None
         self._index_rows = -1
+        #: Human-readable reasons the service is running below full
+        #: fidelity (e.g. ANN build failed -> exact fallback); surfaced
+        #: through engine stats and ``/healthz``.
+        self.degraded_reasons: List[str] = []
 
     # -- offline phase -----------------------------------------------------
 
@@ -187,15 +191,47 @@ class SearchService:
                 options.setdefault("registry", self.registry)
             if self.backend == "lsh" and self.store.root is not None:
                 options.setdefault("state", self.store.read_ann_state())
-            self._index = make_index(
-                self.backend,
-                self.model,
-                self.store.vectors(),
-                self.store.callee_counts(),
-                calibrate=self.calibrate,
-                **options,
-            )
-            self._persist_index(self._index)
+            try:
+                self._index = make_index(
+                    self.backend,
+                    self.model,
+                    self.store.vectors(),
+                    self.store.callee_counts(),
+                    calibrate=self.calibrate,
+                    **options,
+                )
+                self._persist_index(self._index)
+                # a successful (re)build clears any earlier fallback
+                self.degraded_reasons = [
+                    r for r in self.degraded_reasons
+                    if "serving exact sweeps" not in r
+                ]
+            except Exception as exc:
+                if self.backend == "exact":
+                    raise  # nothing simpler to fall back to
+                # graceful degradation: answer with the exact sweep
+                # (correct, slower) rather than failing every query
+                reason = (
+                    f"{self.backend} index construction failed ({exc}); "
+                    f"serving exact sweeps"
+                )
+                if reason not in self.degraded_reasons:
+                    self.degraded_reasons.append(reason)
+                _LOG.warning("ANN fallback: %s", reason)
+                if self.registry is not None:
+                    self.registry.counter(
+                        "repro_ann_fallback_total",
+                        "ANN construction failures degraded to exact "
+                        "sweeps",
+                    ).inc()
+                self._index = make_index(
+                    "exact",
+                    self.model,
+                    self.store.vectors(),
+                    self.store.callee_counts(),
+                    calibrate=self.calibrate,
+                    registry=self.registry,
+                )
             self._index_rows = self.store.n_flushed
             if self.registry is not None:
                 self.registry.counter(

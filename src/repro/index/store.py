@@ -40,6 +40,7 @@ need persistence).
 from __future__ import annotations
 
 import json
+import os
 from bisect import bisect_right
 from dataclasses import dataclass
 from pathlib import Path
@@ -47,14 +48,17 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+import repro.faults as faults
 from repro.core.model import FunctionEncoding
 from repro.nn.serialize import load_state, save_state
+from repro.utils.fsio import atomic_write_text, commit_file, file_sha256
 from repro.utils.logging import get_logger
 
 _LOG = get_logger("index.store")
 
 MANIFEST_NAME = "manifest.json"
 ANN_STATE_NAME = "ann-lsh.npz"
+QUARANTINE_DIR = "quarantine"
 FORMAT_VERSION = 2
 SUPPORTED_VERSIONS = (1, 2)
 DEFAULT_SHARD_SIZE = 1024
@@ -248,6 +252,10 @@ class _ShardMeta:
 class _ShardInfo:
     name: str
     n_rows: int
+    #: ``{filename: sha256 hexdigest}`` for the shard's files; absent on
+    #: stores written before checksums existed (and on migrated rows
+    #: until their first rewrite) -- verification skips what it lacks.
+    sha256: Optional[Dict[str, str]] = None
 
 
 @dataclass
@@ -279,6 +287,7 @@ class EmbeddingStore:
         dtype=DEFAULT_DTYPE,
         format_version: int = FORMAT_VERSION,
         ann: Optional[Dict] = None,
+        quarantined: Optional[List[str]] = None,
     ):
         if shard_size <= 0:
             raise StoreError(f"shard_size must be positive, got {shard_size}")
@@ -297,6 +306,9 @@ class EmbeddingStore:
         )
         self.meta = dict(meta or {})
         self.ann = dict(ann or {})
+        #: Shard names moved aside by :meth:`_verify_and_recover` (this
+        #: open or a previous one -- the list persists in the manifest).
+        self.quarantined: List[str] = list(quarantined or [])
         self._shards: List[_ShardInfo] = list(shards or [])
         self._meta_cache: Dict[int, _ShardMeta] = {}
         self._pending: List[_PendingRow] = []
@@ -350,13 +362,22 @@ class EmbeddingStore:
         return cls(None, dim=dim, shard_size=shard_size, dtype=dtype)
 
     @classmethod
-    def open(cls, root, migrate: bool = True) -> "EmbeddingStore":
+    def open(
+        cls, root, migrate: bool = True, verify: bool = True
+    ) -> "EmbeddingStore":
         """Open an existing store for reading or appending.
 
         Format-1 stores are migrated to format 2 in place (raw ``.npy``
         vector shards + metadata companions) when ``migrate`` is true and
         the directory is writable; otherwise they are served read-compat
         with the old eager npz loads.
+
+        With ``verify`` (the default) every shard file is checked for
+        existence and -- when the manifest records checksums -- content
+        integrity.  A torn or corrupt shard does not fail the open:
+        :meth:`_verify_and_recover` quarantines it (and every later
+        shard, since rows are positional) and the store serves the last
+        consistent prefix with :attr:`degraded` set.
         """
         root = Path(root)
         manifest_path = root / MANIFEST_NAME
@@ -370,7 +391,11 @@ class EmbeddingStore:
                 f"(this reader supports {SUPPORTED_VERSIONS})"
             )
         shards = [
-            _ShardInfo(name=entry["name"], n_rows=int(entry["n_rows"]))
+            _ShardInfo(
+                name=entry["name"],
+                n_rows=int(entry["n_rows"]),
+                sha256=entry.get("sha256"),
+            )
             for entry in manifest["shards"]
         ]
         store = cls(
@@ -382,9 +407,12 @@ class EmbeddingStore:
             dtype=manifest.get("dtype", "float64"),
             format_version=version,
             ann=manifest.get("ann"),
+            quarantined=manifest.get("quarantined"),
         )
         if version == 1 and migrate:
             store = store._migrated()
+        if verify:
+            store._verify_and_recover()
         return store
 
     def _migrated(self) -> "EmbeddingStore":
@@ -404,7 +432,7 @@ class EmbeddingStore:
                 vectors = np.ascontiguousarray(
                     state["vectors"], dtype=self.dtype
                 )
-                np.save(self.root / f"{base}.npy", vectors)
+                self._save_vectors(self.root / f"{base}.npy", vectors)
                 save_state(
                     self.root / f"{base}.meta.npz",
                     {
@@ -414,6 +442,12 @@ class EmbeddingStore:
                     meta=meta,
                 )
                 info.name = base
+                info.sha256 = {
+                    f"{base}.npy": file_sha256(self.root / f"{base}.npy"),
+                    f"{base}.meta.npz": file_sha256(
+                        self.root / f"{base}.meta.npz"
+                    ),
+                }
             self.format_version = FORMAT_VERSION
             self._write_manifest()
         except Exception as exc:
@@ -435,6 +469,80 @@ class EmbeddingStore:
             self.root, FORMAT_VERSION, len(self._shards),
         )
         return self
+
+    # -- integrity ---------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True when recovery dropped shards: the store serves a
+        consistent but incomplete prefix of the corpus."""
+        return bool(self.quarantined)
+
+    def _verify_and_recover(self) -> None:
+        """Detect torn/corrupt shards and recover to a consistent prefix.
+
+        Walks the manifest's shard table in row order checking that every
+        file exists and (when the manifest records a checksum) that its
+        content matches.  Rows are positional, so the first bad shard
+        poisons every global row index after it: that shard *and all
+        later ones* are moved to ``<root>/quarantine/`` for post-mortem,
+        the in-memory tables are truncated to the surviving prefix, and
+        the manifest is rewritten so the next open is clean.  The store
+        keeps serving -- :attr:`degraded` (surfaced through engine stats
+        and ``/healthz``) is the signal that rows are missing.
+        """
+        if self.root is None:
+            return
+        first_bad: Optional[int] = None
+        reason = ""
+        for i, info in enumerate(self._shards):
+            for path in self._shard_paths(info):
+                if not path.exists():
+                    first_bad, reason = i, f"missing file {path.name}"
+                    break
+                expected = (info.sha256 or {}).get(path.name)
+                if expected is not None and file_sha256(path) != expected:
+                    first_bad, reason = (
+                        i, f"checksum mismatch in {path.name}"
+                    )
+                    break
+            if first_bad is not None:
+                break
+        if first_bad is None:
+            return
+        dropped = self._shards[first_bad:]
+        self._shards = self._shards[:first_bad]
+        self._rebuild_offsets()
+        self._meta_cache = {
+            k: v for k, v in self._meta_cache.items() if k < first_bad
+        }
+        self._vectors = None
+        self._count_blocks = []
+        self._stacked_counts = None
+        quarantine = self.root / QUARANTINE_DIR
+        for info in dropped:
+            self.quarantined.append(info.name)
+            for path in self._shard_paths(info):
+                if not path.exists():
+                    continue
+                try:
+                    quarantine.mkdir(parents=True, exist_ok=True)
+                    path.replace(quarantine / path.name)
+                except OSError:  # unwritable dir: serving still degrades
+                    pass
+        if self.ann and int(self.ann.get("n_rows", 0)) > self.n_flushed:
+            self.ann = {}  # signatures cover rows that no longer exist
+        _LOG.warning(
+            "store at %s is degraded: %s; quarantined %d shard(s), "
+            "serving %d rows",
+            self.root, reason, len(dropped), self.n_flushed,
+        )
+        try:
+            self._write_manifest()
+        except OSError as exc:
+            _LOG.warning(
+                "cannot persist recovered manifest at %s: %s", self.root, exc
+            )
 
     # -- writes ------------------------------------------------------------
 
@@ -505,6 +613,10 @@ class EmbeddingStore:
             written += len(shard_meta)
         if written:
             if self.root is not None:
+                # crash window: new shards fully visible on disk but the
+                # manifest (rewritten atomically below) still lists only
+                # the previous generation -- reopen serves that prefix
+                faults.inject("store.flush.pre_manifest")
                 self._write_manifest()
         return written
 
@@ -515,6 +627,31 @@ class EmbeddingStore:
             self._vectors.append_block(vectors)
         self._count_blocks.append(counts)
         self._stacked_counts = None  # re-concat lazily from blocks
+
+    @staticmethod
+    def _save_vectors(
+        path: Path, vectors: np.ndarray, failpoint: Optional[str] = None
+    ) -> None:
+        """Write a raw ``.npy`` vector shard via temp→fsync→rename.
+
+        ``np.save`` appends ``.npy`` to string paths lacking it, so the
+        temp file is written through an open handle to keep its name.
+        """
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            np.save(handle, vectors)
+            handle.flush()
+            os.fsync(handle.fileno())
+        commit_file(tmp, path, failpoint=failpoint)
+
+    def _shard_paths(self, info: _ShardInfo) -> List[Path]:
+        """Every file that must be intact for this shard to be served."""
+        if self.format_version == 1:
+            return [self.root / info.name]
+        return [
+            self.root / f"{info.name}.npy",
+            self.root / f"{info.name}.meta.npz",
+        ]
 
     def _write_shard(
         self, info: _ShardInfo, vectors: np.ndarray, meta: _ShardMeta
@@ -535,11 +672,22 @@ class EmbeddingStore:
                 dict(columns, vectors=vectors.astype(np.float64)),
                 meta=strings,
             )
-        else:
-            np.save(self.root / f"{info.name}.npy", vectors)
-            save_state(
-                self.root / f"{info.name}.meta.npz", columns, meta=strings
-            )
+            info.sha256 = {
+                info.name: file_sha256(self.root / info.name)
+            }
+            return
+        meta_path = self.root / f"{info.name}.meta.npz"
+        save_state(meta_path, columns, meta=strings)
+        vec_path = self.root / f"{info.name}.npy"
+        # crash window: all shard bytes durable, vector file unpublished
+        # and the manifest still describes the previous generation
+        self._save_vectors(
+            vec_path, vectors, failpoint="store.flush.pre_rename"
+        )
+        info.sha256 = {
+            vec_path.name: file_sha256(vec_path),
+            meta_path.name: file_sha256(meta_path),
+        }
 
     def _write_manifest(self) -> None:
         manifest = {
@@ -550,16 +698,25 @@ class EmbeddingStore:
             "n_rows": len(self),
             "shards": [
                 {"name": info.name, "n_rows": info.n_rows}
+                if info.sha256 is None
+                else {
+                    "name": info.name,
+                    "n_rows": info.n_rows,
+                    "sha256": info.sha256,
+                }
                 for info in self._shards
             ],
             "meta": self.meta,
         }
         if self.ann:
             manifest["ann"] = self.ann
-        path = self.root / MANIFEST_NAME
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
-        tmp.replace(path)
+        if self.quarantined:
+            manifest["quarantined"] = self.quarantined
+        atomic_write_text(
+            self.root / MANIFEST_NAME,
+            json.dumps(manifest, indent=2, sort_keys=True),
+            failpoint="store.manifest.pre_rename",
+        )
 
     # -- persisted ANN state ----------------------------------------------
 
@@ -567,21 +724,39 @@ class EmbeddingStore:
         self, params: Dict, arrays: Dict[str, np.ndarray]
     ) -> None:
         """Persist ANN state (e.g. LSH planes + signatures) alongside the
-        shards and record its parameters in the manifest."""
+        shards and record its parameters (and checksum) in the manifest."""
         if self.root is None:
             raise StoreError("in-memory stores cannot persist ANN state")
-        save_state(self.root / ANN_STATE_NAME, arrays, meta=params)
-        self.ann = dict(params, file=ANN_STATE_NAME)
+        target = self.root / ANN_STATE_NAME
+        # keep the temp name ending in .npz so save_state leaves it alone
+        pending = self.root / "ann-lsh.pending.npz"
+        save_state(pending, arrays, meta=params)
+        commit_file(pending, target, failpoint="ann.persist.pre_rename")
+        self.ann = dict(
+            params, file=ANN_STATE_NAME, sha256=file_sha256(target)
+        )
         self._write_manifest()
 
     def read_ann_state(
         self,
     ) -> Optional[Tuple[Dict, Dict[str, np.ndarray]]]:
-        """Load persisted ANN state, or ``None`` when absent/corrupt."""
+        """Load persisted ANN state, or ``None`` when absent/corrupt.
+
+        ``None`` is always recoverable for the caller -- the ANN layer
+        rebuilds from the (verified) vectors -- so any integrity doubt
+        here resolves to a rebuild, never a crash or silent bad results.
+        """
         if self.root is None or not self.ann:
             return None
         path = self.root / self.ann.get("file", ANN_STATE_NAME)
         if not path.exists():
+            return None
+        expected = self.ann.get("sha256")
+        if expected is not None and file_sha256(path) != expected:
+            _LOG.warning(
+                "ignoring ANN state at %s: checksum mismatch "
+                "(index will rebuild)", path,
+            )
             return None
         try:
             arrays, params = load_state(path)

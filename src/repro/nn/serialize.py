@@ -1,12 +1,20 @@
-"""Model checkpointing via ``numpy.savez``."""
+"""Model checkpointing via ``numpy.savez``.
+
+Writes are crash-safe: the archive is written to a temporary sibling,
+fsynced, and atomically renamed over the target, so a kill mid-save
+leaves the previous checkpoint (or nothing) -- never a torn archive.
+"""
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, Tuple
 
 import numpy as np
+
+from repro.utils.fsio import commit_file
 
 _META_KEY = "__meta__"
 
@@ -14,6 +22,8 @@ _META_KEY = "__meta__"
 def save_state(path, state: Dict[str, np.ndarray], meta: Dict = None) -> None:
     """Save a state dict (and optional JSON-able metadata) to ``path``."""
     path = Path(path)
+    if not path.name.endswith(".npz"):
+        path = Path(str(path) + ".npz")  # match numpy.savez naming
     payload = dict(state)
     if _META_KEY in payload:
         raise ValueError(f"{_META_KEY!r} is a reserved key")
@@ -21,7 +31,12 @@ def save_state(path, state: Dict[str, np.ndarray], meta: Dict = None) -> None:
         json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8
     )
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **payload)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        np.savez(handle, **payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    commit_file(tmp, path)
 
 
 def load_state(path) -> Tuple[Dict[str, np.ndarray], Dict]:

@@ -30,7 +30,12 @@ from repro.pipeline.stages import (
     unflatten_tree,
     unpack_stage,
 )
-from repro.pipeline.workers import extract_all, extract_stream
+from repro.pipeline.workers import (
+    WorkerCrashError,
+    WorkerTaskError,
+    extract_all,
+    extract_stream,
+)
 
 __all__ = [
     "ArtifactCache",
@@ -40,6 +45,8 @@ __all__ = [
     "PipelineResult",
     "PipelineStats",
     "StageTimes",
+    "WorkerCrashError",
+    "WorkerTaskError",
     "artifact_key",
     "binary_digest",
     "decompile_one",

@@ -19,8 +19,11 @@ Layout of a cache directory::
 
 Object files are content-addressed (the file name *is* the key), so a
 corrupt or missing manifest is recovered by rescanning ``objects/``; a
-corrupt object file is dropped and treated as a miss.  ``root=None`` gives
-an ephemeral in-memory cache with the same API.
+corrupt object file is dropped and treated as a miss.  Writes are
+crash-safe (temp→fsync→rename) and each manifest entry records the
+object's sha256, so bitrot or out-of-band truncation is detected on read
+and degrades to a miss instead of corrupting downstream artifacts.
+``root=None`` gives an ephemeral in-memory cache with the same API.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ from repro.binformat.binary import BinaryFile
 from repro.core.model import FunctionEncoding
 from repro.nn.serialize import load_state, save_state
 from repro.pipeline.stages import ExtractedBinary
+from repro.utils.fsio import atomic_write_text, commit_file, file_sha256
 from repro.utils.logging import get_logger
 
 _LOG = get_logger("pipeline.cache")
@@ -100,7 +104,9 @@ class ArtifactCache:
     def __init__(self, root=None):
         self.root = Path(root) if root is not None else None
         self.stats = CacheStats()
-        self._entries: Dict[str, str] = {}  # key -> file name under objects/
+        # key -> {"file": name under objects/, "sha256": hexdigest};
+        # sha256 may be absent for entries written before checksums
+        self._entries: Dict[str, Dict[str, str]] = {}
         self._mem: Dict[str, Tuple[Dict, Dict]] = {}
         self._dirty = False
         if self.root is not None:
@@ -133,19 +139,35 @@ class ArtifactCache:
             entries = manifest["entries"]
             if not isinstance(entries, dict):
                 raise ValueError("entries is not an object")
-            self._entries = {str(k): str(v) for k, v in entries.items()}
+            self._entries = {
+                str(k): self._normalize_entry(v) for k, v in entries.items()
+            }
         except (ValueError, KeyError, TypeError) as exc:
             self._recover(f"unreadable manifest: {exc}")
+
+    @staticmethod
+    def _normalize_entry(value) -> Dict[str, str]:
+        """Accept both entry shapes: pre-checksum manifests mapped key ->
+        file name (a plain string); current ones map key -> object."""
+        if isinstance(value, str):
+            return {"file": value}
+        if isinstance(value, dict) and isinstance(value.get("file"), str):
+            entry = {"file": value["file"]}
+            if isinstance(value.get("sha256"), str):
+                entry["sha256"] = value["sha256"]
+            return entry
+        raise ValueError(f"bad manifest entry {value!r}")
 
     def _recover(self, reason: str) -> None:
         """Rebuild the manifest by scanning ``objects/``.
 
         Object files are named by their content-address key, so the scan
-        recovers every previously stored artifact.
+        recovers every previously stored artifact (checksums are
+        recomputed from the surviving bytes).
         """
         _LOG.warning("recovering cache manifest at %s (%s)", self.root, reason)
         self._entries = {
-            path.stem: path.name
+            path.stem: {"file": path.name, "sha256": file_sha256(path)}
             for path in sorted((self.root / OBJECTS_DIR).glob("*.npz"))
             if not path.stem.endswith(".tmp")
         }
@@ -156,10 +178,10 @@ class ArtifactCache:
             "format_version": FORMAT_VERSION,
             "entries": self._entries,
         }
-        path = self.root / MANIFEST_NAME
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
-        tmp.replace(path)
+        atomic_write_text(
+            self.root / MANIFEST_NAME,
+            json.dumps(manifest, indent=2, sort_keys=True),
+        )
         self._dirty = False
 
     def flush(self) -> None:
@@ -174,28 +196,38 @@ class ArtifactCache:
     # -- raw get/put -------------------------------------------------------
 
     def get(self, key: str) -> Optional[Tuple[Dict, Dict]]:
-        """Look up one artifact as ``(state, meta)``; None on miss."""
+        """Look up one artifact as ``(state, meta)``; None on miss.
+
+        An object whose bytes no longer match the recorded checksum is
+        treated exactly like an unreadable one: dropped and reported as a
+        miss, so corruption costs a recompute, never a wrong artifact.
+        """
         if self.root is None:
             return self._mem.get(key)
-        name = self._entries.get(key)
-        if name is None:
+        entry = self._entries.get(key)
+        if entry is None:
             return None
+        name = entry["file"]
+        path = self.root / OBJECTS_DIR / name
         try:
-            return load_state(self.root / OBJECTS_DIR / name)
+            expected = entry.get("sha256")
+            if expected is not None and file_sha256(path) != expected:
+                raise ValueError("checksum mismatch")
+            return load_state(path)
         except Exception as exc:
             _LOG.warning("dropping unreadable cache object %s: %s", name, exc)
             self._entries.pop(key, None)
             try:
                 # delete the object too, or a manifest recovery would
                 # rescan it right back in
-                (self.root / OBJECTS_DIR / name).unlink()
+                path.unlink()
             except OSError:
                 pass
             self._write_manifest()
             return None
 
     def put(self, key: str, state: Dict[str, np.ndarray], meta: Dict) -> None:
-        """Store one artifact (atomically: tmp write + rename).
+        """Store one artifact (atomically: tmp write + fsync + rename).
 
         The manifest entry is buffered until :meth:`flush` so bulk stores
         do not rewrite the manifest once per artifact.
@@ -208,8 +240,11 @@ class ArtifactCache:
         target = self.root / OBJECTS_DIR / name
         tmp = self.root / OBJECTS_DIR / f"{key}.tmp.npz"
         save_state(tmp, state, meta=meta)
-        tmp.replace(target)
-        self._entries[key] = name
+        digest = file_sha256(tmp)
+        # crash window: object bytes durable but unpublished -- reopen
+        # sees a miss for this key and recomputes, never a torn object
+        commit_file(tmp, target, failpoint="cache.put.pre_rename")
+        self._entries[key] = {"file": name, "sha256": digest}
         self._dirty = True
 
     # -- typed artifacts ---------------------------------------------------

@@ -279,6 +279,7 @@ class CorpusPipeline:
             [entries[digest].binary for digest in to_extract],
             min_ast_size,
             jobs=self.jobs,
+            registry=self.registry,
         )
         for digest, extracted in zip(to_extract, stream):
             stats.times.decompile_s += extracted.decompile_s

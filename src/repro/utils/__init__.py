@@ -1,6 +1,14 @@
-"""Shared utilities: deterministic RNG, logging, and serialization helpers."""
+"""Shared utilities: RNG, logging, crash-safe file IO, retry/backoff."""
 
 from repro.utils.rng import RNG, derive_seed
 from repro.utils.logging import get_logger
+from repro.utils.retry import RetryError, backoff_delays, retry
 
-__all__ = ["RNG", "derive_seed", "get_logger"]
+__all__ = [
+    "RNG",
+    "RetryError",
+    "backoff_delays",
+    "derive_seed",
+    "get_logger",
+    "retry",
+]
