@@ -9,7 +9,11 @@ Regenerates the pipeline overhead table over a firmware corpus:
 * **warm** -- the same corpus over the now-populated cache: must skip
   decompile and encode entirely (asserted via the instrumentation);
 * **parallel** -- a cold ``jobs=2`` run, asserted bit-for-bit identical
-  to the serial cold run.
+  to the serial cold run;
+* **weight swap** -- a different model over the same warm cache: the
+  ``enc`` artifacts miss (they are fingerprint-keyed) so every binary
+  re-encodes, but the model-independent ``ctrees`` plans hit, so zero
+  trees are recompiled (counter-asserted).
 
 ``PIPELINE_BENCH_MIN_WARM_SPEEDUP`` (default 1.5) sets the warm-over-cold
 floor; CI runs at a reduced scale with the same floor.
@@ -20,6 +24,7 @@ import time
 
 import numpy as np
 
+from repro.core import Asteria, AsteriaConfig
 from repro.evalsuite.vulnsearch import build_firmware_dataset
 from repro.pipeline import ArtifactCache, CorpusPipeline
 
@@ -72,6 +77,16 @@ def test_pipeline_cold_warm_parallel(benchmark, tmp_path, trained_asteria):
     ).run_images(dataset.images)
     parallel_s = time.perf_counter() - started
 
+    # Weight swap: a different model over the same warm cache.  The
+    # fingerprint-keyed encodings miss, but the model-independent ctrees
+    # plans hit -- only the GEMMs re-run, no tree is recompiled.
+    swapped_model = Asteria(AsteriaConfig(seed=23))
+    started = time.perf_counter()
+    swapped = CorpusPipeline(
+        swapped_model, cache=ArtifactCache(root)
+    ).run_images(dataset.images)
+    swap_s = time.perf_counter() - started
+
     stats = cold.stats
     lines = [
         f"corpus: {stats.n_images} images, {stats.n_binaries} binaries "
@@ -89,6 +104,10 @@ def test_pipeline_cold_warm_parallel(benchmark, tmp_path, trained_asteria):
         f"{warm.stats.cache.encoding_hits}, extracted 0, encoded 0)",
         f"{'pipeline cold --jobs 2':<28} {parallel_s:>9.3f}   "
         f"bit-for-bit identical to serial",
+        f"{'pipeline weight swap':<28} {swap_s:>9.3f}   "
+        f"re-encode only (ctrees hits: "
+        f"{swapped.stats.cache.ctree_hits}, "
+        f"{swapped.stats.n_trees_compiled} trees recompiled)",
         "",
         "cold stage split: "
         f"decompile {stats.times.decompile_s:.3f}s, "
@@ -105,6 +124,9 @@ def test_pipeline_cold_warm_parallel(benchmark, tmp_path, trained_asteria):
             "cold_s": cold_s,
             "warm_s": warm_s,
             "parallel_s": parallel_s,
+            "weight_swap_s": swap_s,
+            "weight_swap_trees_compiled": swapped.stats.n_trees_compiled,
+            "weight_swap_ctree_hits": swapped.stats.cache.ctree_hits,
             "warm_speedup": cold_s / warm_s,
             "cold_stage_seconds": {
                 "decompile": stats.times.decompile_s,
@@ -120,6 +142,16 @@ def test_pipeline_cold_warm_parallel(benchmark, tmp_path, trained_asteria):
     assert warm.stats.n_encoded == 0
     assert warm.stats.cache.misses == 0
     assert warm.stats.cache.encoding_hits == warm.stats.n_unique_binaries
+
+    # Weight swap: trees and plans hit, only the encodings re-run.
+    assert swapped.stats.n_extracted == 0
+    assert swapped.stats.n_encoded == swapped.stats.n_unique_binaries
+    assert swapped.stats.n_trees_compiled == 0, (
+        f"weight swap recompiled {swapped.stats.n_trees_compiled} trees; "
+        f"ctrees plans should be model-independent"
+    )
+    assert swapped.stats.cache.ctree_hits > 0
+    assert swapped.stats.cache.encoding_hits == 0
 
     # All three pipeline runs agree; the reference counted the same corpus.
     assert n_reference == cold.stats.n_functions

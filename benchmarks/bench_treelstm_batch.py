@@ -12,11 +12,18 @@ buildroot corpus:
 * **AST-size buckets** -- per-bucket speedup at batch 64, the batched
   analogue of Figure 10b's encode-time-by-size curve;
 
+* **float32 fast path** -- raw trees/s of the single-precision inference
+  path at batch 64 and 256 (best-of-``TREELSTM_BENCH_REPS`` timing), which
+  must clear the absolute ``TREELSTM_BENCH_MIN_TREES_PER_S`` floor and stay
+  monotone from 64 to 256 (node-budget chunking keeps the working set
+  cache-resident, so bigger batches must not fall off a cliff);
+
 and cross-checks the batched vectors against the sequential reference.
 
 ``TREELSTM_BENCH_MIN_SPEEDUP`` overrides the throughput floor (the CI
 perf-smoke step runs at reduced scale, where fixed per-call overheads eat
-into the ratio).
+into the ratio); ``TREELSTM_BENCH_MONOTONE_MIN`` relaxes the @64->@256
+monotonicity floor below its default 0.9 (single-core timing noise).
 """
 
 import os
@@ -31,8 +38,28 @@ from benchmarks.conftest import emit_bench_json, scaled, write_result
 
 BATCH_SIZES = (1, 8, 64, 256)
 MIN_SPEEDUP_AT_64 = float(os.environ.get("TREELSTM_BENCH_MIN_SPEEDUP", "5.0"))
+MIN_TREES_PER_S = float(
+    os.environ.get("TREELSTM_BENCH_MIN_TREES_PER_S", "1100")
+)
+MONOTONE_MIN = float(os.environ.get("TREELSTM_BENCH_MONOTONE_MIN", "0.9"))
+REPS = int(os.environ.get("TREELSTM_BENCH_REPS", "5"))
 MIN_TREES = 512
 SIZE_BUCKETS = ((0, 50), (50, 100), (100, 200), (200, 10 ** 9))
+
+
+def _best_of(fn, reps):
+    """Run ``fn`` ``reps`` times; return (last result, fastest seconds).
+
+    Best-of timing filters the scheduler noise that dominates single-run
+    measurements on a shared box -- the minimum is the least-interfered
+    observation of the same deterministic computation.
+    """
+    result, best = None, float("inf")
+    for _ in range(max(1, reps)):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return result, best
 
 
 def _corpus_trees(dataset, model):
@@ -67,15 +94,39 @@ def test_treelstm_batch_throughput(benchmark, buildroot, trained_asteria):
     batched_results = {}
     batched_rates = {}
     for batch_size in BATCH_SIZES:
-        started = time.perf_counter()
-        vectors = trained_asteria.encode_batch(trees, batch_size=batch_size)
-        batched_s = time.perf_counter() - started
+        # best-of-reps at the sizes the monotonicity floor compares
+        reps = REPS if batch_size >= 64 else 1
+        vectors, batched_s = _best_of(
+            lambda: trained_asteria.encode_batch(
+                trees, batch_size=batch_size
+            ),
+            reps,
+        )
         batched_results[batch_size] = vectors
         batched_rates[batch_size] = len(trees) / batched_s
         lines.append(
             f"{'batched @' + str(batch_size):<16} "
             f"{batched_rates[batch_size]:>10.1f} "
             f"{sequential_s / batched_s:>8.1f}x"
+        )
+
+    # The float32 fast path, timed over a precompiled plan: compilation
+    # is a one-time cost the pipeline's persistent ctrees cache pays
+    # once per corpus, so steady-state throughput is the encode alone.
+    f32_rates = {}
+    f32_vectors = None
+    for batch_size in (64, 256):
+        plan = trained_asteria.compile_plan(trees, batch_size)
+        f32_vectors, f32_s = _best_of(
+            lambda: trained_asteria.encode_plan(plan, dtype="float32"),
+            REPS,
+        )
+        f32_rates[batch_size] = len(trees) / f32_s
+        lines.append(
+            f"{'float32 @' + str(batch_size):<16} "
+            f"{f32_rates[batch_size]:>10.1f} "
+            f"{f32_rates[batch_size] / sequential_rate:>8.1f}x   "
+            f"(warm plan)"
         )
 
     lines.append("")
@@ -100,10 +151,21 @@ def test_treelstm_batch_throughput(benchmark, buildroot, trained_asteria):
         )
 
     speedup_64 = batched_rates[64] / sequential_rate
+    monotone_64_256 = batched_rates[256] / batched_rates[64]
+    f32_monotone = f32_rates[256] / f32_rates[64]
+    f32_peak = max(f32_rates.values())
     lines.append("")
     lines.append(
         f"speedup @64: {speedup_64:.1f}x "
         f"(required >= {MIN_SPEEDUP_AT_64:g}x)"
+    )
+    lines.append(
+        f"monotone @64->@256: float64 {monotone_64_256:.3f}, "
+        f"float32 {f32_monotone:.3f} (floor {MONOTONE_MIN:g})"
+    )
+    lines.append(
+        f"float32 peak: {f32_peak:.1f} trees/s "
+        f"(floor {MIN_TREES_PER_S:g})"
     )
     # write the diagnostic table before any assert so the CI artifact
     # survives every failure class, not just the throughput one
@@ -116,9 +178,19 @@ def test_treelstm_batch_throughput(benchmark, buildroot, trained_asteria):
             "batched_trees_per_s": {
                 str(size): rate for size, rate in batched_rates.items()
             },
+            "float32_trees_per_s": {
+                str(size): rate for size, rate in f32_rates.items()
+            },
             "speedup_at_64": speedup_64,
+            "monotone_64_to_256": monotone_64_256,
+            "float32_monotone_64_to_256": f32_monotone,
+            "float32_peak_trees_per_s": f32_peak,
         },
-        floors={"min_speedup_at_64": MIN_SPEEDUP_AT_64},
+        floors={
+            "min_speedup_at_64": MIN_SPEEDUP_AT_64,
+            "min_trees_per_s": MIN_TREES_PER_S,
+            "monotone_min": MONOTONE_MIN,
+        },
     )
 
     # Bit-for-bit determinism: the fixed GEMM blocks make the encoding
@@ -131,8 +203,24 @@ def test_treelstm_batch_throughput(benchmark, buildroot, trained_asteria):
         )
     # ... and numerically equivalent to the sequential reference.
     np.testing.assert_allclose(reference, sequential, atol=1e-10)
+    # The float32 path tracks the float64 reference to single precision.
+    np.testing.assert_allclose(f32_vectors, reference, atol=1e-5)
 
     assert speedup_64 >= MIN_SPEEDUP_AT_64
+    assert monotone_64_256 >= MONOTONE_MIN, (
+        f"float64 throughput fell off going @64 -> @256: "
+        f"{batched_rates[64]:.1f} -> {batched_rates[256]:.1f} trees/s "
+        f"(ratio {monotone_64_256:.3f} < {MONOTONE_MIN:g})"
+    )
+    assert f32_monotone >= MONOTONE_MIN, (
+        f"float32 throughput fell off going @64 -> @256: "
+        f"{f32_rates[64]:.1f} -> {f32_rates[256]:.1f} trees/s "
+        f"(ratio {f32_monotone:.3f} < {MONOTONE_MIN:g})"
+    )
+    assert f32_peak >= MIN_TREES_PER_S, (
+        f"float32 fast path peaked at {f32_peak:.1f} trees/s, below the "
+        f"{MIN_TREES_PER_S:g} floor"
+    )
 
     chunk = trees[:scaled(64)]
     benchmark(lambda: trained_asteria.encode_batch(chunk, batch_size=64))

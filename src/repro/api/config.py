@@ -26,7 +26,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from repro.api.errors import BadRequestError
-from repro.core.model import DEFAULT_ENCODE_BATCH_SIZE
+from repro.core.model import DEFAULT_ENCODE_BATCH_SIZE, DEFAULT_ENCODE_DTYPE
 
 _BACKENDS = ("exact", "lsh")
 _DTYPES = ("float32", "float64")
@@ -38,6 +38,8 @@ _ARG_FIELDS = {
     "cache_dir": "cache_dir",
     "jobs": "jobs",
     "batch_size": "encode_batch_size",
+    "encode_dtype": "encode_dtype",
+    "encode_block": "encode_block",
     "shard_size": "shard_size",
     "dtype": "store_dtype",
     "backend": "backend",
@@ -73,6 +75,13 @@ class EngineConfig:
     cache_dir: Optional[str] = None
     jobs: int = 1
     encode_batch_size: int = DEFAULT_ENCODE_BATCH_SIZE
+    #: Inference dtype of the batched encoder: "float64" is the
+    #: bit-exact reference, "float32" the ~2x fast path (rankings
+    #: preserved; see README "Encoder performance").
+    encode_dtype: str = DEFAULT_ENCODE_DTYPE
+    #: GEMM row-block size for the batched encoder; 0 auto-tunes via a
+    #: one-time micro-probe (``REPRO_ENCODE_BLOCK`` also overrides).
+    encode_block: int = 0
     shard_size: int = 1024
     store_dtype: str = "float32"
     backend: str = "exact"
@@ -114,6 +123,16 @@ class EngineConfig:
             raise BadRequestError(
                 f"unknown store_dtype {self.store_dtype!r} "
                 f"(choose from {', '.join(_DTYPES)})"
+            )
+        if self.encode_dtype not in _DTYPES:
+            raise BadRequestError(
+                f"unknown encode_dtype {self.encode_dtype!r} "
+                f"(choose from {', '.join(_DTYPES)})"
+            )
+        if int(self.encode_block) < 0:
+            raise BadRequestError(
+                f"encode_block must be >= 0 (0 = auto), "
+                f"got {self.encode_block}"
             )
         if self.micro_batch_wait_ms < 0:
             raise BadRequestError("micro_batch_wait_ms must be >= 0")

@@ -222,6 +222,8 @@ class EngineStats:
     n_queries: int = 0
     n_query_batches: int = 0
     n_query_encodes: int = 0
+    n_encoded_trees: int = 0
+    encode_block_rows: int = 0
     micro_batches: int = 0
     micro_batched_items: int = 0
     micro_batch_max: int = 0
@@ -320,6 +322,8 @@ class AsteriaEngine:
                     cache=self.cache,
                     encode_batch_size=self.config.encode_batch_size,
                     registry=self.obs,
+                    encode_dtype=self.config.encode_dtype,
+                    encode_block=self.config.encode_block,
                 )
             return self._pipeline
 
@@ -358,14 +362,18 @@ class AsteriaEngine:
         with self._lock:
             if self._batcher is None:
                 model = self.model
-                encode_batch_size = self.config.encode_batch_size
+                config = self.config
 
                 def encode(trees):
                     # under the engine lock: a batch must not read
                     # weights that train()'s optimizer is mid-mutating
                     with self._lock:
                         return model.encode_batch(
-                            trees, batch_size=encode_batch_size
+                            trees,
+                            batch_size=config.encode_batch_size,
+                            dtype=config.encode_dtype,
+                            block=config.encode_block,
+                            registry=self.obs,
                         )
 
                 self._batcher = MicroBatcher(
@@ -400,6 +408,8 @@ class AsteriaEngine:
                 cache=self.cache,
                 encode_batch_size=encode_batch_size,
                 registry=self.obs,
+                encode_dtype=self.config.encode_dtype,
+                encode_block=self.config.encode_block,
             )
         return SearchService(
             self.model,
@@ -1051,6 +1061,12 @@ class AsteriaEngine:
         )
         stats.n_query_encodes = int(
             self.obs.value("repro_query_encodes_total")
+        )
+        stats.n_encoded_trees = int(
+            self.obs.value("repro_encode_trees_total")
+        )
+        stats.encode_block_rows = int(
+            self.obs.value("repro_encode_block_rows")
         )
         stats.n_shed = int(self.obs.value("repro_requests_shed_total"))
         stats.n_timeouts = int(

@@ -284,6 +284,14 @@ def _add_pipeline_options(parser) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="persistent artifact cache: warm re-runs "
                              "skip decompile + encode")
+    parser.add_argument("--encode-dtype", choices=["float32", "float64"],
+                        default=None,
+                        help="batched-encoder inference dtype (float64 = "
+                             "bit-exact reference, float32 = ~2x fast "
+                             "path with rankings preserved)")
+    parser.add_argument("--encode-block", type=int, default=None,
+                        help="GEMM row-block size for the batched "
+                             "encoder (0 = one-time auto-probe)")
 
 
 def _add_store_options(parser) -> None:

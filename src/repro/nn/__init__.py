@@ -17,9 +17,19 @@ from repro.nn.layers import Embedding, Linear
 from repro.nn.treelstm import BinaryTreeLSTM, BinaryTreeNode
 from repro.nn.treebatch import (
     CompiledBatch,
+    CompiledPlan,
+    WeightPack,
+    compile_plan,
     compile_trees,
     encode_batch,
     encode_batch_states,
+    encode_plan,
+    pack_weights,
+    plan_chunks,
+    plan_from_state,
+    plan_to_state,
+    resolve_block,
+    resolve_node_budget,
 )
 from repro.nn.graphnet import Structure2Vec
 from repro.nn.loss import bce_loss, mse_loss, cosine_embedding_loss
@@ -31,9 +41,19 @@ __all__ = [
     "concat",
     "no_grad",
     "CompiledBatch",
+    "CompiledPlan",
+    "WeightPack",
+    "compile_plan",
     "compile_trees",
     "encode_batch",
     "encode_batch_states",
+    "encode_plan",
+    "pack_weights",
+    "plan_chunks",
+    "plan_from_state",
+    "plan_to_state",
+    "resolve_block",
+    "resolve_node_budget",
     "Module",
     "Parameter",
     "Embedding",

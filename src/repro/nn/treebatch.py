@@ -35,8 +35,10 @@ re-encoded per occurrence).
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -172,56 +174,155 @@ def compile_trees(trees: Sequence[BinaryTreeNode]) -> CompiledBatch:
 
 # -- inference fast path -----------------------------------------------------
 
-# Row-block size for the inference GEMMs.  Every matmul is issued at exactly
-# this many rows (the final block zero-padded), so BLAS always selects the
-# same kernel and each output row is bit-for-bit identical no matter how the
-# batch is composed -- encode at batch size 8 or 256 and get the same bytes.
-# Variable-row GEMMs do not have that property: BLAS falls back to different
-# (differently-rounded) kernels for small row counts.
+# Default row-block size for the inference GEMMs.  Every matmul is issued at
+# exactly this many rows (the final block zero-padded), so BLAS always
+# selects the same kernel and each output row is bit-for-bit identical no
+# matter how the batch is composed -- encode at batch size 8 or 256 and get
+# the same bytes.  Variable-row GEMMs do not have that property: BLAS falls
+# back to different (differently-rounded) kernels for small row counts.
+# :func:`resolve_block` picks the actual size (micro-probe / env / config);
+# the choice is cached per process, so within one process the guarantee
+# above still holds.
 GEMM_BLOCK = 64
 
+#: Candidate row-block sizes the one-time micro-probe times.
+BLOCK_CANDIDATES = (16, 32, 64, 128, 256)
 
-def _blocked_mm(a: np.ndarray, w: np.ndarray) -> np.ndarray:
-    """``a @ w`` computed in fixed ``(GEMM_BLOCK, k)`` row blocks."""
+#: Default cap on nodes per compiled chunk.  Two ``(nodes, h)`` float64
+#: state buffers at 8192x64 are ~8 MiB -- past that the level gathers fall
+#: out of cache and throughput regresses (the old @256 cliff).
+DEFAULT_NODE_BUDGET = 8192
+
+#: ``(hidden_dim, dtype) -> block`` memo for the micro-probe, so the probe
+#: runs once per process and every later encode uses the same block (which
+#: is what keeps same-process results bit-for-bit reproducible).
+_PROBED_BLOCKS: Dict[Tuple[int, str], int] = {}
+
+
+#: Per-level row counts the micro-probe times each candidate over, weighted
+#: the way real level profiles are: mostly small levels (near the roots
+#: every level shrinks toward the batch size, and per-binary pipeline
+#: batches are tiny), a few wide leaf-side ones.  Probing only a wide GEMM
+#: would systematically favour blocks whose zero-padding waste then
+#: dominates the small levels.
+_PROBE_ROWS = (4,) * 8 + (16,) * 4 + (64,) * 2 + (200,) + (512,)
+
+
+def _probe_block(hidden_dim: int, dtype: np.dtype) -> int:
+    """Time each candidate block over a realistic level profile, pick best.
+
+    The probed shape matches the hot per-level GEMM ``(n, 2h) @ (2h, 5h)``
+    at each row count in ``_PROBE_ROWS``; the candidate minimising the
+    summed time wins.  Takes the min of a few repetitions per candidate to
+    shrug off scheduler noise; ~tens of milliseconds, once per
+    (hidden_dim, dtype) per process.
+    """
+    w = np.full((2 * hidden_dim, 5 * hidden_dim), 0.5, dtype=dtype)
+    mats = [
+        np.full((rows, 2 * hidden_dim), 0.5, dtype=dtype)
+        for rows in _PROBE_ROWS
+    ]
+    best_block, best_t = BLOCK_CANDIDATES[0], float("inf")
+    for block in BLOCK_CANDIDATES:
+        t = float("inf")
+        for _rep in range(3):
+            started = time.perf_counter()
+            for a in mats:
+                _blocked_mm(a, w, block)
+            t = min(t, time.perf_counter() - started)
+        if t < best_t:
+            best_block, best_t = block, t
+    return best_block
+
+
+def resolve_block(
+    block: int = 0, hidden_dim: int = 64, dtype=np.float64
+) -> int:
+    """The GEMM row-block size to use: explicit > env > micro-probe.
+
+    ``block > 0`` wins outright (``EngineConfig.encode_block``); else the
+    ``REPRO_ENCODE_BLOCK`` environment variable; else the per-process
+    micro-probe memo.
+    """
+    if block:
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
+        return int(block)
+    env = os.environ.get("REPRO_ENCODE_BLOCK")
+    if env:
+        value = int(env)
+        if value < 1:
+            raise ValueError(f"REPRO_ENCODE_BLOCK must be >= 1, got {env}")
+        return value
+    key = (int(hidden_dim), np.dtype(dtype).name)
+    if key not in _PROBED_BLOCKS:
+        _PROBED_BLOCKS[key] = _probe_block(key[0], np.dtype(dtype))
+    return _PROBED_BLOCKS[key]
+
+
+def resolve_node_budget(budget: int = 0) -> int:
+    """Nodes-per-chunk cap: explicit > ``REPRO_ENCODE_NODE_BUDGET`` > default."""
+    if budget:
+        if budget < 1:
+            raise ValueError(f"node budget must be >= 1, got {budget}")
+        return int(budget)
+    env = os.environ.get("REPRO_ENCODE_NODE_BUDGET")
+    if env:
+        value = int(env)
+        if value < 1:
+            raise ValueError(
+                f"REPRO_ENCODE_NODE_BUDGET must be >= 1, got {env}"
+            )
+        return value
+    return DEFAULT_NODE_BUDGET
+
+
+def _blocked_mm(a: np.ndarray, w: np.ndarray, block: int = GEMM_BLOCK) -> np.ndarray:
+    """``a @ w`` computed in fixed ``(block, k)`` row blocks."""
     n, k = a.shape
-    pad = (-n) % GEMM_BLOCK
+    pad = (-n) % block
     if pad:
-        a = np.concatenate([a, np.zeros((pad, k))])
-    out = np.empty((n + pad, w.shape[1]))
-    for start in range(0, n + pad, GEMM_BLOCK):
-        np.matmul(a[start:start + GEMM_BLOCK], w,
-                  out=out[start:start + GEMM_BLOCK])
+        a = np.concatenate([a, np.zeros((pad, k), dtype=a.dtype)])
+    out = np.empty((n + pad, w.shape[1]), dtype=np.result_type(a, w))
+    for start in range(0, n + pad, block):
+        np.matmul(a[start:start + block], w,
+                  out=out[start:start + block])
     return out[:n]
 
 
-def encode_batch(
-    lstm: BinaryTreeLSTM,
-    trees: Sequence[BinaryTreeNode],
-    compiled: CompiledBatch = None,
-) -> np.ndarray:
-    """Encode a batch of trees to a ``(n_trees, h)`` root-h matrix.
+@dataclass
+class WeightPack:
+    """The encoder's weights fused and cast once for the inference loop.
 
-    Pure numpy: per level, one gather from the preallocated state buffers,
-    three fused-weight gate GEMMs (embedding / left child / right child),
-    one contiguous write-back.  No autograd graph is built, so this is the
-    path for corpus ingest and evaluation.  Results are bit-for-bit
-    identical regardless of batch composition (see :data:`GEMM_BLOCK`).
+    ``w_all`` is the ``(d, 4h)`` embedding-side stack ``[W_f, W_i, W_o,
+    W_u]`` (one shared forget column block); ``u_lr`` is the ``(2h, 5h)``
+    child-side stack -- top half the left-child matrices, bottom half the
+    right-child ones, columns ``[f_l, f_r, i, o, u]`` -- so one
+    ``[H_L | H_R] @ u_lr`` GEMM replaces the former two; ``bias`` is the
+    matching ``(5h,)`` row ``[b_f, b_f, b_i, b_o, b_u]``.
     """
-    if compiled is None:
-        compiled = compile_trees(trees)
-    h = lstm.hidden_dim
-    if compiled.n_trees == 0:
-        return np.zeros((0, h))
-    _check_labels(compiled, lstm.num_labels)
-    H = np.empty((compiled.n_nodes + 1, h))
-    C = np.empty_like(H)
-    H[-1] = C[-1] = lstm._leaf_state().data
 
-    emb = lstm.embedding.weight.data
-    # One (d, 4h) / (h, 5h) / (h, 5h) weight stack per source instead of 13
-    # separate gate matmuls; column blocks are [f_l, f_r, i, o, u] (the
-    # embedding shares one W_f column block between both forget gates).
-    w_all = np.hstack([lstm.w_f.data, lstm.w_i.data, lstm.w_o.data, lstm.w_u.data])
+    dtype: np.dtype
+    emb: np.ndarray
+    w_all: np.ndarray
+    u_lr: np.ndarray
+    bias: np.ndarray
+    leaf: np.ndarray
+    hidden_dim: int
+    num_labels: int
+
+
+def pack_weights(lstm: BinaryTreeLSTM, dtype=np.float64) -> WeightPack:
+    """Fuse and cast the encoder weights for :func:`encode_batch`.
+
+    Rebuilt per encode call (a handful of small hstacks) rather than
+    memoized on the model, so in-place weight updates during training can
+    never serve stale packs.
+    """
+    dt = np.dtype(dtype)
+    w_all = np.hstack(
+        [lstm.w_f.data, lstm.w_i.data, lstm.w_o.data, lstm.w_u.data]
+    )
     u_left = np.hstack([
         lstm.u_f_ll.data, lstm.u_f_rl.data, lstm.u_i_l.data,
         lstm.u_o_l.data, lstm.u_u_l.data,
@@ -230,28 +331,279 @@ def encode_batch(
         lstm.u_f_lr.data, lstm.u_f_rr.data, lstm.u_i_r.data,
         lstm.u_o_r.data, lstm.u_u_r.data,
     ])
-    b_f, b_i, b_o, b_u = (p.data for p in (lstm.b_f, lstm.b_i, lstm.b_o, lstm.b_u))
+    bias = np.concatenate([
+        lstm.b_f.data, lstm.b_f.data, lstm.b_i.data,
+        lstm.b_o.data, lstm.b_u.data,
+    ])
+    return WeightPack(
+        dtype=dt,
+        emb=lstm.embedding.weight.data.astype(dt, copy=False),
+        w_all=w_all.astype(dt, copy=False),
+        u_lr=np.vstack([u_left, u_right]).astype(dt, copy=False),
+        bias=bias.astype(dt, copy=False),
+        leaf=lstm._leaf_state().data.astype(dt, copy=False),
+        hidden_dim=lstm.hidden_dim,
+        num_labels=lstm.num_labels,
+    )
+
+
+def encode_batch(
+    lstm: BinaryTreeLSTM,
+    trees: Sequence[BinaryTreeNode],
+    compiled: CompiledBatch = None,
+    *,
+    dtype=np.float64,
+    block: int = 0,
+    pack: Optional[WeightPack] = None,
+    observer: Optional[Callable[[int, float], None]] = None,
+) -> np.ndarray:
+    """Encode a batch of trees to a ``(n_trees, h)`` root-h matrix.
+
+    Pure numpy: per level, one gather from the preallocated state buffers,
+    two fused-weight gate GEMMs (embedding, and both children through one
+    stacked ``(2h, 5h)`` matrix), one sigmoid over all four gates, one
+    contiguous write-back.  No autograd graph is built, so this is the
+    path for corpus ingest and evaluation.  Results are bit-for-bit
+    identical regardless of batch composition (see :data:`GEMM_BLOCK`).
+
+    ``dtype`` selects the float64 reference path (default) or the float32
+    fast path (weights cast once via :func:`pack_weights`); ``block=0``
+    lets :func:`resolve_block` pick the GEMM row block.  ``observer``, if
+    given, receives ``(level_rows, seconds)`` per evaluated level.
+    """
+    if compiled is None:
+        compiled = compile_trees(trees)
+    if pack is None:
+        pack = pack_weights(lstm, dtype)
+    h = pack.hidden_dim
+    if compiled.n_trees == 0:
+        return np.zeros((0, h), dtype=pack.dtype)
+    _check_labels(compiled, pack.num_labels)
+    block = resolve_block(block, h, pack.dtype)
+    H = np.empty((compiled.n_nodes + 1, h), dtype=pack.dtype)
+    C = np.empty_like(H)
+    H[-1] = C[-1] = pack.leaf
+    h2, h3, h4 = 2 * h, 3 * h, 4 * h
 
     for level in compiled.levels:
-        E = emb[level.labels]
-        HL, HR = H[level.left_global], H[level.right_global]
-        CL, CR = C[level.left_global], C[level.right_global]
-        z_e = _blocked_mm(E, w_all)
-        z_l = _blocked_mm(HL, u_left)
-        z_r = _blocked_mm(HR, u_right)
-        e_wf = z_e[:, :h]
-        f_l = _sigmoid(e_wf + z_l[:, :h] + z_r[:, :h] + b_f)
-        f_r = _sigmoid(e_wf + z_l[:, h:2 * h] + z_r[:, h:2 * h] + b_f)
-        i = _sigmoid(z_e[:, h:2 * h] + z_l[:, 2 * h:3 * h]
-                     + z_r[:, 2 * h:3 * h] + b_i)
-        o = _sigmoid(z_e[:, 2 * h:3 * h] + z_l[:, 3 * h:4 * h]
-                     + z_r[:, 3 * h:4 * h] + b_o)
-        u = np.tanh(z_e[:, 3 * h:] + z_l[:, 4 * h:] + z_r[:, 4 * h:] + b_u)
-        c = i * u + CL * f_l + CR * f_r
-        end = level.offset + level.size
-        C[level.offset:end] = c
-        H[level.offset:end] = o * np.tanh(c)
-    return H[compiled.root_global].copy()
+        started = time.perf_counter() if observer is not None else 0.0
+        n = level.size
+        E = pack.emb[level.labels]
+        z_e = _blocked_mm(E, pack.w_all, block)
+        HLR = np.empty((n, h2), dtype=pack.dtype)
+        HLR[:, :h] = H[level.left_global]
+        HLR[:, h:] = H[level.right_global]
+        Z = _blocked_mm(HLR, pack.u_lr, block)
+        # fold the embedding pre-activations into the (5h) gate columns
+        # [f_l, f_r, i, o, u]; the W_f block feeds both forget gates
+        Z[:, :h] += z_e[:, :h]
+        Z[:, h:h2] += z_e[:, :h]
+        Z[:, h2:] += z_e[:, h:]
+        Z += pack.bias
+        G = _sigmoid(Z[:, :h4])
+        u = np.tanh(Z[:, h4:])
+        CL = C[level.left_global]
+        CR = C[level.right_global]
+        CL *= G[:, :h]  # gathers are fresh copies; scale them in place
+        CR *= G[:, h:h2]
+        end = level.offset + n
+        c = C[level.offset:end]
+        np.multiply(G[:, h2:h3], u, out=c)
+        c += CL
+        c += CR
+        np.tanh(c, out=u)
+        np.multiply(G[:, h3:h4], u, out=H[level.offset:end])
+        if observer is not None:
+            observer(n, time.perf_counter() - started)
+    return H[compiled.root_global]
+
+
+# -- bucketed batch scheduling ------------------------------------------------
+
+
+@dataclass
+class CompiledChunk:
+    """One scheduler chunk: which input trees it covers, compiled."""
+
+    indices: np.ndarray  # rows of the caller's tree list, int64
+    batch: CompiledBatch
+
+
+@dataclass
+class CompiledPlan:
+    """A full input's encode schedule: size-bucketed compiled chunks.
+
+    Model-independent (it holds tree structure only), so it can be cached
+    across weight changes -- see the pipeline's ``ctrees`` artifacts.
+    """
+
+    chunks: List[CompiledChunk]
+    n_trees: int
+
+
+def plan_chunks(
+    sizes: Sequence[int],
+    batch_size: int,
+    node_budget: int = 0,
+    bucketed: bool = True,
+) -> List[np.ndarray]:
+    """Partition tree indices into encode chunks.
+
+    With ``bucketed`` set, trees are stably sorted by node count first, so
+    each chunk holds similarly-sized trees (less per-level padding waste,
+    and deep outliers stop serializing whole batches).  Chunks are cut at
+    ``batch_size`` trees or ``node_budget`` total nodes, whichever comes
+    first, which keeps the flattened state buffers cache-resident no
+    matter how wide the caller's batch is.  Per-tree results do not depend
+    on the partition (fixed GEMM row blocks), so any chunking -- bucketed
+    or not -- produces bit-for-bit identical vectors.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    sizes = np.asarray(sizes, dtype=np.int64)
+    budget = resolve_node_budget(node_budget)
+    order = (
+        np.argsort(sizes, kind="stable") if bucketed
+        else np.arange(len(sizes), dtype=np.int64)
+    )
+    chunks: List[np.ndarray] = []
+    current: List[int] = []
+    current_nodes = 0
+    for idx in order:
+        size = int(sizes[idx])
+        if current and (
+            len(current) >= batch_size or current_nodes + size > budget
+        ):
+            chunks.append(np.asarray(current, dtype=np.int64))
+            current, current_nodes = [], 0
+        current.append(int(idx))
+        current_nodes += size
+    if current:
+        chunks.append(np.asarray(current, dtype=np.int64))
+    return chunks
+
+
+def compile_plan(
+    trees: Sequence[BinaryTreeNode],
+    batch_size: int,
+    node_budget: int = 0,
+    bucketed: bool = True,
+) -> CompiledPlan:
+    """Bucket + compile a tree list into a reusable :class:`CompiledPlan`."""
+    sizes = [tree.size() for tree in trees]
+    return CompiledPlan(
+        chunks=[
+            CompiledChunk(
+                indices=indices,
+                batch=compile_trees([trees[i] for i in indices]),
+            )
+            for indices in plan_chunks(
+                sizes, batch_size, node_budget, bucketed
+            )
+        ],
+        n_trees=len(trees),
+    )
+
+
+def encode_plan(
+    lstm: BinaryTreeLSTM,
+    plan: CompiledPlan,
+    *,
+    dtype=np.float64,
+    block: int = 0,
+    observer: Optional[Callable[[int, float], None]] = None,
+) -> np.ndarray:
+    """Encode a :class:`CompiledPlan`, scattering rows back to input order."""
+    pack = pack_weights(lstm, dtype)
+    out = np.empty((plan.n_trees, pack.hidden_dim), dtype=pack.dtype)
+    for chunk in plan.chunks:
+        out[chunk.indices] = encode_batch(
+            lstm, (), chunk.batch, pack=pack, block=block, observer=observer
+        )
+    return out
+
+
+# -- compiled-plan (de)serialization ------------------------------------------
+
+#: Per-level int64 array fields of :class:`LevelPlan`, in storage order.
+_LEVEL_FIELDS = (
+    "labels", "left_level", "left_index", "right_level", "right_index",
+    "left_global", "right_global",
+)
+
+
+def plan_to_state(plan: CompiledPlan) -> Dict[str, np.ndarray]:
+    """Flatten a :class:`CompiledPlan` to named arrays (npz-storable).
+
+    Per-chunk, each :class:`LevelPlan` array field is concatenated across
+    levels with a ``level_sizes`` vector to split them back; level offsets
+    and ``n_nodes`` are derivable so they are not stored.
+    """
+    state: Dict[str, np.ndarray] = {
+        "n_chunks": np.asarray([len(plan.chunks)], dtype=np.int64),
+        "n_trees": np.asarray([plan.n_trees], dtype=np.int64),
+    }
+    for ci, chunk in enumerate(plan.chunks):
+        prefix = f"c{ci}_"
+        batch = chunk.batch
+        state[prefix + "indices"] = chunk.indices
+        state[prefix + "level_sizes"] = np.asarray(
+            [level.size for level in batch.levels], dtype=np.int64
+        )
+        for name in _LEVEL_FIELDS:
+            state[prefix + name] = (
+                np.concatenate([getattr(lv, name) for lv in batch.levels])
+                if batch.levels else np.zeros(0, dtype=np.int64)
+            )
+        state[prefix + "root_level"] = batch.root_level
+        state[prefix + "root_index"] = batch.root_index
+        state[prefix + "root_global"] = batch.root_global
+    return state
+
+
+def plan_from_state(state: Dict[str, np.ndarray]) -> CompiledPlan:
+    """Rebuild a :class:`CompiledPlan` from :func:`plan_to_state` arrays."""
+    n_chunks = int(np.asarray(state["n_chunks"])[0])
+    chunks: List[CompiledChunk] = []
+    for ci in range(n_chunks):
+        prefix = f"c{ci}_"
+        level_sizes = np.asarray(state[prefix + "level_sizes"], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(level_sizes)]).astype(np.int64)
+        splits = {
+            name: np.split(
+                np.asarray(state[prefix + name], dtype=np.int64),
+                offsets[1:-1],
+            )
+            for name in _LEVEL_FIELDS
+        }
+        levels = [
+            LevelPlan(
+                offset=int(offsets[lvl]),
+                **{name: splits[name][lvl] for name in _LEVEL_FIELDS},
+            )
+            for lvl in range(len(level_sizes))
+        ]
+        chunks.append(
+            CompiledChunk(
+                indices=np.asarray(state[prefix + "indices"], dtype=np.int64),
+                batch=CompiledBatch(
+                    levels=levels,
+                    root_level=np.asarray(
+                        state[prefix + "root_level"], dtype=np.int64
+                    ),
+                    root_index=np.asarray(
+                        state[prefix + "root_index"], dtype=np.int64
+                    ),
+                    root_global=np.asarray(
+                        state[prefix + "root_global"], dtype=np.int64
+                    ),
+                    n_nodes=int(offsets[-1]),
+                ),
+            )
+        )
+    return CompiledPlan(
+        chunks=chunks, n_trees=int(np.asarray(state["n_trees"])[0])
+    )
 
 
 # -- training path -----------------------------------------------------------

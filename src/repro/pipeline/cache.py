@@ -1,16 +1,22 @@
 """Content-addressed on-disk artifact cache for the corpus pipeline.
 
-Two artifact kinds are cached per binary, keyed so that any input change
+Three artifact kinds are cached per binary, keyed so that any input change
 invalidates exactly the work it dirties:
 
 * ``trees`` -- the Decompile + Preprocess output
   (:class:`~repro.pipeline.stages.ExtractedBinary`), keyed by the binary's
   content digest + preprocess params.  Model-independent: retraining the
   model reuses cached trees and re-runs only the Encode stage;
+* ``ctrees`` -- the compiled level-indexed encode schedule
+  (:class:`~repro.nn.treebatch.CompiledPlan`), keyed by binary digest +
+  preprocess params + compile params (batch size, node budget,
+  bucketing) but **not** the model fingerprint: a weight change re-runs
+  only the GEMMs, recompiling zero trees;
 * ``enc`` -- the Encode output (:class:`~repro.core.model.FunctionEncoding`
-  rows), keyed by binary digest + preprocess params **+ the model's
-  weights fingerprint** (:meth:`~repro.core.model.Asteria.fingerprint`).
-  A warm hit skips the offline phase entirely.
+  rows), keyed by binary digest + preprocess params + the encode dtype
+  **+ the model's weights fingerprint**
+  (:meth:`~repro.core.model.Asteria.fingerprint`).  A warm hit skips the
+  offline phase entirely.
 
 Layout of a cache directory::
 
@@ -39,6 +45,7 @@ import numpy as np
 from repro.binformat.binary import BinaryFile
 from repro.core.model import FunctionEncoding
 from repro.nn.serialize import load_state, save_state
+from repro.nn.treebatch import CompiledPlan, plan_from_state, plan_to_state
 from repro.pipeline.stages import ExtractedBinary
 from repro.utils.fsio import atomic_write_text, commit_file, file_sha256
 from repro.utils.logging import get_logger
@@ -56,23 +63,27 @@ class CacheStats:
 
     tree_hits: int = 0
     tree_misses: int = 0
+    ctree_hits: int = 0
+    ctree_misses: int = 0
     encoding_hits: int = 0
     encoding_misses: int = 0
     stores: int = 0
 
     @property
     def hits(self) -> int:
-        return self.tree_hits + self.encoding_hits
+        return self.tree_hits + self.ctree_hits + self.encoding_hits
 
     @property
     def misses(self) -> int:
-        return self.tree_misses + self.encoding_misses
+        return self.tree_misses + self.ctree_misses + self.encoding_misses
 
     def minus(self, earlier: "CacheStats") -> "CacheStats":
         """The delta accumulated since an earlier snapshot."""
         return CacheStats(
             tree_hits=self.tree_hits - earlier.tree_hits,
             tree_misses=self.tree_misses - earlier.tree_misses,
+            ctree_hits=self.ctree_hits - earlier.ctree_hits,
+            ctree_misses=self.ctree_misses - earlier.ctree_misses,
             encoding_hits=self.encoding_hits - earlier.encoding_hits,
             encoding_misses=self.encoding_misses - earlier.encoding_misses,
             stores=self.stores - earlier.stores,
@@ -254,10 +265,25 @@ class ArtifactCache:
         return {"min_ast_size": int(min_ast_size), "v": 1}
 
     @staticmethod
-    def _encoding_params(model_fingerprint: str, min_ast_size: int) -> Dict:
+    def _ctree_params(
+        min_ast_size: int, batch_size: int, node_budget: int, bucketed: bool
+    ) -> Dict:
+        return {
+            "min_ast_size": int(min_ast_size),
+            "batch_size": int(batch_size),
+            "node_budget": int(node_budget),
+            "bucketed": bool(bucketed),
+            "v": 1,
+        }
+
+    @staticmethod
+    def _encoding_params(
+        model_fingerprint: str, min_ast_size: int, dtype: str = "float64"
+    ) -> Dict:
         return {
             "min_ast_size": int(min_ast_size),
             "model": model_fingerprint,
+            "dtype": str(dtype),
             "v": 1,
         }
 
@@ -310,12 +336,58 @@ class ArtifactCache:
             },
         )
 
+    def get_ctrees(
+        self,
+        digest: str,
+        min_ast_size: int,
+        batch_size: int,
+        node_budget: int,
+        bucketed: bool = True,
+    ) -> Optional[CompiledPlan]:
+        """Cached compiled encode plan for one binary; None on miss.
+
+        Keyed by tree digest + compile params only -- deliberately not by
+        the model fingerprint, so a weight change reuses the plan and
+        recompiles nothing.
+        """
+        key = artifact_key(
+            "ctrees", digest,
+            self._ctree_params(min_ast_size, batch_size, node_budget, bucketed),
+        )
+        found = self.get(key)
+        if found is None:
+            self.stats.ctree_misses += 1
+            return None
+        self.stats.ctree_hits += 1
+        state, _meta = found
+        return plan_from_state(state)
+
+    def put_ctrees(
+        self,
+        digest: str,
+        min_ast_size: int,
+        batch_size: int,
+        node_budget: int,
+        plan: CompiledPlan,
+        bucketed: bool = True,
+    ) -> None:
+        key = artifact_key(
+            "ctrees", digest,
+            self._ctree_params(min_ast_size, batch_size, node_budget, bucketed),
+        )
+        self.put(key, plan_to_state(plan), meta={"n_trees": plan.n_trees})
+
     def get_encodings(
-        self, digest: str, model_fingerprint: str, min_ast_size: int
+        self,
+        digest: str,
+        model_fingerprint: str,
+        min_ast_size: int,
+        dtype: str = "float64",
     ) -> Optional[Tuple[List[FunctionEncoding], int]]:
         """Cached encodings for one binary, plus its skipped-function count."""
         key = artifact_key(
-            "enc", digest, self._encoding_params(model_fingerprint, min_ast_size)
+            "enc", digest,
+            self._encoding_params(model_fingerprint, min_ast_size, dtype),
         )
         found = self.get(key)
         if found is None:
@@ -348,9 +420,11 @@ class ArtifactCache:
         arch: str,
         encodings: List[FunctionEncoding],
         n_skipped_small: int = 0,
+        dtype: str = "float64",
     ) -> None:
         key = artifact_key(
-            "enc", digest, self._encoding_params(model_fingerprint, min_ast_size)
+            "enc", digest,
+            self._encoding_params(model_fingerprint, min_ast_size, dtype),
         )
         if encodings:
             vectors = np.stack([np.asarray(e.vector) for e in encodings])

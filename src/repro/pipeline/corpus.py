@@ -28,9 +28,11 @@ from repro.binformat.binary import BinaryFile
 from repro.binformat.binwalk import UnpackError
 from repro.core.model import (
     DEFAULT_ENCODE_BATCH_SIZE,
+    DEFAULT_ENCODE_DTYPE,
     Asteria,
     FunctionEncoding,
 )
+from repro.nn.treebatch import resolve_node_budget
 from repro.obs.metrics import MetricsRegistry
 from repro.pipeline.cache import ArtifactCache, CacheStats, binary_digest
 from repro.pipeline.stages import (
@@ -72,6 +74,7 @@ class PipelineStats:
     n_unique_binaries: int = 0  # distinct content digests
     n_extracted: int = 0  # digests decompiled + preprocessed this run
     n_encoded: int = 0  # digests encoded this run
+    n_trees_compiled: int = 0  # trees level-compiled this run (ctrees misses)
     n_functions: int = 0  # encodings produced, over occurrences
     n_skipped_small: int = 0  # below-size-floor functions, over occurrences
     times: StageTimes = field(default_factory=StageTimes)
@@ -97,6 +100,7 @@ class PipelineStats:
             f"stage  encode      {times.encode_s:8.3f}s  "
             f"(encoded {self.n_encoded} binaries, "
             f"{self.n_functions} functions, "
+            f"compiled {self.n_trees_compiled} trees, "
             f"{self.n_skipped_small} below size floor)"
         )
         lines.append(
@@ -106,6 +110,8 @@ class PipelineStats:
         lines.append(
             f"cache  trees: {self.cache.tree_hits} hits / "
             f"{self.cache.tree_misses} misses; "
+            f"ctrees: {self.cache.ctree_hits} hits / "
+            f"{self.cache.ctree_misses} misses; "
             f"encodings: {self.cache.encoding_hits} hits / "
             f"{self.cache.encoding_misses} misses"
         )
@@ -146,13 +152,21 @@ class CorpusPipeline:
         cache: Optional[ArtifactCache] = None,
         encode_batch_size: int = DEFAULT_ENCODE_BATCH_SIZE,
         registry: Optional[MetricsRegistry] = None,
+        encode_dtype: str = DEFAULT_ENCODE_DTYPE,
+        encode_block: int = 0,
     ):
         if encode_batch_size < 1:
             raise ValueError("encode_batch_size must be >= 1")
+        if str(encode_dtype) not in ("float32", "float64"):
+            raise ValueError(
+                f"encode_dtype must be float32 or float64, got {encode_dtype!r}"
+            )
         self.model = model
         self.jobs = max(1, int(jobs))
         self.cache = cache if cache is not None else ArtifactCache.in_memory()
         self.encode_batch_size = encode_batch_size
+        self.encode_dtype = str(encode_dtype)
+        self.encode_block = int(encode_block)
         self.registry = registry
         self._fingerprint: Optional[str] = None
 
@@ -212,6 +226,37 @@ class CorpusPipeline:
 
     # -- the staged run ----------------------------------------------------
 
+    def _compiled_plan(
+        self,
+        digest: str,
+        extracted: ExtractedBinary,
+        stats: PipelineStats,
+    ):
+        """This binary's encode plan, through the ``ctrees`` cache.
+
+        Plans hold tree structure only, so they are keyed without the
+        model fingerprint: after a retrain, ``enc`` misses but the plan
+        still hits and zero trees are recompiled.
+        """
+        min_ast_size = self.model.config.min_ast_size
+        node_budget = resolve_node_budget(0)
+        plan = self.cache.get_ctrees(
+            digest, min_ast_size, self.encode_batch_size, node_budget
+        )
+        if plan is None:
+            plan = self.model.compile_plan(
+                extracted.trees(),
+                self.encode_batch_size,
+                node_budget=node_budget,
+                registry=self.registry,
+            )
+            stats.n_trees_compiled += plan.n_trees
+            self.cache.put_ctrees(
+                digest, min_ast_size, self.encode_batch_size,
+                node_budget, plan,
+            )
+        return plan
+
     def _encode_entry(
         self,
         entry: _Entry,
@@ -220,8 +265,18 @@ class CorpusPipeline:
         stats: PipelineStats,
     ) -> None:
         """Encode one binary's trees, cache the result, release the trees."""
+        plan = (
+            self._compiled_plan(digest, extracted, stats)
+            if len(extracted) else None
+        )
         entry.encodings = encode_stage(
-            self.model, extracted, batch_size=self.encode_batch_size
+            self.model,
+            extracted,
+            batch_size=self.encode_batch_size,
+            plan=plan,
+            dtype=self.encode_dtype,
+            block=self.encode_block,
+            registry=self.registry,
         )
         entry.n_skipped_small = extracted.n_skipped_small
         self.cache.put_encodings(
@@ -232,6 +287,7 @@ class CorpusPipeline:
             arch=extracted.arch,
             encodings=entry.encodings,
             n_skipped_small=entry.n_skipped_small,
+            dtype=self.encode_dtype,
         )
         entry.extracted = None
         stats.n_encoded += 1
@@ -254,7 +310,8 @@ class CorpusPipeline:
                 continue
             entry = _Entry(binary=binary)
             cached = self.cache.get_encodings(
-                digest, self.model_fingerprint, min_ast_size
+                digest, self.model_fingerprint, min_ast_size,
+                dtype=self.encode_dtype,
             )
             if cached is not None:
                 entry.encodings, entry.n_skipped_small = cached
@@ -357,8 +414,13 @@ class CorpusPipeline:
                 "repro_pipeline_stage_seconds_total",
                 "Seconds spent per pipeline stage", stage=stage,
             ).inc(seconds)
+        reg.counter(
+            "repro_pipeline_trees_compiled_total",
+            "Trees level-compiled by pipeline runs (ctrees cache misses)",
+        ).inc(stats.n_trees_compiled)
         for kind, hits, misses in (
             ("tree", stats.cache.tree_hits, stats.cache.tree_misses),
+            ("ctrees", stats.cache.ctree_hits, stats.cache.ctree_misses),
             ("encoding", stats.cache.encoding_hits,
              stats.cache.encoding_misses),
         ):

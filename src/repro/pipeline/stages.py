@@ -229,16 +229,34 @@ def encode_stage(
     model: Asteria,
     extracted: ExtractedBinary,
     batch_size: int = DEFAULT_ENCODE_BATCH_SIZE,
+    plan=None,
+    dtype: str = "float64",
+    block: int = 0,
+    registry=None,
 ) -> List[FunctionEncoding]:
     """Encode stage: cached trees -> encodings via the level-batched engine.
 
     Bit-for-bit identical to encoding the same trees in any other chunking
     (the engine issues fixed-size GEMM blocks), which is what lets warm
     cache hits, serial runs and worker-pool runs interchange freely.
+
+    ``plan`` is an optional precompiled
+    :class:`~repro.nn.treebatch.CompiledPlan` for exactly these trees
+    (the pipeline's ``ctrees`` cache); without one, the trees are
+    bucketed and compiled here.  ``dtype``/``block`` select the inference
+    dtype and GEMM row block (see :meth:`Asteria.encode_batch`).
     """
     if not len(extracted):
         return []
-    vectors = model.encode_batch(extracted.trees(), batch_size=batch_size)
+    if plan is not None:
+        vectors = model.encode_plan(
+            plan, dtype=dtype, block=block, registry=registry
+        )
+    else:
+        vectors = model.encode_batch(
+            extracted.trees(), batch_size=batch_size,
+            dtype=dtype, block=block, registry=registry,
+        )
     beta = model.config.beta
     return [
         FunctionEncoding(

@@ -80,6 +80,34 @@ class TestEngineConfig:
         with pytest.raises(BadRequestError, match="integer"):
             EngineConfig.from_env({"REPRO_JOBS": "many"})
 
+    def test_encoder_knobs_from_env(self):
+        config = EngineConfig.from_env({
+            "REPRO_ENCODE_DTYPE": "float32",
+            "REPRO_ENCODE_BLOCK": "128",
+        })
+        assert config.encode_dtype == "float32"
+        assert config.encode_block == 128
+        assert EngineConfig.from_env({}).encode_dtype == "float64"
+        assert EngineConfig.from_env({}).encode_block == 0
+        with pytest.raises(BadRequestError, match="encode_dtype"):
+            EngineConfig.from_env({"REPRO_ENCODE_DTYPE": "float16"})
+        with pytest.raises(BadRequestError):
+            EngineConfig.from_env({"REPRO_ENCODE_BLOCK": "-1"})
+
+    def test_encoder_knobs_from_args(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "search", "--model", "m.npz",
+            "--encode-dtype", "float32", "--encode-block", "64",
+        ])
+        config = EngineConfig.from_args(args)
+        assert config.encode_dtype == "float32"
+        assert config.encode_block == 64
+        args = parser.parse_args(["search", "--model", "m.npz"])
+        unset = EngineConfig.from_args(args)
+        assert unset.encode_dtype == "float64"
+        assert unset.encode_block == 0
+
     def test_from_args_shared_plumbing(self):
         """One adapter covers every subcommand's cache/jobs/batch options."""
         parser = build_parser()
@@ -422,6 +450,27 @@ class TestEngineLifecycle:
         assert after.n_queries == before.n_queries + 1
         assert after.index_rows == before.index_rows
         assert after.config == engine.config.to_dict()
+
+    def test_encoder_stats_counters(self, trained_model, query_binary):
+        fresh = AsteriaEngine(EngineConfig(), model=trained_model)
+        assert fresh.stats().n_encoded_trees == 0
+        result = fresh.encode(EncodeRequest(binary=query_binary))
+        stats = fresh.stats()
+        assert stats.n_encoded_trees == len(result.encodings) > 0
+        assert stats.encode_block_rows >= 1
+
+    def test_encode_dtype_flows_to_pipeline(self, trained_model,
+                                            query_binary):
+        fast = AsteriaEngine(
+            EngineConfig(encode_dtype="float32"), model=trained_model
+        )
+        reference = AsteriaEngine(EngineConfig(), model=trained_model)
+        f32 = fast.encode(EncodeRequest(binary=query_binary))
+        f64 = reference.encode(EncodeRequest(binary=query_binary))
+        assert f32.encodings[0].vector.dtype == np.float32
+        assert f64.encodings[0].vector.dtype == np.float64
+        for a, b in zip(f32.encodings, f64.encodings):
+            np.testing.assert_allclose(a.vector, b.vector, atol=1e-5)
 
     def test_train_adopts_model(self, tmp_path):
         engine = AsteriaEngine(EngineConfig())

@@ -303,6 +303,22 @@ class TestObservability:
         inf_buckets = [s for s in values if '_bucket{' in s and '+Inf' in s]
         assert inf_buckets
 
+    def test_encoder_metrics_exported(self, server):
+        """The encoder's counters/histograms surface in /metrics + stats."""
+        _status, stats = _get(server, "/v1/stats")
+        _text, values = self._scrape(server)
+        # startup ingest encoded the corpus through the batched path
+        assert values.get("repro_encode_trees_total", 0) > 0
+        assert values["repro_encode_trees_total"] == stats["n_encoded_trees"]
+        assert values.get("repro_encode_block_rows", 0) >= 1
+        assert values["repro_encode_block_rows"] == stats["encode_block_rows"]
+        fill = [s for s in values
+                if s.startswith("repro_encode_batch_fill_bucket")]
+        assert fill, "scheduler chunk-fill histogram missing"
+        level = [s for s in values
+                 if s.startswith("repro_encode_level_seconds_bucket")]
+        assert level, "per-level encode-seconds histogram missing"
+
     def test_metrics_agree_with_stats_after_query_storm(self, server):
         n_threads, per_thread = 8, 3
         barrier = threading.Barrier(n_threads)

@@ -135,6 +135,74 @@ class TestArtifactCacheInvalidation:
         assert stats.n_extracted == 0  # cached trees reused
         assert stats.n_encoded == stats.n_unique_binaries  # encode re-ran
 
+    def test_weight_change_reuses_compiled_plans(
+        self, tmp_path, trained_model, firmware
+    ):
+        """After a retrain, encodings re-run but zero trees recompile.
+
+        The ``ctrees`` plans hold tree structure only, so they are keyed
+        without the model fingerprint -- the whole point of persisting
+        them as their own artifact kind.
+        """
+        root = tmp_path / "cache"
+        cold = CorpusPipeline(
+            trained_model, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+        assert cold.stats.n_trees_compiled > 0
+        assert cold.stats.cache.ctree_misses > 0
+        assert cold.stats.cache.ctree_hits == 0
+
+        fresh = Asteria(AsteriaConfig(hidden_dim=32))
+        assert fresh.fingerprint() != trained_model.fingerprint()
+        run = CorpusPipeline(
+            fresh, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+        stats = run.stats
+        assert stats.n_encoded == stats.n_unique_binaries  # encode re-ran
+        assert stats.n_trees_compiled == 0  # ...over cached plans
+        assert stats.cache.ctree_misses == 0
+        assert stats.cache.ctree_hits > 0
+
+    def test_batch_size_change_invalidates_plans_not_trees(
+        self, tmp_path, trained_model, firmware
+    ):
+        root = tmp_path / "cache"
+        CorpusPipeline(
+            trained_model, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+        run = CorpusPipeline(
+            trained_model,
+            cache=ArtifactCache(root),
+            encode_batch_size=17,
+        ).run_images(firmware.images)
+        # encodings are keyed by weights + dtype, not batch size: all hit,
+        # so the differently-keyed plans are never even consulted
+        assert run.stats.cache.encoding_hits == run.stats.n_unique_binaries
+        assert run.stats.n_trees_compiled == 0
+
+    def test_encode_dtype_keys_encodings_not_plans(
+        self, tmp_path, trained_model, firmware
+    ):
+        root = tmp_path / "cache"
+        cold = CorpusPipeline(
+            trained_model, cache=ArtifactCache(root)
+        ).run_images(firmware.images)
+        run = CorpusPipeline(
+            trained_model,
+            cache=ArtifactCache(root),
+            encode_dtype="float32",
+        ).run_images(firmware.images)
+        stats = run.stats
+        # same weights, different dtype: encodings re-run over cached plans
+        assert stats.cache.encoding_hits == 0
+        assert stats.n_encoded == stats.n_unique_binaries
+        assert stats.n_trees_compiled == 0
+        assert stats.cache.ctree_hits > 0
+        f64 = _vectors(cold)
+        f32 = _vectors(run)
+        assert f32.dtype == np.float32
+        np.testing.assert_allclose(f32, f64, atol=1e-5)
+
     def test_min_ast_size_change_invalidates_trees(
         self, tmp_path, trained_model, firmware
     ):
@@ -392,3 +460,45 @@ class TestPipelineCLI:
         assert np.array_equal(serial.vectors(), parallel.vectors())
         assert [m.name for m in serial.iter_metadata()] \
             == [m.name for m in parallel.iter_metadata()]
+
+
+class TestFloat32Ranking:
+    """The float32 fast path must preserve search rankings, not just values."""
+
+    def test_top10_ranking_overlap(self, trained_model, buildroot_small):
+        from repro.evalsuite.timing import corpus_trees
+
+        trees = corpus_trees(
+            buildroot_small, trained_model.config.min_ast_size
+        )
+        assert trees, "corpus produced no encodable functions"
+        base = len(trees)
+        while len(trees) < 1000:  # the 1k-corpus ranking fixture
+            trees.append(trees[len(trees) % base])
+
+        plan = trained_model.compile_plan(trees)
+        f64 = trained_model.encode_plan(plan)
+        f32 = trained_model.encode_plan(plan, dtype="float32")
+        np.testing.assert_allclose(f32, f64, atol=1e-5)
+
+        def top10(matrix):
+            scores = trained_model.siamese.similarity_from_matrix(
+                matrix[:25], matrix
+            )
+            # deterministic tiebreak by corpus index, so the duplicated
+            # fixture rows (exactly-equal scores) rank identically in
+            # both dtypes and only real score flips count as divergence
+            n = scores.shape[1]
+            return [
+                set(np.lexsort((np.arange(n), -scores[q]))[:10].tolist())
+                for q in range(scores.shape[0])
+            ]
+
+        overlap = [
+            len(a & b) / 10.0
+            for a, b in zip(top10(f64), top10(f32.astype(np.float64)))
+        ]
+        assert np.mean(overlap) >= 0.98, (
+            f"float32 top-10 overlap {np.mean(overlap):.3f} < 0.98 "
+            f"(per-query: {sorted(overlap)[:5]}...)"
+        )

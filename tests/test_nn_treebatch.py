@@ -13,9 +13,17 @@ from hypothesis import given, settings, strategies as st
 
 from repro.nn.tensor import no_grad, stable_sigmoid
 from repro.nn.treebatch import (
+    compile_plan,
     compile_trees,
     encode_batch,
     encode_batch_states,
+    encode_plan,
+    pack_weights,
+    plan_chunks,
+    plan_from_state,
+    plan_to_state,
+    resolve_block,
+    resolve_node_budget,
 )
 from repro.nn.treelstm import BinaryTreeLSTM, BinaryTreeNode
 from repro.utils.rng import RNG
@@ -241,6 +249,110 @@ class TestDagGuard:
         model = BinaryTreeLSTM(49, 8, 16, seed=0)
         with pytest.raises(ValueError, match="shared-subtree"):
             model.encode_states(root)
+
+
+class TestPlans:
+    """Bucketed chunk planning, plan serialization and the float32 path."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return BinaryTreeLSTM(49, 8, 16, seed=3)
+
+    def test_plan_chunks_partition_and_caps(self):
+        sizes = [3, 40, 1, 17, 25, 9, 2, 33, 5, 12]
+        chunks = plan_chunks(sizes, batch_size=3, node_budget=50)
+        flat = np.concatenate(chunks)
+        assert sorted(flat.tolist()) == list(range(len(sizes)))
+        for chunk in chunks:
+            assert len(chunk) <= 3
+            total = sum(sizes[i] for i in chunk)
+            assert total <= 50 or len(chunk) == 1
+        # bucketed: visiting chunks in order walks sizes non-decreasing
+        visited = [sizes[i] for chunk in chunks for i in chunk]
+        assert visited == sorted(visited)
+
+    def test_plan_chunks_unbucketed_preserves_order(self):
+        chunks = plan_chunks([5, 5, 5, 5, 5], batch_size=2, bucketed=False)
+        assert [c.tolist() for c in chunks] == [[0, 1], [2, 3], [4]]
+
+    def test_oversized_tree_gets_its_own_chunk(self):
+        chunks = plan_chunks([100, 2, 100], batch_size=4, node_budget=10)
+        assert all(
+            len(chunk) == 1 for chunk in chunks if 100 in
+            [[100, 2, 100][i] for i in chunk]
+        )
+
+    def test_bucketed_equals_unbucketed_bitwise(self, model):
+        trees = _random_batch(21, n=40) + [BinaryTreeNode(3), _chain(30)]
+        one_batch = encode_batch(model, trees)
+        bucketed = encode_plan(
+            model, compile_plan(trees, 8, node_budget=200)
+        )
+        unbucketed = encode_plan(
+            model, compile_plan(trees, 8, node_budget=200, bucketed=False)
+        )
+        assert np.array_equal(bucketed, unbucketed)
+        assert np.array_equal(bucketed, one_batch)
+
+    def test_serialization_roundtrip_bitwise(self, model):
+        trees = _random_batch(23, n=24) + [BinaryTreeNode(1)]
+        plan = compile_plan(trees, 8, node_budget=150)
+        state = plan_to_state(plan)
+        assert all(isinstance(v, np.ndarray) for v in state.values())
+        rebuilt = plan_from_state(state)
+        assert rebuilt.n_trees == plan.n_trees
+        assert np.array_equal(
+            encode_plan(model, plan), encode_plan(model, rebuilt)
+        )
+
+    def test_float32_path_tracks_float64(self, model):
+        trees = _random_batch(25, n=30)
+        plan = compile_plan(trees, 8)
+        f64 = encode_plan(model, plan)
+        f32 = encode_plan(model, plan, dtype=np.float32)
+        assert f32.dtype == np.float32
+        assert f64.dtype == np.float64
+        np.testing.assert_allclose(f32, f64, atol=1e-5)
+
+    def test_pack_weights_never_stale(self, model):
+        tree = _chain(5)
+        before = encode_batch(model, [tree]).copy()
+        original = model.w_i.data.copy()
+        try:
+            model.w_i.data += 0.25
+            after = encode_batch(model, [tree])
+        finally:
+            model.w_i.data[...] = original
+        assert not np.array_equal(before, after)
+
+    def test_resolve_block_precedence(self, monkeypatch):
+        assert resolve_block(48) == 48  # explicit beats everything
+        monkeypatch.setenv("REPRO_ENCODE_BLOCK", "96")
+        assert resolve_block(0) == 96
+        assert resolve_block(16) == 16
+        monkeypatch.setenv("REPRO_ENCODE_BLOCK", "0")
+        with pytest.raises(ValueError):
+            resolve_block(0)
+
+    def test_resolve_block_probe_is_memoized(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENCODE_BLOCK", raising=False)
+        first = resolve_block(0, hidden_dim=16)
+        assert first in (16, 32, 64, 128, 256)
+        assert resolve_block(0, hidden_dim=16) == first
+
+    def test_resolve_node_budget_precedence(self, monkeypatch):
+        assert resolve_node_budget(100) == 100
+        monkeypatch.setenv("REPRO_ENCODE_NODE_BUDGET", "321")
+        assert resolve_node_budget(0) == 321
+        monkeypatch.delenv("REPRO_ENCODE_NODE_BUDGET")
+        assert resolve_node_budget(0) >= 1
+
+    def test_pack_weights_dtype_cast(self, model):
+        pack = pack_weights(model, np.float32)
+        assert pack.w_all.dtype == np.float32
+        assert pack.u_lr.shape == (2 * model.hidden_dim,
+                                   5 * model.hidden_dim)
+        assert pack.bias.shape == (5 * model.hidden_dim,)
 
 
 class TestStableSigmoid:
