@@ -49,6 +49,7 @@ _ARG_FIELDS = {
     "request_timeout_ms": "request_timeout_ms",
     "max_inflight": "max_inflight",
     "drain_timeout_ms": "drain_timeout_ms",
+    "serve_workers": "serve_workers",
     "faults": "faults",
 }
 
@@ -102,6 +103,10 @@ class EngineConfig:
     #: How long ``/v1/shutdown`` waits for in-flight requests to drain
     #: before stopping anyway.
     drain_timeout_ms: float = 5000.0
+    #: Shard-parallel serving: number of sweep worker processes.  1 (the
+    #: default) keeps the in-process sweep path; >1 requires a durable
+    #: ``index_root`` (workers mmap the store read-only by path).
+    serve_workers: int = 1
     #: Failpoint spec (see :mod:`repro.faults`), e.g.
     #: ``"store.flush.pre_rename=kill"``.  Empty string = no faults.
     #: Also read from ``REPRO_FAULTS`` by the faults module itself.
@@ -109,7 +114,7 @@ class EngineConfig:
 
     def __post_init__(self):
         for name in ("jobs", "encode_batch_size", "shard_size",
-                     "micro_batch_size"):
+                     "micro_batch_size", "serve_workers"):
             if int(getattr(self, name)) < 1:
                 raise BadRequestError(
                     f"{name} must be >= 1, got {getattr(self, name)}"

@@ -44,6 +44,7 @@ from repro.api.config import EngineConfig
 from repro.api.errors import (
     BadRequestError,
     DeadlineExceededError,
+    EngineError,
     IndexStoreError,
     InputNotFoundError,
     ModelNotFoundError,
@@ -62,6 +63,9 @@ from repro.pipeline import (
     binary_digest,
 )
 from repro.pipeline.stages import extract_binary
+from repro.serving import generations
+from repro.serving.coordinator import ServingCoordinator
+from repro.serving.pool import SweepError
 from repro.utils.logging import get_logger
 
 _LOG = get_logger("api.engine")
@@ -159,6 +163,10 @@ class QueryResult:
     encoding: FunctionEncoding
     hits: List[SearchHit]
     n_rows: int
+    #: Index generation the hits were swept from (shard-parallel serving
+    #: only; the in-process path leaves it empty).  Every hit in one
+    #: result comes from this single generation -- merges never mix.
+    generation: str = ""
 
 
 @dataclass
@@ -237,6 +245,11 @@ class EngineStats:
     index_quarantined_shards: int = 0
     n_shed: int = 0
     n_timeouts: int = 0
+    serve_workers: int = 1
+    active_generation: int = 0
+    pool_workers_alive: int = 0
+    pool_workers: List[Dict] = field(default_factory=list)
+    n_index_swaps: int = 0
     config: Dict = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
@@ -265,6 +278,8 @@ class AsteriaEngine:
         self._service: Optional[SearchService] = None
         self._batcher: Optional[MicroBatcher] = None
         self._library: Optional[Dict] = None
+        self._coordinator: Optional[ServingCoordinator] = None
+        self._coordinator_unavailable = False
         self._extract_memo: "OrderedDict[str, Tuple]" = OrderedDict()
         self._lock = threading.RLock()  # store / service / pipeline state
         self._extract_lock = threading.Lock()  # query-side tree extraction
@@ -344,7 +359,9 @@ class AsteriaEngine:
                         shard_size=self.config.shard_size,
                         dtype=self.config.store_dtype,
                     )
-                elif (Path(root) / MANIFEST_NAME).exists():
+                elif (
+                    generations.active_root(root) / MANIFEST_NAME
+                ).exists():
                     self._store = self.open_index()
                 else:
                     self._store = self.create_index()
@@ -476,12 +493,17 @@ class AsteriaEngine:
         return store
 
     def open_index(self) -> EmbeddingStore:
-        """Open the existing durable index at ``config.index_root``."""
+        """Open the existing durable index at ``config.index_root``.
+
+        Resolves through the generation ``CURRENT`` pointer when one
+        exists, so an engine restarted after a hot swap opens the
+        generation the swap published, not the stale flat layout.
+        """
         root = self.config.index_root
         if root is None:
             raise IndexStoreError("open_index needs EngineConfig.index_root")
         try:
-            store = EmbeddingStore.open(root)
+            store = EmbeddingStore.open(generations.active_root(root))
         except StoreError as exc:
             raise IndexStoreError(str(exc)) from exc
         self._adopt_store(store)
@@ -491,6 +513,65 @@ class AsteriaEngine:
         with self._lock:
             self._store = store
             self._service = None
+
+    # -- shard-parallel serving --------------------------------------------
+
+    @property
+    def coordinator(self) -> Optional[ServingCoordinator]:
+        """The shard-parallel serving coordinator, or ``None``.
+
+        Materialised lazily when ``config.serve_workers > 1`` and the
+        index is durable (workers mmap the store by path; an in-memory
+        store has nothing to share, so it falls back to in-process
+        sweeps with a one-time warning).
+        """
+        if self.config.serve_workers <= 1:
+            return None
+        with self._lock:
+            if self._coordinator is None and not self._coordinator_unavailable:
+                if self.config.index_root is None:
+                    _LOG.warning(
+                        "serve_workers=%d needs a durable index_root; "
+                        "falling back to in-process sweeps",
+                        self.config.serve_workers,
+                    )
+                    self._coordinator_unavailable = True
+                    return None
+                store = self.store  # materialise (and verify) once here
+                coordinator = ServingCoordinator(
+                    self.model,
+                    self.config.index_root,
+                    self.config.serve_workers,
+                    registry=self.obs,
+                    calibrate=self.config.calibrate,
+                )
+                rel = (
+                    generations.read_current(self.config.index_root)
+                    or generations.FLAT_GENERATION
+                )
+                coordinator.activate(rel, store)
+                self._coordinator = coordinator
+            return self._coordinator
+
+    def pool_workers(self) -> List[Dict]:
+        """Per-worker liveness of the serve pool (empty when disabled)."""
+        with self._lock:
+            coordinator = self._coordinator
+        return coordinator.workers_info() if coordinator is not None else []
+
+    def close(self) -> None:
+        """Release background serving resources (pool workers).
+
+        Idempotent; the engine remains usable afterwards via the
+        in-process sweep path (the pool is not respawned -- a draining
+        server must not leak fresh children).  Called by the HTTP
+        server on shutdown so no orphaned processes survive it.
+        """
+        with self._lock:
+            coordinator, self._coordinator = self._coordinator, None
+            self._coordinator_unavailable = True
+        if coordinator is not None:
+            coordinator.close()
 
     # -- encode ------------------------------------------------------------
 
@@ -535,7 +616,15 @@ class AsteriaEngine:
         with trace("engine.ingest", n_images=len(images),
                    n_binaries=len(tagged)) as span:
             with self._lock:
-                store = self.store
+                coordinator = self.coordinator
+                if coordinator is not None:
+                    # shard-parallel serving: build the extended corpus
+                    # as a fresh generation while queries keep sweeping
+                    # the old one (pool sweeps don't take this lock),
+                    # then hot-swap atomically
+                    rel, store = self._prepare_next_generation()
+                else:
+                    rel, store = None, self.store
                 if images or not tagged:
                     # an images run always happens unless the request was
                     # binaries-only, so result.pipeline is never None and an
@@ -546,6 +635,10 @@ class AsteriaEngine:
                     run = self.pipeline.run_binaries(tagged, sink=store)
                     self._merge_ingest(result, run.stats)
                 result.n_rows_total = len(store)
+                if coordinator is not None:
+                    self._adopt_store(
+                        coordinator.swap_to(rel, store=store)
+                    )
             span.set(n_functions=result.n_functions,
                      n_rows_total=result.n_rows_total)
         _LOG.info(
@@ -553,6 +646,23 @@ class AsteriaEngine:
             result.n_functions, result.n_rows_total,
         )
         return result
+
+    def _prepare_next_generation(self) -> Tuple[str, EmbeddingStore]:
+        """Clone the live store into the next generation directory.
+
+        Shard files are hard-linked (immutable once flushed), so the
+        clone is O(files) not O(bytes); the pipeline then appends new
+        shards only the new generation can see.
+        """
+        root = self.config.index_root
+        old = self.store
+        rel, path = generations.prepare_generation(root)
+        generations.clone_store(old.root, path)
+        try:
+            store = EmbeddingStore.open(path, verify=False)
+        except StoreError as exc:
+            raise IndexStoreError(str(exc)) from exc
+        return rel, store
 
     @staticmethod
     def _merge_ingest(result: IngestResult, stats: PipelineStats) -> None:
@@ -701,21 +811,37 @@ class AsteriaEngine:
                 )
                 groups.setdefault((top_k, threshold), []).append(i)
             results: List[Optional[QueryResult]] = [None] * len(requests)
-            with self._lock:
-                service = self.service
-                n_rows = len(service.store)
+            coordinator = self.coordinator
+            if coordinator is not None:
+                n_rows = 0
                 for (top_k, threshold), members in groups.items():
-                    hit_lists = service.query_batch(
+                    hit_lists, n_rows, generation = self._pool_sweep(
+                        coordinator,
                         [resolved[i][1] for i in members],
-                        top_k=top_k,
-                        threshold=threshold,
+                        top_k, threshold, deadline,
                     )
                     for i, hits in zip(members, hit_lists):
                         name, encoding = resolved[i]
                         results[i] = QueryResult(
                             query=name, encoding=encoding, hits=hits,
-                            n_rows=n_rows,
+                            n_rows=n_rows, generation=generation,
                         )
+            else:
+                with self._lock:
+                    service = self.service
+                    n_rows = len(service.store)
+                    for (top_k, threshold), members in groups.items():
+                        hit_lists = service.query_batch(
+                            [resolved[i][1] for i in members],
+                            top_k=top_k,
+                            threshold=threshold,
+                        )
+                        for i, hits in zip(members, hit_lists):
+                            name, encoding = resolved[i]
+                            results[i] = QueryResult(
+                                query=name, encoding=encoding, hits=hits,
+                                n_rows=n_rows,
+                            )
             span.set(n_groups=len(groups), n_rows=n_rows)
         self.obs.counter(
             "repro_queries_total", "Queries answered by the engine"
@@ -808,16 +934,56 @@ class AsteriaEngine:
             self.config.threshold if request.threshold == USE_DEFAULT
             else request.threshold
         )
-        with self._lock:
-            service = self.service
-            hits = service.query(encoding, top_k=top_k, threshold=threshold)
-            n_rows = len(service.store)
+        coordinator = self.coordinator
+        if coordinator is not None:
+            hit_lists, n_rows, generation = self._pool_sweep(
+                coordinator, [encoding], top_k, threshold,
+                self._deadline_of(request),
+            )
+            hits = hit_lists[0]
+        else:
+            generation = ""
+            with self._lock:
+                service = self.service
+                hits = service.query(
+                    encoding, top_k=top_k, threshold=threshold
+                )
+                n_rows = len(service.store)
         self.obs.counter(
             "repro_queries_total", "Queries answered by the engine"
         ).inc()
         return QueryResult(
-            query=name, encoding=encoding, hits=hits, n_rows=n_rows
+            query=name, encoding=encoding, hits=hits, n_rows=n_rows,
+            generation=generation,
         )
+
+    def _pool_sweep(
+        self,
+        coordinator: ServingCoordinator,
+        encodings: List[FunctionEncoding],
+        top_k: Optional[int],
+        threshold: Optional[float],
+        deadline: Optional[float],
+    ) -> Tuple[List[List[SearchHit]], int, str]:
+        """One coordinator sweep with deadline + error translation.
+
+        Runs *outside* the engine lock: concurrent requests fan out to
+        the worker pool in parallel instead of serialising their GEMMs
+        behind one in-process sweep.
+        """
+        timeout_s = (
+            None if deadline is None
+            else max(0.0, deadline - time.monotonic())
+        )
+        try:
+            return coordinator.query_batch(
+                encodings, top_k=top_k, threshold=threshold,
+                timeout_s=timeout_s,
+            )
+        except SweepError as exc:
+            if "timed out" in str(exc):
+                raise DeadlineExceededError(str(exc)) from exc
+            raise EngineError(f"parallel sweep failed: {exc}") from exc
 
     def _resolve_query(
         self, request: QueryRequest, deadline: Optional[float] = None
@@ -1053,6 +1219,13 @@ class AsteriaEngine:
                 stats.micro_batched_items = b.n_items
                 stats.micro_batch_max = b.max_batch_size
                 stats.micro_batch_mean = b.mean_batch_size
+            stats.serve_workers = self.config.serve_workers
+            if self._coordinator is not None:
+                stats.active_generation = self._coordinator.generation_seq
+                stats.pool_workers = self._coordinator.workers_info()
+                stats.pool_workers_alive = sum(
+                    1 for w in stats.pool_workers if w["alive"]
+                )
         # the query counters are views over the metrics registry, so
         # /v1/stats and a /metrics scrape can never disagree
         stats.n_queries = int(self.obs.value("repro_queries_total"))
@@ -1071,6 +1244,9 @@ class AsteriaEngine:
         stats.n_shed = int(self.obs.value("repro_requests_shed_total"))
         stats.n_timeouts = int(
             self.obs.value("repro_request_timeouts_total")
+        )
+        stats.n_index_swaps = int(
+            self.obs.value("repro_index_swaps_total")
         )
         stats.degraded = bool(stats.degraded_reasons)
         return stats
@@ -1112,6 +1288,16 @@ class AsteriaEngine:
                 ).set(footprint["resident_bytes"])
             if self._service is not None:
                 degraded = degraded or bool(self._service.degraded_reasons)
+            obs.gauge(
+                "repro_serve_workers",
+                "Configured shard-parallel serve workers (1 = in-process)",
+            ).set(self.config.serve_workers)
+            if self._coordinator is not None:
+                workers = self._coordinator.workers_info()
+                obs.gauge(
+                    "repro_serve_workers_alive",
+                    "Serve-pool workers currently alive",
+                ).set(sum(1 for w in workers if w["alive"]))
             obs.gauge(
                 "repro_engine_degraded",
                 "1 when serving in degraded mode (quarantined shards, "

@@ -328,6 +328,12 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
             "quarantined_shards": stats.index_quarantined_shards,
             "inflight": self.server.inflight,
             "draining": self.server.draining,
+            # shard-parallel serving: pool size, the generation new
+            # queries pin, and per-worker liveness for operators
+            "serve_workers": stats.serve_workers,
+            "active_generation": stats.active_generation,
+            "pool_workers_alive": stats.pool_workers_alive,
+            "pool_workers": stats.pool_workers,
         }
 
     def _handle_metrics(self) -> Tuple[int, str]:
@@ -409,6 +415,9 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
         return {
             "query": result.query,
             "n_rows": result.n_rows,
+            # the single index generation every hit below came from
+            # ("" on the in-process sweep path)
+            "generation": result.generation,
             "hits": [
                 _hit_json(rank, hit)
                 for rank, hit in enumerate(result.hits, start=1)
@@ -471,6 +480,10 @@ class EngineRequestHandler(BaseHTTPRequestHandler):
                 "still in flight; shutting down anyway",
                 self.engine.config.drain_timeout_ms, self.server.inflight,
             )
+        # terminate pool workers before the final snapshot: a clean
+        # shutdown must leave no orphaned children, and closing first
+        # guarantees the per-worker counters below are final
+        self.engine.close()
         # flush the registry next: in-flight coalescing counters would
         # otherwise die with the process before anyone scraped them
         final = self.engine.flush_metrics()
@@ -564,6 +577,11 @@ def serve(
     engine.model  # raises ModelNotFoundError early
     if engine.config.index_root is not None:
         engine.store  # open or create the durable index up front
+    if engine.config.serve_workers > 1:
+        # spawn the shard-parallel pool before accepting: the first
+        # query must not pay worker startup, and a bad pool config
+        # fails fast here instead of per-request
+        engine.coordinator
     server = EngineServer((host, port), engine)
     print_fn(f"serving on {server.url}")
     if ready is not None:
@@ -574,5 +592,6 @@ def serve(
         pass
     finally:
         server.server_close()
+        engine.close()  # reap pool workers; never leave orphans behind
     print_fn("server stopped")
     return 0

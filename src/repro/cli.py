@@ -257,9 +257,16 @@ def _cmd_stats(args) -> int:
         print(json.dumps(data, indent=2, sort_keys=True))
         return 0
     config = data.pop("config", {}) or {}
+    pool_workers = data.pop("pool_workers", None) or []
     width = max(len(key) for key in data)
     for key in sorted(data):
         print(f"{key:<{width}}  {data[key]}")
+    if pool_workers:
+        print("pool workers:")
+        for worker in pool_workers:
+            state = "alive" if worker.get("alive") else "DEAD"
+            print(f"  worker {worker.get('worker')}  "
+                  f"pid {worker.get('pid')}  {state}")
     if config:
         print("config:")
         sub_width = max(len(key) for key in config)
@@ -456,6 +463,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain-timeout-ms", type=float, default=None,
                    help="how long /v1/shutdown waits for in-flight "
                         "requests before stopping anyway (default: 5000)")
+    p.add_argument("--serve-workers", type=_positive_int, default=None,
+                   help="shard-parallel sweep worker processes; each "
+                        "sweeps a disjoint shard range of the mmap'd "
+                        "index (needs --index; default: 1 = in-process)")
     p.add_argument("--faults", default=None,
                    help="failpoint spec for chaos testing, e.g. "
                         "'store.flush.pre_rename=kill' (see repro.faults; "

@@ -76,6 +76,8 @@ FAILPOINTS = (
     "cache.put.pre_rename",      # cache object written to tmp only
     "worker.task",               # pipeline worker, start of one task
     "server.request",            # HTTP handler, after admission
+    "serving.worker",            # serve-pool worker, start of one sweep
+    "serving.swap",              # generation swap, CURRENT written to tmp only
 )
 
 _MODES = ("raise", "delay", "kill")

@@ -120,6 +120,32 @@ class ShardedMatrix:
         """
         return ShardedMatrix(self.dim, self.dtype, self._blocks)
 
+    def slice_rows(self, start: int, stop: int) -> "ShardedMatrix":
+        """A zero-copy sub-view over rows ``[start, stop)``.
+
+        Blocks fully inside the range are shared outright; boundary
+        blocks contribute an ndarray/memmap slice (still no copy).  The
+        serving pool hands each worker one of these so a disjoint shard
+        range can be swept with the ordinary block-streaming scorers.
+        """
+        n = len(self)
+        start = max(0, min(int(start), n))
+        stop = max(start, min(int(stop), n))
+        view = ShardedMatrix(self.dim, self.dtype)
+        for first, block in self.iter_blocks():
+            last = first + block.shape[0]
+            if last <= start:
+                continue
+            if first >= stop:
+                break
+            lo = max(start, first) - first
+            hi = min(stop, last) - first
+            view.append_block(
+                block if (lo == 0 and hi == block.shape[0])
+                else block[lo:hi]
+            )
+        return view
+
     # -- shape protocol ----------------------------------------------------
 
     @property
@@ -777,6 +803,15 @@ class EmbeddingStore:
     @property
     def n_shards(self) -> int:
         return len(self._shards)
+
+    def shard_offsets(self) -> List[int]:
+        """Cumulative flushed-row offsets: ``[0, n0, n0+n1, ..., n]``.
+
+        The serving coordinator uses these to cut the corpus into
+        disjoint shard-aligned worker ranges, so no shard's memory map
+        is paged by two sweep workers.
+        """
+        return list(self._offsets) if self._offsets else [0]
 
     def _rebuild_offsets(self) -> None:
         self._offsets = [0]
