@@ -59,6 +59,16 @@ def _git_rev() -> str:
         return "unknown"
 
 
+def _total_ram_bytes():
+    """Physical memory of the host, or ``None`` where sysconf lacks it."""
+    try:
+        return int(
+            os.sysconf("SC_PAGE_SIZE") * os.sysconf("SC_PHYS_PAGES")
+        )
+    except (ValueError, OSError, AttributeError):
+        return None
+
+
 def emit_bench_json(name: str, metrics: dict, floors: dict = None) -> None:
     """Write ``results/BENCH_<name>.json`` -- the machine-readable twin
     of :func:`write_result`, so perf trajectories diff across revisions.
@@ -67,8 +77,13 @@ def emit_bench_json(name: str, metrics: dict, floors: dict = None) -> None:
 
         {"schema_version": 1, "bench": <name>, "git_rev": <sha|unknown>,
          "created_unix": <float>, "scale": <REPRO_SCALE>,
+         "cpu_count": <int|null>, "ram_bytes": <int|null>,
          "metrics": {...measured numbers...},
          "floors": {...the floors the bench asserts against...}}
+
+    ``cpu_count`` / ``ram_bytes`` pin the host the numbers came from --
+    a throughput trajectory diffed across revisions is meaningless if
+    the machine changed underneath it.
 
     Call it *before* the bench's asserts (like :func:`write_result`), so
     the artifact survives a floor regression -- that failing run's
@@ -81,6 +96,8 @@ def emit_bench_json(name: str, metrics: dict, floors: dict = None) -> None:
         "git_rev": _git_rev(),
         "created_unix": time.time(),
         "scale": SCALE,
+        "cpu_count": os.cpu_count(),
+        "ram_bytes": _total_ram_bytes(),
         "metrics": metrics,
         "floors": floors or {},
     }

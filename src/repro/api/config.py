@@ -28,7 +28,7 @@ from typing import Dict, Optional
 from repro.api.errors import BadRequestError
 from repro.core.model import DEFAULT_ENCODE_BATCH_SIZE, DEFAULT_ENCODE_DTYPE
 
-_BACKENDS = ("exact", "lsh")
+_BACKENDS = ("exact", "ivf-pq", "lsh")
 _DTYPES = ("float32", "float64")
 
 #: argparse destination -> config field, shared by every subcommand.
@@ -43,6 +43,9 @@ _ARG_FIELDS = {
     "shard_size": "shard_size",
     "dtype": "store_dtype",
     "backend": "backend",
+    "ann_nprobe": "ann_nprobe",
+    "ann_rerank": "ann_rerank",
+    "ann_lists": "ann_lists",
     "threshold": "threshold",
     "top_k": "top_k",
     "seed": "seed",
@@ -86,6 +89,14 @@ class EngineConfig:
     shard_size: int = 1024
     store_dtype: str = "float32"
     backend: str = "exact"
+    #: Tiered-index (``backend="ivf-pq"``) knobs: ``ann_nprobe`` coarse
+    #: partitions swept per query (the recall-vs-speed dial),
+    #: ``ann_rerank`` the exact-rerank oversampling (k * rerank
+    #: candidates survive the quantized sweep), ``ann_lists`` the number
+    #: of coarse partitions (0 = auto, ~sqrt(corpus rows)).
+    ann_nprobe: int = 8
+    ann_rerank: int = 8
+    ann_lists: int = 0
     calibrate: bool = True
     threshold: float = 0.84
     top_k: int = 10
@@ -114,11 +125,16 @@ class EngineConfig:
 
     def __post_init__(self):
         for name in ("jobs", "encode_batch_size", "shard_size",
-                     "micro_batch_size", "serve_workers"):
+                     "micro_batch_size", "serve_workers",
+                     "ann_nprobe", "ann_rerank"):
             if int(getattr(self, name)) < 1:
                 raise BadRequestError(
                     f"{name} must be >= 1, got {getattr(self, name)}"
                 )
+        if int(self.ann_lists) < 0:
+            raise BadRequestError(
+                f"ann_lists must be >= 0 (0 = auto), got {self.ann_lists}"
+            )
         if self.backend not in _BACKENDS:
             raise BadRequestError(
                 f"unknown backend {self.backend!r} "

@@ -52,6 +52,7 @@ from repro.api.errors import (
 from repro.binformat.binary import BinaryFile
 from repro.core.model import Asteria, AsteriaConfig, FunctionEncoding
 from repro.core.training import TrainConfig, Trainer, TrainHistory
+from repro.index.ann import DEFAULT_MIN_CANDIDATES
 from repro.index.search import SearchHit, SearchService
 from repro.index.store import MANIFEST_NAME, EmbeddingStore, StoreError
 from repro.obs.metrics import MetricsRegistry
@@ -227,6 +228,11 @@ class EngineStats:
     ann_backend: Optional[str] = None
     ann_persisted: Optional[bool] = None
     ann_rows_projected: int = 0
+    #: Tiered (ivf-pq) index surface: rows (re)quantized by the live
+    #: index construction and the coarse-partition knobs it runs with.
+    ann_rows_quantized: int = 0
+    ann_n_lists: int = 0
+    ann_nprobe: int = 0
     n_queries: int = 0
     n_query_batches: int = 0
     n_query_encodes: int = 0
@@ -402,7 +408,16 @@ class AsteriaEngine:
             return self._batcher
 
     def _backend_options(self, backend: str) -> Dict:
-        return {"seed": self.config.seed} if backend == "lsh" else {}
+        if backend == "lsh":
+            return {"seed": self.config.seed}
+        if backend == "ivf-pq":
+            return {
+                "seed": self.config.seed,
+                "n_lists": self.config.ann_lists,
+                "nprobe": self.config.ann_nprobe,
+                "rerank": self.config.ann_rerank,
+            }
+        return {}
 
     def _make_service(
         self,
@@ -975,15 +990,45 @@ class AsteriaEngine:
             None if deadline is None
             else max(0.0, deadline - time.monotonic())
         )
+        candidates = self._pool_candidates(encodings, top_k)
         try:
             return coordinator.query_batch(
                 encodings, top_k=top_k, threshold=threshold,
-                timeout_s=timeout_s,
+                timeout_s=timeout_s, candidates=candidates,
             )
         except SweepError as exc:
             if "timed out" in str(exc):
                 raise DeadlineExceededError(str(exc)) from exc
             raise EngineError(f"parallel sweep failed: {exc}") from exc
+
+    def _pool_candidates(
+        self,
+        encodings: List[FunctionEncoding],
+        top_k: Optional[int],
+    ) -> Optional[List[np.ndarray]]:
+        """Partition-aware serving for the tiered backend.
+
+        The in-process ``ivf-pq`` index proposes per-query candidate
+        rows (coarse probe + quantized sweep); the worker pool then
+        exact-reranks only each range's slice of those rows, and the
+        coordinator's :func:`select_top_k` merge stays bit-for-bit equal
+        to a single-process rerank of the same candidate set.  ``None``
+        (any other backend, ``top_k=None``, or a degraded exact
+        fallback) keeps the full-corpus sweep.
+        """
+        if self.config.backend != "ivf-pq" or top_k is None:
+            return None
+        with self._lock:
+            index = self.service.index()
+        wanted = max(
+            top_k * getattr(index, "oversample", self.config.ann_rerank),
+            DEFAULT_MIN_CANDIDATES,
+        )
+        matrix = np.stack([np.asarray(e.vector) for e in encodings])
+        per_query = index.candidate_rows_batch(matrix, wanted, encodings)
+        if any(rows is None for rows in per_query):
+            return None  # exact-fallback index: sweep everything
+        return per_query
 
     def _resolve_query(
         self, request: QueryRequest, deadline: Optional[float] = None
@@ -1210,6 +1255,11 @@ class AsteriaEngine:
                 if ann is not None:
                     stats.ann_persisted = ann["persisted"]
                     stats.ann_rows_projected = ann["rows_projected"]
+                    stats.ann_rows_quantized = ann.get(
+                        "rows_quantized", 0
+                    )
+                    stats.ann_n_lists = ann.get("n_lists", 0)
+                    stats.ann_nprobe = ann.get("nprobe", 0)
             if self._cache is not None:
                 stats.cache_hits = self._cache.stats.hits
                 stats.cache_misses = self._cache.stats.misses

@@ -17,6 +17,9 @@ Subcommands mirror the workflows a user of the paper's tooling would run:
 * ``repro-cli index search`` -- top-k CVE queries against a built index
   (the online phase: one batched top-k pass for the whole CVE library,
   no corpus re-encoding);
+* ``repro-cli corpus synth`` -- mass-produce a synthetic embedding corpus
+  (cluster geometry with known ground-truth neighbors) for exercising
+  the tiered ANN index at million-function scale;
 * ``repro-cli serve``        -- the HTTP/JSON serving layer: one engine,
   concurrent queries micro-batched into shared encode GEMMs.
 
@@ -46,7 +49,11 @@ from repro.api.engine import (
     QueryRequest,
     TrainRequest,
 )
-from repro.api.errors import EngineError, InputNotFoundError
+from repro.api.errors import (
+    BadRequestError,
+    EngineError,
+    InputNotFoundError,
+)
 from repro.binformat.binary import BinaryFile
 from repro.lang.generator import ProgramGenerator
 from repro.lang.printer import to_source
@@ -222,6 +229,44 @@ def _cmd_index_search(args) -> int:
     return 0
 
 
+def _cmd_corpus_synth(args) -> int:
+    from repro.index.store import EmbeddingStore
+    from repro.index.synth import SynthSpec, seed_encodings, synth_corpus
+
+    try:
+        spec = SynthSpec(
+            n_functions=args.functions, dim=args.dim,
+            cluster_size=args.cluster_size, noise=args.noise,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        raise BadRequestError(str(exc)) from exc
+    seeds = None
+    if args.model:
+        engine = _engine(args)
+        hidden = engine.model.config.hidden_dim
+        if hidden != args.dim:
+            raise BadRequestError(
+                f"--dim {args.dim} does not match the model's hidden "
+                f"dim {hidden}"
+            )
+        seeds = seed_encodings(
+            engine.pipeline, n_packages=args.seed_packages, seed=args.seed
+        )
+    store = EmbeddingStore.create(
+        Path(args.output), dim=args.dim,
+        shard_size=args.shard_size,
+        dtype=args.dtype or "float32",
+        meta={"corpus": "synthetic", "synth_seed": args.seed},
+    )
+    report = synth_corpus(store, spec, seeds=seeds)
+    print(f"synthesized {report.n_functions} functions in "
+          f"{report.n_clusters} clusters ({report.n_seed_centers} "
+          f"anchored to pipeline encodings) in {report.elapsed_s:.1f}s")
+    print(f"wrote {store.n_shards} shard(s) to {args.output}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.api.server import serve
 
@@ -299,6 +344,25 @@ def _add_pipeline_options(parser) -> None:
     parser.add_argument("--encode-block", type=int, default=None,
                         help="GEMM row-block size for the batched "
                              "encoder (0 = one-time auto-probe)")
+
+
+def _add_ann_options(parser) -> None:
+    """Query-side backend knobs (the ``ann_*`` EngineConfig fields)."""
+    parser.add_argument("--backend", default=None,
+                        help="ANN backend: exact (full sweep), lsh, or "
+                             "ivf-pq (tiered: IVF coarse probe + int8 "
+                             "quantized sweep + exact rerank); "
+                             "default exact")
+    parser.add_argument("--ann-nprobe", type=_positive_int, default=None,
+                        help="ivf-pq: coarse partitions swept per query "
+                             "(the recall-vs-speed dial; default 8)")
+    parser.add_argument("--ann-rerank", type=_positive_int, default=None,
+                        help="ivf-pq: exact-rerank oversampling -- "
+                             "k * rerank candidates survive the "
+                             "quantized sweep (default 8)")
+    parser.add_argument("--ann-lists", type=int, default=None,
+                        help="ivf-pq: number of coarse partitions "
+                             "(default 0 = auto, ~sqrt(corpus rows))")
 
 
 def _add_store_options(parser) -> None:
@@ -422,14 +486,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--index", required=True,
                    help="directory of a built index")
     p.add_argument("--top-k", type=int, default=10)
-    p.add_argument("--backend", choices=["exact", "lsh"], default="exact")
+    _add_ann_options(p)
     p.add_argument("--threshold", type=float, default=None,
                    help="drop hits scoring below this (default: keep "
                         "the full top-k)")
+    p.add_argument("--serve-workers", type=_positive_int, default=None,
+                   help="shard-parallel sweep worker processes for the "
+                        "batched queries (default: 1 = in-process)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--cve", nargs="*", default=None,
                    help="restrict to these CVE ids (default: whole library)")
     p.set_defaults(func=_cmd_index_search)
+
+    p = sub.add_parser("corpus", help="synthetic corpus tools")
+    corpus_sub = p.add_subparsers(dest="corpus_command", required=True)
+
+    p = corpus_sub.add_parser(
+        "synth",
+        help="synthesize an embedding corpus with known ground-truth "
+             "neighbor clusters (scales to millions of functions)",
+    )
+    p.add_argument("--output", required=True,
+                   help="directory for the new index")
+    p.add_argument("--functions", type=_positive_int, default=100_000)
+    p.add_argument("--dim", type=_positive_int, default=64,
+                   help="embedding dimensionality (must match the model "
+                        "that will query the corpus)")
+    p.add_argument("--cluster-size", type=_positive_int, default=16,
+                   help="near-duplicate functions per ground-truth "
+                        "cluster")
+    p.add_argument("--noise", type=float, default=0.15,
+                   help="intra-cluster perturbation scale")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--model", default=None,
+                   help="anchor the first cluster centers at real "
+                        "pipeline encodings from this checkpoint "
+                        "(default: pure bulk synthesis)")
+    p.add_argument("--seed-packages", type=_positive_int, default=4,
+                   help="generated packages to compile + encode for the "
+                        "seed set (with --model)")
+    _add_store_options(p)
+    _add_pipeline_options(p)
+    p.set_defaults(func=_cmd_corpus_synth)
 
     p = sub.add_parser(
         "serve",
@@ -472,6 +570,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "'store.flush.pre_rename=kill' (see repro.faults; "
                         "default: none)")
     p.add_argument("--seed", type=int, default=0)
+    _add_ann_options(p)
     _add_pipeline_options(p)
     p.set_defaults(func=_cmd_serve)
 

@@ -12,9 +12,11 @@ from repro.index.ann import (
     BruteForceIndex,
     LSHIndex,
     Neighbor,
+    known_backends,
     make_index,
     select_top_k,
 )
+from repro.index.quant import IvfPqIndex
 from repro.index.search import IngestStats, SearchHit, SearchService
 from repro.index.store import (
     EmbeddingStore,
@@ -22,12 +24,15 @@ from repro.index.store import (
     StoreError,
     StoredFunction,
 )
+from repro.index.synth import SynthSpec, synth_corpus, synth_queries
 
 __all__ = [
     "AnnIndex",
     "BruteForceIndex",
+    "IvfPqIndex",
     "LSHIndex",
     "Neighbor",
+    "known_backends",
     "make_index",
     "select_top_k",
     "IngestStats",
@@ -37,4 +42,7 @@ __all__ = [
     "ShardedMatrix",
     "StoreError",
     "StoredFunction",
+    "SynthSpec",
+    "synth_corpus",
+    "synth_queries",
 ]

@@ -115,6 +115,10 @@ def select_top_k(
 class AnnIndex:
     """Common interface: candidate generation + batched exact rerank."""
 
+    #: default rerank oversampling when callers don't pass one; tiered
+    #: backends override this per-instance (the ``ann_rerank`` knob)
+    oversample: int = DEFAULT_OVERSAMPLE
+
     def __init__(
         self,
         model: Asteria,
@@ -151,9 +155,18 @@ class AnnIndex:
         raise NotImplementedError
 
     def candidate_rows_batch(
-        self, query_matrix: np.ndarray, n: Optional[int]
+        self,
+        query_matrix: np.ndarray,
+        n: Optional[int],
+        queries: Optional[Sequence[FunctionEncoding]] = None,
     ) -> List[Optional[np.ndarray]]:
-        """Per-query candidate rows for a ``(q, h)`` query matrix."""
+        """Per-query candidate rows for a ``(q, h)`` query matrix.
+
+        ``queries`` (the full encodings behind the matrix) is optional
+        context for backends whose candidate ranking is score-aware --
+        the quantized tier calibrates its approximate sweep with the
+        query callee counts.  Geometry-only backends ignore it.
+        """
         return [
             self.candidate_rows(query_matrix[i], n)
             for i in range(query_matrix.shape[0])
@@ -281,7 +294,7 @@ class AnnIndex:
         query: FunctionEncoding,
         k: Optional[int] = 10,
         threshold: Optional[float] = None,
-        oversample: int = DEFAULT_OVERSAMPLE,
+        oversample: Optional[int] = None,
     ) -> List[Neighbor]:
         """Top-``k`` neighbours by exact model score (highest first).
 
@@ -297,7 +310,7 @@ class AnnIndex:
         queries: Sequence[FunctionEncoding],
         k: Optional[int] = 10,
         threshold: Optional[float] = None,
-        oversample: int = DEFAULT_OVERSAMPLE,
+        oversample: Optional[int] = None,
     ) -> List[List[Neighbor]]:
         """Top-``k`` neighbours for Q queries in one corpus pass.
 
@@ -313,13 +326,15 @@ class AnnIndex:
             return []
         if len(self) == 0:
             return [[] for _ in queries]
+        if oversample is None:
+            oversample = self.oversample
         wanted = None
         if k is not None:
             wanted = max(k * oversample, DEFAULT_MIN_CANDIDATES)
         query_matrix = np.stack(
             [np.asarray(q.vector) for q in queries]
         )
-        per_query = self.candidate_rows_batch(query_matrix, wanted)
+        per_query = self.candidate_rows_batch(query_matrix, wanted, queries)
         sweep_started = time.perf_counter()
         all_rows: Optional[np.ndarray] = None  # shared, never mutated
 
@@ -590,7 +605,10 @@ class LSHIndex(AnnIndex):
         return self._candidates_for(projections, n)
 
     def candidate_rows_batch(
-        self, query_matrix: np.ndarray, n: Optional[int]
+        self,
+        query_matrix: np.ndarray,
+        n: Optional[int],
+        queries: Optional[Sequence[FunctionEncoding]] = None,
     ) -> List[Optional[np.ndarray]]:
         """Candidates for Q queries, sharing one projection GEMM/table."""
         per_table = [
@@ -649,6 +667,29 @@ _BACKENDS = {
     "lsh": LSHIndex,
 }
 
+#: Backends whose construction work (projections / quantization)
+#: round-trips through ``state_dict`` into the store manifest.
+STATEFUL_BACKENDS = ("lsh", "ivf-pq")
+
+
+def known_backends() -> List[str]:
+    """Canonical backend names accepted by :func:`make_index`."""
+    return sorted(set(_BACKENDS) | {"ivf-pq"})
+
+
+def backend_is_stateful(backend: str) -> bool:
+    """True when ``backend`` persists construction state in the store."""
+    return backend in STATEFUL_BACKENDS
+
+
+def _resolve_backend(backend: str):
+    if backend == "ivf-pq" and backend not in _BACKENDS:
+        # imported lazily: quant.py subclasses AnnIndex from this module
+        from repro.index.quant import IvfPqIndex
+
+        _BACKENDS["ivf-pq"] = IvfPqIndex
+    return _BACKENDS[backend]
+
 
 def make_index(
     backend: str,
@@ -657,12 +698,20 @@ def make_index(
     callee_counts: Optional[np.ndarray] = None,
     **options,
 ) -> AnnIndex:
-    """Instantiate a backend by name (``exact`` or ``lsh``)."""
+    """Instantiate a backend by name (``exact``, ``lsh`` or ``ivf-pq``).
+
+    Unknown names raise the typed bad-request error (CLI exit 6,
+    HTTP 400) so a typo'd ``--backend`` surfaces as a client error, not
+    an internal KeyError.
+    """
     try:
-        cls = _BACKENDS[backend]
+        cls = _resolve_backend(backend)
     except KeyError:
-        raise ValueError(
+        # lazy: repro.api pulls in this module at package-import time
+        from repro.api.errors import BadRequestError
+
+        raise BadRequestError(
             f"unknown backend {backend!r} (choose from "
-            f"{sorted(set(_BACKENDS))})"
+            f"{known_backends()})"
         ) from None
     return cls(model, vectors, callee_counts, **options)

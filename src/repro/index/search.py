@@ -45,7 +45,7 @@ from repro.core.model import (
     FunctionEncoding,
 )
 from repro.decompiler.hexrays import DecompiledFunction
-from repro.index.ann import AnnIndex, make_index
+from repro.index.ann import AnnIndex, backend_is_stateful, make_index
 from repro.index.store import EmbeddingStore, StoredFunction
 from repro.obs.metrics import MetricsRegistry
 from repro.pipeline import ArtifactCache, CorpusPipeline, PipelineStats
@@ -180,16 +180,20 @@ class SearchService:
     def index(self) -> AnnIndex:
         """The ANN index over the store (refreshed when the store grows).
 
-        LSH over a durable store round-trips through the persisted state
-        in the store manifest: an unchanged corpus reopens without any
-        projection pass, a grown corpus signs only the appended rows,
-        and either way the refreshed state is written back.
+        Stateful backends (``lsh``, ``ivf-pq``) over a durable store
+        round-trip through the persisted state in the store manifest: an
+        unchanged corpus reopens without any projection/quantization
+        pass, a grown corpus processes only the appended rows, and
+        either way the refreshed state is written back.
         """
         if self._index is None or self._index_rows != self.store.n_flushed:
             options = dict(self.backend_options)
             if self.registry is not None:
                 options.setdefault("registry", self.registry)
-            if self.backend == "lsh" and self.store.root is not None:
+            if (
+                backend_is_stateful(self.backend)
+                and self.store.root is not None
+            ):
                 options.setdefault("state", self.store.read_ann_state())
             try:
                 self._index = make_index(
@@ -207,6 +211,14 @@ class SearchService:
                     if "serving exact sweeps" not in r
                 ]
             except Exception as exc:
+                # client errors (unknown backend, bad knob values) are
+                # the caller's to fix -- degrading them to exact sweeps
+                # would mask the typo (imported lazily; repro.api
+                # imports this module)
+                from repro.api.errors import BadRequestError
+
+                if isinstance(exc, BadRequestError):
+                    raise
                 if self.backend == "exact":
                     raise  # nothing simpler to fall back to
                 # graceful degradation: answer with the exact sweep
@@ -258,15 +270,21 @@ class SearchService:
         """
         if self._index is None:
             return None
-        return {
+        info = {
             "backend": self.backend,
             "persisted": getattr(self._index, "loaded_from_state", None),
             "rows_projected": getattr(self._index, "rows_projected", 0),
         }
+        # tiered-backend knobs, when the materialised index has them
+        for knob in ("n_lists", "nprobe", "rows_quantized"):
+            value = getattr(self._index, knob, None)
+            if value is not None:
+                info[knob] = int(value)
+        return info
 
     def _persist_index(self, index: AnnIndex) -> None:
         """Write refreshed ANN state back beside the shards (best effort)."""
-        if self.backend != "lsh" or self.store.root is None:
+        if not backend_is_stateful(self.backend) or self.store.root is None:
             return
         if index.loaded_from_state and not index.rows_projected:
             return  # persisted state already current

@@ -646,6 +646,92 @@ class EmbeddingStore:
                 self._write_manifest()
         return written
 
+    def append_rows(
+        self,
+        vectors: np.ndarray,
+        callee_counts: np.ndarray,
+        ast_sizes: Optional[np.ndarray] = None,
+        names: Optional[List[str]] = None,
+        binary_names: Optional[List[str]] = None,
+        arches: Optional[List[str]] = None,
+        image_ids: Optional[List[str]] = None,
+        name_prefix: str = "fn",
+    ) -> int:
+        """Bulk-append pre-built rows, bypassing the per-row buffer.
+
+        The corpus-synthesis path: a ``(n, dim)`` matrix plus metadata
+        columns is cut straight into durable shards (same crash-safety
+        ordering as :meth:`flush` -- shards first, manifest last), with
+        no per-row :class:`FunctionEncoding` objects in between.  Any
+        metadata column left ``None`` gets a cheap default (names are
+        ``{name_prefix}_{row:08d}``).  Returns the rows written.
+        """
+        if self._pending:
+            raise StoreError(
+                "flush buffered rows before a bulk append_rows"
+            )
+        vectors = np.asarray(vectors)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise StoreError(
+                f"vector matrix shape {vectors.shape} does not match "
+                f"store dim {self.dim}"
+            )
+        n = vectors.shape[0]
+        counts = np.asarray(callee_counts, dtype=np.int64)
+        sizes = (
+            np.zeros(n, dtype=np.int64) if ast_sizes is None
+            else np.asarray(ast_sizes, dtype=np.int64)
+        )
+        for label, column in (
+            ("callee_counts", counts), ("ast_sizes", sizes),
+        ):
+            if column.shape != (n,):
+                raise StoreError(
+                    f"{label} shape {column.shape} does not match "
+                    f"{n} rows"
+                )
+        base_row = len(self)
+        if names is None:
+            names = [
+                f"{name_prefix}_{base_row + i:08d}" for i in range(n)
+            ]
+        binary_names = binary_names or [""] * n
+        arches = arches or [""] * n
+        image_ids = image_ids or [""] * n
+        written = 0
+        for start in range(0, n, self.shard_size):
+            stop = min(n, start + self.shard_size)
+            batch = np.ascontiguousarray(
+                vectors[start:stop], dtype=self.dtype
+            )
+            shard_meta = _ShardMeta(
+                callee_counts=counts[start:stop],
+                ast_sizes=sizes[start:stop],
+                names=list(names[start:stop]),
+                binary_names=list(binary_names[start:stop]),
+                arches=list(arches[start:stop]),
+                image_ids=list(image_ids[start:stop]),
+            )
+            index = len(self._shards)
+            base = f"shard-{index:05d}"
+            name = f"{base}.npz" if self.format_version == 1 else base
+            info = _ShardInfo(name=name, n_rows=len(shard_meta))
+            if self.root is not None:
+                self._write_shard(info, batch, shard_meta)
+                if self.format_version != 1:
+                    batch = np.load(
+                        self.root / f"{base}.npy", mmap_mode="r"
+                    )
+            self._shards.append(info)
+            self._meta_cache[index] = shard_meta
+            self._append_to_views(batch, shard_meta.callee_counts)
+            self._offsets.append(self._offsets[-1] + info.n_rows)
+            written += len(shard_meta)
+        if written and self.root is not None:
+            faults.inject("store.flush.pre_manifest")
+            self._write_manifest()
+        return written
+
     def _append_to_views(
         self, vectors: np.ndarray, counts: np.ndarray
     ) -> None:
@@ -753,13 +839,19 @@ class EmbeddingStore:
         shards and record its parameters (and checksum) in the manifest."""
         if self.root is None:
             raise StoreError("in-memory stores cannot persist ANN state")
-        target = self.root / ANN_STATE_NAME
+        # one artifact per backend kind (ann-lsh.npz, ann-ivf-pq.npz, ...);
+        # the manifest's ``file`` field names it, and readers of manifests
+        # from before this field default to the legacy LSH name
+        file_name = f"ann-{params.get('kind', 'lsh')}.npz"
+        target = self.root / file_name
         # keep the temp name ending in .npz so save_state leaves it alone
-        pending = self.root / "ann-lsh.pending.npz"
+        pending = target.with_name(
+            target.name[: -len(".npz")] + ".pending.npz"
+        )
         save_state(pending, arrays, meta=params)
         commit_file(pending, target, failpoint="ann.persist.pre_rename")
         self.ann = dict(
-            params, file=ANN_STATE_NAME, sha256=file_sha256(target)
+            params, file=file_name, sha256=file_sha256(target)
         )
         self._write_manifest()
 

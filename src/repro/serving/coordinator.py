@@ -161,8 +161,15 @@ class ServingCoordinator:
         top_k: Optional[int],
         threshold: Optional[float],
         timeout_s: Optional[float] = None,
+        candidates: Optional[Sequence[np.ndarray]] = None,
     ) -> Tuple[List[List[SearchHit]], int, str]:
         """Shard-parallel exact sweep for a batch of encoded queries.
+
+        ``candidates`` (per-query global row arrays, from a tiered ANN
+        backend) restricts each worker to its range's slice of those
+        rows; ``None`` sweeps every range fully.  Either way the merge
+        below is the same :func:`select_top_k` the single-process path
+        ends with, so results stay bit-for-bit identical to it.
 
         Returns ``(hit_lists, corpus_rows, generation_rel)`` -- the
         generation every one of these results came from.
@@ -182,6 +189,7 @@ class ServingCoordinator:
         per_range = self.pool.sweep(
             str(store.root), ranges, q_vectors, q_counts,
             top_k, threshold, self.calibrate, timeout_s=timeout_s,
+            candidates=candidates,
         )
         hit_lists: List[List[SearchHit]] = []
         for qi in range(len(encodings)):

@@ -37,7 +37,7 @@ import numpy as np
 
 import repro.faults as faults
 from repro.core.model import Asteria, AsteriaConfig, FunctionEncoding
-from repro.index.ann import BruteForceIndex
+from repro.index.ann import BruteForceIndex, select_top_k
 from repro.index.store import EmbeddingStore
 from repro.utils.logging import get_logger
 
@@ -106,7 +106,7 @@ def _worker_main(worker_id, model_meta, model_state,
             # raise-mode a transient sweep fault the pool must retry
             faults.inject("serving.worker")
             (root, start, stop, q_vectors, q_counts,
-             k, threshold, calibrate) = payload
+             k, threshold, calibrate, cand_lists) = payload
             began = time.monotonic()
             vectors, counts = _open_corpus(cache, root)
             sub = vectors.slice_rows(start, stop)
@@ -123,16 +123,42 @@ def _worker_main(worker_id, model_meta, model_state,
                 for i in range(len(q_vectors))
             ]
             partials: List[Partial] = []
-            for neighbors in index.top_k_batch(
-                queries, k=k, threshold=threshold
-            ):
-                rows = np.array(
-                    [n.row for n in neighbors], dtype=np.int64
-                ) + start
-                scores = np.array(
-                    [n.score for n in neighbors], dtype=np.float64
-                )
-                partials.append((rows, scores))
+            if cand_lists is None:
+                for neighbors in index.top_k_batch(
+                    queries, k=k, threshold=threshold
+                ):
+                    rows = np.array(
+                        [n.row for n in neighbors], dtype=np.int64
+                    ) + start
+                    scores = np.array(
+                        [n.score for n in neighbors], dtype=np.float64
+                    )
+                    partials.append((rows, scores))
+            else:
+                # tiered-index rerank: score only each query's candidate
+                # rows that fall in this range.  Each score is one
+                # independent per-row dot product through the Siamese
+                # head, so slicing the candidate set across workers
+                # cannot change any row's score; ties are broken by
+                # *global* row id so the coordinator's select_top_k
+                # merge stays bit-for-bit with the single-process path.
+                for i, query in enumerate(queries):
+                    cand = np.asarray(cand_lists[i], dtype=np.int64)
+                    local = cand[(cand >= start) & (cand < stop)]
+                    if local.size == 0:
+                        partials.append((
+                            np.zeros(0, dtype=np.int64), np.zeros(0)
+                        ))
+                        continue
+                    scores = index.score_matrix([query], local - start)[0]
+                    if threshold is not None:
+                        keep = scores >= threshold
+                        local, scores = local[keep], scores[keep]
+                    top = select_top_k(scores, local, k)
+                    partials.append((
+                        local[top],
+                        np.asarray(scores[top], dtype=np.float64),
+                    ))
             sweep_s = time.monotonic() - began
             result_queue.put(
                 (task_id, "ok", (worker_id, sweep_s, partials))
@@ -383,14 +409,23 @@ class ShardWorkerPool:
         threshold: Optional[float],
         calibrate: bool,
         timeout_s: Optional[float] = None,
+        candidates: Optional[Sequence[np.ndarray]] = None,
     ) -> List[List[Partial]]:
         """Sweep every range concurrently; partials in range order.
+
+        ``candidates`` (one global-row array per query, from a tiered
+        ANN backend) restricts every worker to its range's slice of
+        those rows instead of a full range sweep.
 
         Returns one ``List[Partial]`` per range (one partial per query).
         Raises :class:`SweepError` on exhausted retries or timeout.
         """
         if not ranges:
             return []
+        if candidates is not None:
+            candidates = [
+                np.asarray(rows, dtype=np.int64) for rows in candidates
+            ]
         tasks: List[Tuple[int, _PendingTask]] = []
         with self._lock:
             if self._closed:
@@ -400,7 +435,8 @@ class ShardWorkerPool:
             for j, (start, stop) in enumerate(ranges):
                 slot = (base + j) % len(self._workers)
                 payload = (store_root, int(start), int(stop),
-                           q_vectors, q_counts, k, threshold, calibrate)
+                           q_vectors, q_counts, k, threshold, calibrate,
+                           candidates)
                 task_id = self._next_task_id
                 self._next_task_id += 1
                 task = _PendingTask(payload=payload, worker_id=slot)

@@ -53,6 +53,20 @@ class TestEngineConfig:
         with pytest.raises(BadRequestError):
             EngineConfig(micro_batch_wait_ms=-1)
 
+    def test_ann_knob_validation(self):
+        config = EngineConfig(backend="ivf-pq", ann_nprobe=4,
+                              ann_rerank=16, ann_lists=128)
+        assert EngineConfig.from_dict(config.to_dict()) == config
+        with pytest.raises(BadRequestError, match="ann_nprobe"):
+            EngineConfig(ann_nprobe=0)
+        with pytest.raises(BadRequestError, match="ann_rerank"):
+            EngineConfig(ann_rerank=0)
+        with pytest.raises(BadRequestError, match="ann_lists"):
+            EngineConfig(ann_lists=-1)
+        # unknown backends list the valid choices in the message
+        with pytest.raises(BadRequestError, match="ivf-pq"):
+            EngineConfig(backend="faiss")
+
     def test_from_file(self, tmp_path):
         path = tmp_path / "engine.json"
         path.write_text(json.dumps({"model_path": "m.npz", "top_k": 3}))

@@ -227,6 +227,26 @@ class TestQueryBatch:
         assert body["index_vector_bytes"] > 0
         assert body["ann_backend"] == "exact"
 
+    def test_unknown_backend_is_typed_400(self, server):
+        # an unknown backend is a client error (HTTP 400 / exit 6), not
+        # a silent degradation to the exact sweep
+        service = server.engine.service
+        saved = service.backend
+        service.backend = "bogus"
+        service._index = None
+        service._index_rows = -1
+        try:
+            status, body = _post(server, "/v1/query",
+                                 {"cve": "CVE-2016-2105", "top_k": 3})
+            assert status == 400
+            assert "bogus" in body["error"]
+            assert "ivf-pq" in body["error"]
+            assert body["exit_code"] == 6
+        finally:
+            service.backend = saved
+            service._index = None
+            service._index_rows = -1
+
 
 class TestEncodeIngestCompare:
     def test_encode(self, server, trained_model, query_binary):

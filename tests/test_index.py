@@ -268,8 +268,10 @@ class TestAnnBackends:
         assert len(all_rows) == len(vectors)
 
     def test_make_index_unknown_backend(self, corpus_model, corpus):
+        from repro.api.errors import BadRequestError
+
         vectors, counts, _queries = corpus
-        with pytest.raises(ValueError, match="unknown backend"):
+        with pytest.raises(BadRequestError, match="unknown backend"):
             make_index("kdtree", corpus_model, vectors, counts)
 
     def test_empty_index(self, corpus_model):

@@ -24,7 +24,7 @@ from repro.api.engine import AsteriaEngine, IngestRequest, QueryRequest
 from repro.api.errors import EngineError
 from repro.api.server import EngineServer
 from repro.core.model import Asteria, AsteriaConfig, FunctionEncoding
-from repro.index.ann import BruteForceIndex
+from repro.index.ann import BruteForceIndex, select_top_k
 from repro.index.store import EmbeddingStore
 from repro.serving import generations
 from repro.serving.coordinator import (
@@ -261,6 +261,105 @@ class TestPoolMerge:
             assert hit_lists == [[]] and n_rows == 0
         finally:
             coordinator.close()
+
+
+class TestPoolCandidates:
+    """Tiered-backend serving: candidate-restricted worker rerank."""
+
+    def _candidate_reference(self, model, store, queries, cands, k):
+        index = BruteForceIndex(
+            model, store.vectors().snapshot(), store.callee_counts(),
+            calibrate=True,
+        )
+        out = []
+        for query, rows in zip(queries, cands):
+            scores = index.score_matrix([query], rows)[0]
+            top = select_top_k(scores, rows, k)
+            out.append((
+                [int(rows[p]) for p in top],
+                [float(scores[p]) for p in top],
+            ))
+        return out
+
+    def test_fixed_candidate_merge_is_bit_for_bit(self, tmp_path, model):
+        # same 3-block layout as the full-sweep merge test; candidates
+        # deliberately straddle all three ranges, plus one query whose
+        # candidates sit entirely in the first range (the other workers
+        # must contribute empty partials)
+        store, vectors = _fill_store(
+            tmp_path / "idx", 21000, shard_size=7000
+        )
+        queries = _queries(vectors, n=3)
+        rng = np.random.default_rng(7)
+        cands = [
+            np.sort(rng.choice(21000, size=300, replace=False)),
+            np.sort(rng.choice(21000, size=80, replace=False)),
+            np.sort(rng.choice(7000, size=50, replace=False)),
+        ]
+        reference = self._candidate_reference(
+            model, store, queries, cands, k=10
+        )
+        coordinator = ServingCoordinator(
+            model, tmp_path / "idx", n_workers=3, calibrate=True
+        )
+        coordinator.activate(".", store)
+        try:
+            hit_lists, n_rows, _ = coordinator.query_batch(
+                queries, top_k=10, threshold=None, timeout_s=300,
+                candidates=cands,
+            )
+            assert n_rows == 21000
+            for (ref_rows, ref_scores), hits in zip(reference, hit_lists):
+                assert [h.row for h in hits] == ref_rows
+                assert [h.score for h in hits] == ref_scores
+        finally:
+            coordinator.close()
+
+    def test_threshold_applies_inside_candidates(self, tmp_path, model):
+        store, vectors = _fill_store(tmp_path / "idx", 120, shard_size=32)
+        queries = _queries(vectors, n=2)
+        cands = [np.arange(0, 120, 2), np.arange(1, 120, 2)]
+        coordinator = ServingCoordinator(
+            model, tmp_path / "idx", n_workers=2, calibrate=True
+        )
+        coordinator.activate(".", store)
+        try:
+            hit_lists, _, _ = coordinator.query_batch(
+                queries, top_k=50, threshold=0.5, timeout_s=120,
+                candidates=cands,
+            )
+            for hits, rows in zip(hit_lists, cands):
+                allowed = set(rows.tolist())
+                assert all(h.row in allowed for h in hits)
+                assert all(h.score >= 0.5 for h in hits)
+        finally:
+            coordinator.close()
+
+    def test_pooled_ivf_pq_matches_single_process(self, tmp_path, model):
+        # the tiered backend computes the candidate set once in the
+        # coordinator process; pooled rerank must reproduce the
+        # single-process result bit for bit
+        root = tmp_path / "idx"
+        store, vectors = _fill_store(root, 900, shard_size=128)
+        queries = _queries(vectors, n=4)
+        results = {}
+        for workers in (1, 2):
+            engine = AsteriaEngine(
+                EngineConfig(
+                    index_root=str(root), serve_workers=workers,
+                    backend="ivf-pq", ann_nprobe=4, ann_rerank=8,
+                ),
+                model=model,
+            )
+            try:
+                results[workers] = engine.query_batch([
+                    QueryRequest(encoding=q, top_k=10, threshold=None)
+                    for q in queries
+                ])
+            finally:
+                engine.close()
+        for solo, pooled in zip(results[1], results[2]):
+            assert _rows_scores(solo.hits) == _rows_scores(pooled.hits)
 
 
 class TestPoolChaos:
